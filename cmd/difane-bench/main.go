@@ -1,0 +1,79 @@
+// Command difane-bench regenerates every table and figure of the DIFANE
+// evaluation (see DESIGN.md §3 for the experiment index) and prints them
+// as text tables/series.
+//
+// Usage:
+//
+//	difane-bench [-quick] [-only T1,F1,...] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"difane/experiments"
+)
+
+type renderer interface{ Render() string }
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-scale workloads")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	opts := experiments.Bench()
+	if *quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = *seed
+
+	all := []struct {
+		id  string
+		run func(experiments.Options) renderer
+	}{
+		{"T1", func(o experiments.Options) renderer { return experiments.TableNetworks(o) }},
+		{"F1", func(o experiments.Options) renderer { return experiments.FigFirstPacketDelay(o) }},
+		{"F2", func(o experiments.Options) renderer { return experiments.FigThroughput(o) }},
+		{"F3", func(o experiments.Options) renderer { return experiments.FigAuthorityScaling(o) }},
+		{"F4", func(o experiments.Options) renderer { return experiments.FigPartitionTCAM(o) }},
+		{"F5", func(o experiments.Options) renderer { return experiments.FigSplitOverhead(o) }},
+		{"F6", func(o experiments.Options) renderer { return experiments.FigCacheMiss(o) }},
+		{"F7", func(o experiments.Options) renderer { return experiments.FigStretch(o) }},
+		{"F8", func(o experiments.Options) renderer { return experiments.FigFailover(o) }},
+		{"F9", func(o experiments.Options) renderer { return experiments.FigPolicyChange(o) }},
+		{"F10", func(o experiments.Options) renderer { return experiments.FigCacheTimeout(o) }},
+		{"F11", func(o experiments.Options) renderer { return experiments.FigControlLoad(o) }},
+		{"F12", func(o experiments.Options) renderer { return experiments.FigLinkLoad(o) }},
+		{"A1", func(o experiments.Options) renderer { return experiments.AblationCacheStrategy(o) }},
+		{"A2", func(o experiments.Options) renderer { return experiments.AblationPartitioner(o) }},
+		{"A3", func(o experiments.Options) renderer { return experiments.AblationEviction(o) }},
+		{"A4", func(o experiments.Options) renderer { return experiments.AblationRebalance(o) }},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	ran := 0
+	for _, exp := range all {
+		if len(want) > 0 && !want[exp.id] {
+			continue
+		}
+		start := time.Now()
+		result := exp.run(opts)
+		fmt.Println(result.Render())
+		fmt.Printf("(%s completed in %v)\n\n", exp.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
+		os.Exit(2)
+	}
+}

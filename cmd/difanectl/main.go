@@ -1,0 +1,312 @@
+// Command difanectl is a small interactive driver for a simulated DIFANE
+// deployment: load a canonical network, inject flows, inspect switch
+// tables and measurements.
+//
+// Usage:
+//
+//	difanectl [-network campus|vpn|iptv|isp] [-authorities K] [-seed N]
+//
+// Commands (stdin, one per line):
+//
+//	inject <ingress> <ip_src> <ip_dst> <tp_dst>   inject one flow (3 packets)
+//	trace <flows> [file]                          inject a Zipf trace (optionally saving it)
+//	replay <file>                                 replay a saved trace
+//	tables <switch>                               dump a switch's tables
+//	stats                                         print run measurements
+//	counters                                      aggregated per-rule counters
+//	partitions                                    print the rule partitions
+//	fail <switch>                                 fail an authority switch
+//	load <file>                                   replace the policy from a file
+//	save <file>                                   write the policy to a file
+//	compact                                       drop shadowed rules
+//	help                                          this text
+//	quit
+//
+// A policy file (see -policy) uses the text grammar of ParsePolicy:
+//
+//	rule 1 prio 100 ip_src=10.0.0.0/8 tp_dst=80 -> forward(4)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"difane"
+	"difane/internal/metrics"
+)
+
+func main() {
+	network := flag.String("network", "campus", "canonical network: campus|vpn|iptv|isp")
+	k := flag.Int("authorities", 2, "number of authority switches")
+	seed := flag.Int64("seed", 1, "generator seed")
+	policyFile := flag.String("policy", "", "replace the canonical policy with rules from this file")
+	flag.Parse()
+
+	var spec *difane.Spec
+	switch *network {
+	case "campus":
+		spec = difane.CampusNetwork(*seed, difane.ScaleTest)
+	case "vpn":
+		spec = difane.VPNNetwork(*seed, difane.ScaleTest)
+	case "iptv":
+		spec = difane.IPTVNetwork(*seed, difane.ScaleTest)
+	case "isp":
+		spec = difane.ISPNetwork(*seed, difane.ScaleTest)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *network)
+		os.Exit(2)
+	}
+
+	if *policyFile != "" {
+		f, err := os.Open(*policyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rules, err := difane.ParsePolicy(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec.Policy = rules
+	}
+
+	auths := difane.PlaceAuthorities(spec.Graph, *k)
+	net, err := difane.New(spec.Graph, auths, spec.Policy, difane.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ctl := difane.NewController(net)
+
+	fmt.Printf("loaded %s: %d switches, %d rules, %d partitions, authorities %v\n",
+		spec.Name, spec.Graph.NumNodes(), len(spec.Policy),
+		len(net.Assignment.Partitions), auths)
+	fmt.Println(`type "help" for commands`)
+
+	now := 0.0
+	sc := bufio.NewScanner(os.Stdin)
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> | tables <switch> | stats | counters | partitions | fail <switch> | load <file> | save <file> | compact | quit")
+		case "inject":
+			if len(fields) != 5 {
+				fmt.Println("usage: inject <ingress> <ip_src> <ip_dst> <tp_dst>")
+				continue
+			}
+			args := make([]uint64, 4)
+			bad := false
+			for i, f := range fields[1:] {
+				v, err := strconv.ParseUint(f, 0, 64)
+				if err != nil {
+					fmt.Printf("bad argument %q\n", f)
+					bad = true
+					break
+				}
+				args[i] = v
+			}
+			if bad {
+				continue
+			}
+			var key difane.Key
+			key[difane.FIPSrc] = args[1]
+			key[difane.FIPDst] = args[2]
+			key[difane.FTPDst] = args[3]
+			for p := 0; p < 3; p++ {
+				net.InjectPacket(now+float64(p)*0.01, uint32(args[0]), key, 800, uint64(p))
+			}
+			now += 1
+			net.Run(now)
+			fmt.Printf("t=%.2fs delivered=%d redirects=%d drops=%+v\n",
+				now, net.M.Delivered, net.M.Redirects, net.M.Drops)
+		case "trace":
+			n := 1000
+			if len(fields) > 1 {
+				if v, err := strconv.Atoi(fields[1]); err == nil {
+					n = v
+				}
+			}
+			flows := difane.GenerateTraffic(spec, difane.TrafficConfig{
+				Flows: n, Rate: 1000, Seed: *seed + int64(now),
+			})
+			if len(fields) > 2 {
+				f, err := os.Create(fields[2])
+				if err != nil {
+					fmt.Println(err)
+					continue
+				}
+				err = difane.WriteTrace(f, flows)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil {
+					fmt.Println(err)
+					continue
+				}
+				fmt.Printf("saved trace to %s\n", fields[2])
+			}
+			now = runFlows(net, flows, now)
+		case "replay":
+			if len(fields) != 2 {
+				fmt.Println("usage: replay <file>")
+				continue
+			}
+			f, err := os.Open(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			flows, err := difane.ReadTrace(f)
+			f.Close()
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			if len(flows) == 0 {
+				fmt.Println("empty trace")
+				continue
+			}
+			now = runFlows(net, flows, now)
+		case "tables":
+			if len(fields) != 2 {
+				fmt.Println("usage: tables <switch>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 0, 32)
+			if err != nil {
+				fmt.Println("bad switch id")
+				continue
+			}
+			sw, ok := net.Switches[uint32(id)]
+			if !ok {
+				fmt.Println("no such switch")
+				continue
+			}
+			fmt.Print(sw)
+		case "stats":
+			fmt.Printf("delivered=%d redirects=%d setups=%d drops=%+v\n",
+				net.M.Delivered, net.M.Redirects, net.M.SetupsCompleted, net.M.Drops)
+			fmt.Printf("first-packet delay: p50=%s p99=%s (n=%d)\n",
+				metrics.FormatDuration(net.M.FirstPacketDelay.Percentile(50)),
+				metrics.FormatDuration(net.M.FirstPacketDelay.Percentile(99)),
+				net.M.FirstPacketDelay.N())
+			fmt.Printf("stretch: mean=%.2f (n=%d), cache entries=%d\n",
+				net.M.Stretch.Mean(), net.M.Stretch.N(), net.CacheEntries())
+		case "partitions":
+			for i, p := range net.Assignment.Partitions {
+				fmt.Printf("partition %d: %d rules, replicas %v, region %s\n",
+					i, len(p.Rules), net.Assignment.ReplicasFor(i), p.Region)
+			}
+		case "counters":
+			for _, rc := range net.PolicyCounters() {
+				fmt.Printf("rule %d: %d packets, %d bytes\n", rc.RuleID, rc.Packets, rc.Bytes)
+			}
+		case "load":
+			if len(fields) != 2 {
+				fmt.Println("usage: load <file>")
+				continue
+			}
+			f, err := os.Open(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			rules, err := difane.ParsePolicy(f)
+			f.Close()
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			at, err := ctl.UpdatePolicy(rules)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			now = at + 0.01
+			net.Run(now)
+			fmt.Printf("loaded %d rules; converged at t=%.2fs\n", len(rules), at)
+		case "save":
+			if len(fields) != 2 {
+				fmt.Println("usage: save <file>")
+				continue
+			}
+			f, err := os.Create(fields[1])
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			err = difane.WritePolicy(f, net.Policy)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			fmt.Printf("wrote %d rules to %s\n", len(net.Policy), fields[1])
+		case "compact":
+			kept, removed := difane.CompactPolicy(net.Policy)
+			if len(removed) == 0 {
+				fmt.Println("no shadowed rules")
+				continue
+			}
+			at, err := ctl.UpdatePolicy(kept)
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			now = at + 0.01
+			net.Run(now)
+			fmt.Printf("removed %d shadowed rules: %v\n", len(removed), removed)
+		case "fail":
+			if len(fields) != 2 {
+				fmt.Println("usage: fail <switch>")
+				continue
+			}
+			id, err := strconv.ParseUint(fields[1], 0, 32)
+			if err != nil {
+				fmt.Println("bad switch id")
+				continue
+			}
+			net.FailAuthority(uint32(id))
+			at := ctl.OnAuthorityFailure(uint32(id))
+			now = at + 0.01
+			net.Run(now)
+			fmt.Printf("failed switch %d; failover converged at t=%.2fs\n", id, at)
+		default:
+			fmt.Printf("unknown command %q (try help)\n", fields[0])
+		}
+	}
+}
+
+// runFlows injects a trace starting at the current time and runs the
+// simulation past its end.
+func runFlows(net *difane.Network, flows []difane.Flow, now float64) float64 {
+	last := now
+	for _, f := range flows {
+		for p := 0; p < f.Packets; p++ {
+			at := now + f.Start + float64(p)*f.Gap
+			net.InjectPacket(at, f.Ingress, f.Key, f.Size, uint64(p))
+			if at > last {
+				last = at
+			}
+		}
+	}
+	end := last + 5
+	net.Run(end)
+	fmt.Printf("t=%.2fs delivered=%d redirects=%d drops=%+v\n",
+		end, net.M.Delivered, net.M.Redirects, net.M.Drops)
+	return end
+}

@@ -1,0 +1,294 @@
+// Package difane is a Go implementation of DIFANE — "Scalable Flow-Based
+// Networking with DIFANE" (Yu, Rexford, Freedman, Wang; SIGCOMM 2010) —
+// together with everything needed to reproduce the paper's evaluation:
+// a ternary flow-space algebra, a TCAM-semantics rule table, a
+// discrete-event network simulator, a wire-mode concurrent prototype, an
+// Ethane/NOX-style reactive baseline, and synthetic workload generators.
+//
+// DIFANE keeps all packets in the data plane: the controller partitions
+// the flow space across authority switches with a decision-tree algorithm;
+// cache misses at ingress switches are redirected — as data packets — to
+// the responsible authority switch, which both forwards the packet and
+// installs wildcard-safe cache rules back at the ingress switch.
+//
+// # Quick start
+//
+//	spec := difane.CampusNetwork(1, difane.ScaleTest)
+//	auths := difane.PlaceAuthorities(spec.Graph, 3)
+//	net, err := difane.New(spec.Graph, auths, spec.Policy, difane.Config{})
+//	if err != nil { ... }
+//	flows := difane.GenerateTraffic(spec, difane.TrafficConfig{Flows: 10000, Seed: 2})
+//	difane.RunTrace(net, flows, 60)
+//	fmt.Println(net.M.FirstPacketDelay.Percentile(99))
+//
+// The deeper packages stay internal; this package re-exports the stable
+// surface via type aliases, so the full method sets of the underlying
+// types are available to callers.
+package difane
+
+import (
+	"io"
+
+	"difane/internal/baseline"
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/policyio"
+	"difane/internal/topo"
+	"difane/internal/wire"
+	"difane/internal/workload"
+)
+
+// --- Flow-space model --------------------------------------------------------
+
+// Rule is a prioritized ternary rule (higher Priority wins, ties break
+// toward lower ID).
+type Rule = flowspace.Rule
+
+// Match is a ternary predicate over the header tuple.
+type Match = flowspace.Match
+
+// Field is one ternary header field.
+type Field = flowspace.Field
+
+// Key is a concrete header tuple.
+type Key = flowspace.Key
+
+// Action is what a rule does with matching packets.
+type Action = flowspace.Action
+
+// FieldID names a header field.
+type FieldID = flowspace.FieldID
+
+// Header field identifiers.
+const (
+	FInPort  = flowspace.FInPort
+	FEthSrc  = flowspace.FEthSrc
+	FEthDst  = flowspace.FEthDst
+	FEthType = flowspace.FEthType
+	FVLAN    = flowspace.FVLAN
+	FIPProto = flowspace.FIPProto
+	FIPSrc   = flowspace.FIPSrc
+	FIPDst   = flowspace.FIPDst
+	FTPSrc   = flowspace.FTPSrc
+	FTPDst   = flowspace.FTPDst
+)
+
+// Action kinds.
+const (
+	ActDrop     = flowspace.ActDrop
+	ActForward  = flowspace.ActForward
+	ActRedirect = flowspace.ActRedirect
+)
+
+// MatchAll returns the match covering the entire flow space.
+func MatchAll() Match { return flowspace.MatchAll() }
+
+// Evaluate returns the highest-priority rule matching k, as the reference
+// single-table semantics.
+func Evaluate(rules []Rule, k Key) (Rule, bool) { return flowspace.EvalTable(rules, k) }
+
+// --- Topology ----------------------------------------------------------------
+
+// Graph is a switch-level topology.
+type Graph = topo.Graph
+
+// NodeID identifies a switch in a Graph.
+type NodeID = topo.NodeID
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph { return topo.NewGraph() }
+
+// LinearTopology builds a chain of n switches.
+func LinearTopology(n int, latency float64) *Graph { return topo.Linear(n, latency) }
+
+// CampusTopology builds a three-tier campus topology, returning the graph
+// and the access-layer switches.
+func CampusTopology(cores, distPerCore, accessPerDist int, lat float64) (*Graph, []NodeID) {
+	return topo.Campus(cores, distPerCore, accessPerDist, lat)
+}
+
+// --- DIFANE ------------------------------------------------------------------
+
+// Config tunes a simulated DIFANE deployment.
+type Config = core.NetworkConfig
+
+// PartitionConfig tunes the flow-space partitioner.
+type PartitionConfig = core.PartitionConfig
+
+// Partition is one flow-space region with its clipped rules.
+type Partition = core.Partition
+
+// Assignment maps partitions onto authority switches.
+type Assignment = core.Assignment
+
+// Network is a simulated DIFANE deployment.
+type Network = core.Network
+
+// Controller is DIFANE's central controller.
+type Controller = core.Controller
+
+// CacheStrategy picks the cache-rule generation scheme.
+type CacheStrategy = core.CacheStrategy
+
+// Measurements aggregates a run's recorded statistics.
+type Measurements = core.Measurements
+
+// EvictionChoice selects the ingress-cache eviction policy.
+type EvictionChoice = core.EvictionChoice
+
+// Cache eviction policies.
+const (
+	EvictLRU  = core.EvictDefaultLRU
+	EvictLFU  = core.EvictLFU
+	EvictNone = core.EvictNone
+)
+
+// Cache-rule generation strategies.
+const (
+	StrategyCover     = core.StrategyCover
+	StrategyDependent = core.StrategyDependent
+	StrategyExact     = core.StrategyExact
+)
+
+// New builds a simulated DIFANE network over the topology with the given
+// authority switches and global policy.
+func New(g *Graph, authorities []uint32, policy []Rule, cfg Config) (*Network, error) {
+	return core.NewNetwork(g, authorities, policy, cfg)
+}
+
+// NewController attaches a controller to a network.
+func NewController(n *Network) *Controller { return core.NewController(n) }
+
+// BuildPartitions runs the decision-tree partitioner.
+func BuildPartitions(rules []Rule, cfg PartitionConfig) []Partition {
+	return core.BuildPartitions(rules, cfg)
+}
+
+// Assign distributes partitions across authority switches.
+func Assign(parts []Partition, authorities []uint32) (Assignment, error) {
+	return core.Assign(parts, authorities)
+}
+
+// PlaceAuthorities picks k well-spread authority switches.
+func PlaceAuthorities(g *Graph, k int) []uint32 { return core.PlaceAuthorities(g, k) }
+
+// CompactPolicy removes shadowed (dead) rules without changing semantics.
+func CompactPolicy(rules []Rule) (kept []Rule, removedIDs []uint64) {
+	return core.CompactPolicy(rules)
+}
+
+// ParsePolicy reads a policy in the policyio text format (see
+// internal/policyio's package comment for the grammar).
+func ParsePolicy(r io.Reader) ([]Rule, error) { return policyio.Parse(r) }
+
+// WritePolicy serializes a policy in the text format ParsePolicy reads.
+func WritePolicy(w io.Writer, rules []Rule) error { return policyio.Write(w, rules) }
+
+// --- Baseline ----------------------------------------------------------------
+
+// BaselineConfig tunes the Ethane/NOX-style reactive baseline.
+type BaselineConfig = baseline.Config
+
+// BaselineNetwork is a reactive-controller deployment.
+type BaselineNetwork = baseline.Network
+
+// NewBaseline builds the reactive baseline over the topology.
+func NewBaseline(g *Graph, policy []Rule, cfg BaselineConfig) (*BaselineNetwork, error) {
+	return baseline.NewNetwork(g, policy, cfg)
+}
+
+// --- Workloads ---------------------------------------------------------------
+
+// Spec bundles a synthetic evaluation network.
+type Spec = workload.Spec
+
+// Flow is one generated traffic flow.
+type Flow = workload.Flow
+
+// TrafficConfig tunes the trace generator.
+type TrafficConfig = workload.TrafficConfig
+
+// ACLConfig tunes the ClassBench-style policy generator.
+type ACLConfig = workload.ACLConfig
+
+// NetworkScale shrinks canonical networks for tests vs benches.
+type NetworkScale = workload.NetworkScale
+
+// Canonical scales.
+const (
+	ScaleTest  = workload.ScaleTest
+	ScaleBench = workload.ScaleBench
+)
+
+// The four canonical evaluation networks.
+func CampusNetwork(seed int64, s NetworkScale) *Spec { return workload.CampusNetwork(seed, s) }
+
+// VPNNetwork approximates the provider VPN network.
+func VPNNetwork(seed int64, s NetworkScale) *Spec { return workload.VPNNetwork(seed, s) }
+
+// IPTVNetwork approximates the IPTV network.
+func IPTVNetwork(seed int64, s NetworkScale) *Spec { return workload.IPTVNetwork(seed, s) }
+
+// ISPNetwork approximates the ISP backbone.
+func ISPNetwork(seed int64, s NetworkScale) *Spec { return workload.ISPNetwork(seed, s) }
+
+// AllNetworks returns all four canonical networks.
+func AllNetworks(seed int64, s NetworkScale) []*Spec { return workload.AllNetworks(seed, s) }
+
+// ClassBenchLike generates an ACL-shaped policy.
+func ClassBenchLike(cfg ACLConfig) []Rule { return workload.ClassBenchLike(cfg) }
+
+// GenerateTraffic builds a Zipf-popularity flow trace over a spec.
+func GenerateTraffic(spec *Spec, cfg TrafficConfig) []Flow {
+	return workload.GenerateTraffic(spec, cfg)
+}
+
+// UniformTraffic builds an all-new-flows trace (worst case for caching).
+func UniformTraffic(spec *Spec, cfg TrafficConfig) []Flow {
+	return workload.UniformTraffic(spec, cfg)
+}
+
+// WriteTrace archives a flow trace in a replayable text format.
+func WriteTrace(w io.Writer, flows []Flow) error { return workload.WriteTrace(w, flows) }
+
+// ReadTrace loads a trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]Flow, error) { return workload.ReadTrace(r) }
+
+// --- Wire mode ---------------------------------------------------------------
+
+// Cluster is a wire-mode DIFANE deployment (real goroutines and framed
+// control connections).
+type Cluster = wire.Cluster
+
+// ClusterConfig sizes a wire-mode deployment.
+type ClusterConfig = wire.ClusterConfig
+
+// Delivery reports a packet reaching its egress in wire mode.
+type Delivery = wire.Delivery
+
+// NewCluster builds and starts a wire-mode cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return wire.NewCluster(cfg) }
+
+// --- Drivers -----------------------------------------------------------------
+
+// PacketInjector is the common injection surface of the DIFANE network and
+// the baseline, letting traces drive either.
+type PacketInjector interface {
+	InjectPacket(at float64, ingress uint32, k Key, size int, seq uint64)
+	Run(horizon float64)
+}
+
+// RunTrace injects every packet of every flow into the network and runs
+// the simulation until horizon seconds.
+func RunTrace(n PacketInjector, flows []Flow, horizon float64) {
+	for _, f := range flows {
+		for p := 0; p < f.Packets; p++ {
+			at := f.Start + float64(p)*f.Gap
+			if at > horizon {
+				break
+			}
+			n.InjectPacket(at, f.Ingress, f.Key, f.Size, uint64(p))
+		}
+	}
+	n.Run(horizon)
+}

@@ -1,0 +1,78 @@
+// Campus ACL scenario: the paper's motivating workload — an access-control
+// policy with deep dependency chains (many specific denies over broad
+// permits). Shows why naive rule caching is unsafe, and compares the
+// cover-set and dependent-set cache strategies on the same trace.
+package main
+
+import (
+	"fmt"
+
+	"difane"
+)
+
+func main() {
+	// A firewall-shaped policy on a chain topology: fifty high-priority
+	// deny rules for specific ports, one broad permit underneath, and a
+	// default drop. Caching the permit alone would leak denied traffic —
+	// the dependency problem DIFANE's cache-rule generation solves.
+	g := difane.LinearTopology(6, 0.001)
+	var policy []difane.Rule
+	for port := uint64(1); port <= 50; port++ {
+		policy = append(policy, difane.Rule{
+			ID: port, Priority: 100,
+			Match:  difane.MatchAll().WithExact(difane.FTPDst, port),
+			Action: difane.Action{Kind: difane.ActDrop},
+		})
+	}
+	policy = append(policy,
+		difane.Rule{ID: 51, Priority: 50,
+			Match:  difane.MatchAll().WithPrefix(difane.FIPSrc, 0x0A000000, 8),
+			Action: difane.Action{Kind: difane.ActForward, Arg: 5}},
+		difane.Rule{ID: 52, Priority: 0,
+			Match:  difane.MatchAll(),
+			Action: difane.Action{Kind: difane.ActDrop}},
+	)
+
+	for _, strat := range []difane.CacheStrategy{difane.StrategyCover, difane.StrategyDependent} {
+		net, err := difane.New(g, []uint32{3}, policy, difane.Config{
+			Strategy:      strat,
+			CacheCapacity: 64,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// One permitted flow (source in 10/8, high port) plus probes of
+		// denied ports, twice each so the second packet can hit the cache.
+		at := 0.0
+		for i := 0; i < 40; i++ {
+			var k difane.Key
+			k[difane.FIPSrc] = 0x0A000000 | uint64(i+1)
+			k[difane.FTPDst] = uint64(8000 + i)
+			net.InjectPacket(at, 0, k, 100, 0)
+			net.InjectPacket(at+1, 0, k, 100, 1)
+			at += 0.01
+		}
+		// Denied probes: they must NEVER be delivered, cached or not.
+		for port := uint64(1); port <= 10; port++ {
+			var k difane.Key
+			k[difane.FIPSrc] = 0x0A000000 | port
+			k[difane.FTPDst] = port
+			net.InjectPacket(at, 0, k, 100, 0)
+			at += 0.01
+		}
+		net.Run(30)
+
+		fmt.Printf("strategy=%-10s delivered=%3d policy-drops=%2d redirects=%2d cache-entries=%d\n",
+			strat, net.M.Delivered, net.M.Drops.Policy, net.M.Redirects, net.CacheEntries())
+		if net.M.Delivered != 80 {
+			panic("permitted flows must all be delivered (2 packets × 40 flows)")
+		}
+		if net.M.Drops.Policy != 10 {
+			panic("every denied probe must be dropped")
+		}
+	}
+
+	fmt.Println("\nBoth strategies preserve the ACL exactly; note the cache-entry cost:")
+	fmt.Println("cover-set splices the 50-deny chain into one wildcard rule per region,")
+	fmt.Println("dependent-set must drag the overlapping denies into the cache with it.")
+}

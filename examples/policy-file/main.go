@@ -1,0 +1,99 @@
+// Policy-file scenario: author a policy in the text format, load it into
+// a DIFANE deployment, verify per-rule counters stay transparent, then
+// roll out a stricter revision with the make-before-break consistent
+// update — zero packets lost to the transition.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"difane"
+)
+
+const policyV1 = `
+# v1: web and dns open, everything else dropped
+rule 1 prio 100 ip_proto=tcp tp_dst=80  -> forward(3)
+rule 2 prio 100 ip_proto=tcp tp_dst=443 -> forward(3)
+rule 3 prio 90  ip_proto=udp tp_dst=53  -> forward(3)
+rule 4 prio 0 -> drop
+`
+
+const policyV2 = `
+# v2: block a misbehaving subnet ahead of the permits
+rule 10 prio 200 ip_src=10.66.0.0/16 -> drop
+rule 1  prio 100 ip_proto=tcp tp_dst=80  -> forward(3)
+rule 2  prio 100 ip_proto=tcp tp_dst=443 -> forward(3)
+rule 3  prio 90  ip_proto=udp tp_dst=53  -> forward(3)
+rule 4  prio 0 -> drop
+`
+
+func main() {
+	rules, err := difane.ParsePolicy(strings.NewReader(policyV1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("parsed v1: %d rules\n", len(rules))
+
+	g := difane.LinearTopology(4, 0.001)
+	net, err := difane.New(g, []uint32{1}, rules, difane.Config{})
+	if err != nil {
+		panic(err)
+	}
+	ctl := difane.NewController(net)
+
+	// Traffic: web flows from two subnets, one of which v2 will ban.
+	mkKey := func(subnetB byte, host uint64, port uint64) difane.Key {
+		var k difane.Key
+		k[difane.FIPSrc] = uint64(uint32(10)<<24|uint32(subnetB)<<16) | host
+		k[difane.FIPProto] = 6
+		k[difane.FTPDst] = port
+		return k
+	}
+	for i := uint64(0); i < 50; i++ {
+		net.InjectPacket(float64(i)*0.01, 0, mkKey(1, i, 80), 1000, 0)
+		net.InjectPacket(float64(i)*0.01, 0, mkKey(66, i, 443), 1000, 0)
+	}
+	net.Run(2)
+	fmt.Printf("v1: delivered=%d dropped=%d\n", net.M.Delivered, net.M.Drops.Policy)
+	fmt.Println("per-rule counters (aggregated across caches + authorities):")
+	for _, rc := range net.PolicyCounters() {
+		fmt.Printf("  rule %d: %d packets %d bytes\n", rc.RuleID, rc.Packets, rc.Bytes)
+	}
+
+	// Consistent rollout of v2.
+	v2, err := difane.ParsePolicy(strings.NewReader(policyV2))
+	if err != nil {
+		panic(err)
+	}
+	switchAt, cleanupAt, err := ctl.UpdatePolicyConsistent(v2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nv2 rollout: traffic switches at t=%.2fs, old rules purged at t=%.2fs\n",
+		switchAt, cleanupAt)
+
+	// Traffic across the whole transition window.
+	before := net.M.Delivered + net.M.Drops.Policy
+	n := uint64(0)
+	for at := net.Eng.Now(); at < cleanupAt+0.5; at += 0.005 {
+		net.InjectPacket(at, 0, mkKey(66, 9000+n, 80), 1000, 0) // banned in v2
+		net.InjectPacket(at, 0, mkKey(1, 9000+n, 80), 1000, 0)  // still permitted
+		n += 2
+	}
+	net.Run(cleanupAt + 2)
+	handled := net.M.Delivered + net.M.Drops.Policy - before
+	fmt.Printf("transition: %d/%d flows handled, losses=%d (hole=%d unreachable=%d)\n",
+		handled, n, net.M.Drops.Hole+net.M.Drops.Unreachable,
+		net.M.Drops.Hole, net.M.Drops.Unreachable)
+	if handled != n {
+		panic("consistent update must not lose traffic")
+	}
+
+	// The banned subnet is now dropped by rule 10.
+	c10 := net.CountersFor(10)
+	fmt.Printf("rule 10 (new ban) has absorbed %d packets\n", c10.Packets)
+	if c10.Packets == 0 {
+		panic("ban rule must be taking effect")
+	}
+}

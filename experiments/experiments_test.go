@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"difane/internal/core"
+)
+
+func TestTableNetworks(t *testing.T) {
+	r := TableNetworks(Quick())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row.Name] = true
+		if row.Rules == 0 || row.Switches == 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		if row.Overhead < 1.0 {
+			t.Fatalf("overhead below 1 is impossible: %+v", row)
+		}
+		if row.Overhead > 5.0 {
+			t.Fatalf("splitting overhead out of band: %+v", row)
+		}
+	}
+	for _, want := range []string{"campus", "vpn", "iptv", "isp"} {
+		if !names[want] {
+			t.Fatalf("missing network %q", want)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "T1") || !strings.Contains(out, "campus") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigFirstPacketDelayShape(t *testing.T) {
+	r := FigFirstPacketDelay(Quick())
+	if r.DIFANE.N() == 0 || r.NOX.N() == 0 {
+		t.Fatal("both systems must record delays")
+	}
+	// The paper's core latency claim: DIFANE first packets are much
+	// faster because they never wait on the controller.
+	if r.NOX.Mean() < 2*r.DIFANE.Mean() {
+		t.Fatalf("NOX mean %v must far exceed DIFANE %v", r.NOX.Mean(), r.DIFANE.Mean())
+	}
+	// The tail (miss traffic) is where the controller round trip shows.
+	if r.NOX.Percentile(90) <= r.DIFANE.Percentile(90) {
+		t.Fatalf("p90 ordering must hold: nox=%v difane=%v",
+			r.NOX.Percentile(90), r.DIFANE.Percentile(90))
+	}
+	if out := r.Render(); !strings.Contains(out, "F1") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigThroughputShape(t *testing.T) {
+	r := FigThroughput(Quick())
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range r.Points {
+		// DIFANE must track offered load while under authority capacity.
+		if p.Offered <= r.DIFANERate && p.DIFANE < 0.85*p.Offered {
+			t.Fatalf("DIFANE at %v offered only completed %v", p.Offered, p.DIFANE)
+		}
+		// NOX must cap near its controller rate.
+		if p.NOX > 1.2*r.NOXRate {
+			t.Fatalf("NOX exceeded its capacity: %+v", p)
+		}
+	}
+	last := r.Points[len(r.Points)-1]
+	if last.Offered > 2*r.NOXRate && last.NOX > 1.1*r.NOXRate {
+		t.Fatalf("NOX must saturate at high load: %+v", last)
+	}
+	if out := r.Render(); !strings.Contains(out, "F2") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigAuthorityScalingShape(t *testing.T) {
+	r := FigAuthorityScaling(Quick())
+	if len(r.Points) < 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Setups must grow with k (near-linear until offered load is met).
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Setups < r.Points[i-1].Setups {
+			t.Fatalf("throughput must not shrink with more authorities: %+v", r.Points)
+		}
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	growth := last.Setups / first.Setups
+	kGrowth := float64(last.Authorities) / float64(first.Authorities)
+	if growth < 0.6*kGrowth {
+		t.Fatalf("scaling too sublinear: %vx setups for %vx authorities", growth, kGrowth)
+	}
+	if out := r.Render(); !strings.Contains(out, "F3") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigPartitionTCAMShape(t *testing.T) {
+	r := FigPartitionTCAM(Quick())
+	byNet := map[string][]PartitionPoint{}
+	for _, p := range r.Points {
+		byNet[p.Network] = append(byNet[p.Network], p)
+	}
+	for net, pts := range byNet {
+		// Per-switch load must decay as k grows.
+		first, last := pts[0], pts[len(pts)-1]
+		if first.Authorities != 1 {
+			t.Fatalf("%s: first point must be k=1", net)
+		}
+		if last.MaxEntries >= first.MaxEntries {
+			t.Fatalf("%s: load must fall with k: %+v", net, pts)
+		}
+		// And stay within a small factor of ideal n/k.
+		ideal := float64(last.Rules) / float64(last.Authorities)
+		if float64(last.MaxEntries) > 6*ideal {
+			t.Fatalf("%s: max entries %d too far above ideal %v", net, last.MaxEntries, ideal)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "F4") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigSplitOverheadShape(t *testing.T) {
+	r := FigSplitOverhead(Quick())
+	for _, p := range r.Points {
+		if p.Overhead < 1.0 {
+			t.Fatalf("impossible overhead: %+v", p)
+		}
+		if p.Overhead > 6.0 {
+			t.Fatalf("overhead out of band: %+v", p)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "F5") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigCacheMissShape(t *testing.T) {
+	r := FigCacheMiss(Quick())
+	byStrat := map[core.CacheStrategy][]CacheMissPoint{}
+	for _, p := range r.Points {
+		byStrat[p.Strategy] = append(byStrat[p.Strategy], p)
+	}
+	for strat, pts := range byStrat {
+		if len(pts) < 2 {
+			t.Fatalf("%v: too few points", strat)
+		}
+		// Miss rate must fall (weakly) as the cache grows, and the largest
+		// cache must beat the smallest clearly.
+		first, last := pts[0], pts[len(pts)-1]
+		if last.MissRate > first.MissRate {
+			t.Fatalf("%v: miss rate must fall with cache size: %+v", strat, pts)
+		}
+	}
+	// Cover must beat dependent-set at the smallest cache size on this
+	// dependency-heavy policy.
+	cover := byStrat[core.StrategyCover][0]
+	dep := byStrat[core.StrategyDependent][0]
+	if cover.MissRate > dep.MissRate*1.05 {
+		t.Fatalf("cover (%v) must not lose to dependent-set (%v) at small caches",
+			cover.MissRate, dep.MissRate)
+	}
+	if out := r.Render(); !strings.Contains(out, "F6") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigStretchShape(t *testing.T) {
+	r := FigStretch(Quick())
+	if len(r.Dists) != len(r.Ks) {
+		t.Fatal("dist per k")
+	}
+	for i := range r.Ks {
+		if r.Dists[i].N() == 0 {
+			t.Fatalf("k=%d: no stretch samples", r.Ks[i])
+		}
+		if r.Dists[i].Min() < 1.0 {
+			t.Fatalf("stretch below 1 impossible: %v", r.Dists[i].Min())
+		}
+	}
+	// More authorities must not worsen mean stretch.
+	if r.Dists[len(r.Dists)-1].Mean() > r.Dists[0].Mean()*1.1 {
+		t.Fatalf("stretch must improve with more authorities: k=1 %v vs k=max %v",
+			r.Dists[0].Mean(), r.Dists[len(r.Dists)-1].Mean())
+	}
+	if out := r.Render(); !strings.Contains(out, "F7") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigFailoverShape(t *testing.T) {
+	r := FigFailover(Quick())
+	// With a backup, losses are bounded by the failover window; without,
+	// everything after the failure is lost.
+	if r.WithBackupDelivered == 0 {
+		t.Fatal("backup config must deliver after convergence")
+	}
+	if r.WithoutBackupDelivered != 0 {
+		t.Fatalf("single-authority config must lose all post-failure flows, delivered %d",
+			r.WithoutBackupDelivered)
+	}
+	if r.WithBackupLost >= r.WithoutBackupLost {
+		t.Fatalf("backup must reduce losses: %d vs %d", r.WithBackupLost, r.WithoutBackupLost)
+	}
+	if out := r.Render(); !strings.Contains(out, "F8") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigPolicyChangeShape(t *testing.T) {
+	r := FigPolicyChange(Quick())
+	// The stale window is bounded by the push delay (25 flows at 10ms
+	// spacing for a 250ms push), with scheduling jitter allowance.
+	bound := uint64(r.PushDelay/0.01) + 3
+	if r.StaleServed > bound {
+		t.Fatalf("stale-served %d exceeds push-delay bound %d", r.StaleServed, bound)
+	}
+	if r.ConvergedCorrect == 0 {
+		t.Fatal("post-convergence traffic must hit the new policy")
+	}
+	if out := r.Render(); !strings.Contains(out, "F9") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationCacheStrategyShape(t *testing.T) {
+	r := AblationCacheStrategy(Quick())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	var cover, dep, exact StrategyRow
+	for _, row := range r.Rows {
+		switch row.Strategy {
+		case core.StrategyCover:
+			cover = row
+		case core.StrategyDependent:
+			dep = row
+		case core.StrategyExact:
+			exact = row
+		}
+	}
+	// Dependent-set burns more cache rules than cover for the same traffic.
+	if dep.RulesSent <= cover.RulesSent {
+		t.Fatalf("dependent-set (%d rules) must send more than cover (%d)",
+			dep.RulesSent, cover.RulesSent)
+	}
+	// Exact matching generalizes worst: highest miss rate.
+	if exact.MissRate < cover.MissRate {
+		t.Fatalf("exact (%v) must miss at least as much as cover (%v)",
+			exact.MissRate, cover.MissRate)
+	}
+	if out := r.Render(); !strings.Contains(out, "A1") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationPartitionerShape(t *testing.T) {
+	r := AblationPartitioner(Quick())
+	for _, row := range r.Rows[1:] { // skip k=1 where both are equal-ish
+		if row.TreeMax >= row.ReplicateMax {
+			t.Fatalf("tree must beat replication at k=%d: %+v", row.Authorities, row)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "A2") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

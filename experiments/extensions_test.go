@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigCacheTimeoutShape(t *testing.T) {
+	r := FigCacheTimeout(Quick())
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Longer timeouts must not increase the miss rate, and "never" must
+	// hold at least as many resident entries as the shortest timeout.
+	shortest, never := r.Points[0], r.Points[len(r.Points)-1]
+	if never.MissRate > shortest.MissRate {
+		t.Fatalf("never-expire (%v) must not miss more than 0.5s timeout (%v)",
+			never.MissRate, shortest.MissRate)
+	}
+	if never.ResidentEntries < shortest.ResidentEntries {
+		t.Fatalf("never-expire must retain at least as many entries: %d vs %d",
+			never.ResidentEntries, shortest.ResidentEntries)
+	}
+	if out := r.Render(); !strings.Contains(out, "F10") || !strings.Contains(out, "never") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigControlLoadShape(t *testing.T) {
+	r := FigControlLoad(Quick())
+	if r.DIFANERuntime != 0 {
+		t.Fatalf("DIFANE runtime controller messages must be zero, got %d", r.DIFANERuntime)
+	}
+	// Reactive baseline pays ~1 message per new flow.
+	perFlow := float64(r.NOXRuntime) / float64(r.Flows)
+	if perFlow < 0.9 || perFlow > 1.1 {
+		t.Fatalf("NOX msgs/flow = %v, want ~1", perFlow)
+	}
+	if r.DIFANEProactive == 0 {
+		t.Fatal("DIFANE must have proactive installs")
+	}
+	if out := r.Render(); !strings.Contains(out, "F11") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestFigLinkLoadShape(t *testing.T) {
+	r := FigLinkLoad(Quick())
+	if len(r.Points) != 4 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	first, last := r.Points[0], r.Points[len(r.Points)-1]
+	// More replicated authorities must shed load off the hottest link and
+	// reduce total traversals (shorter detours).
+	if last.MaxLoad >= first.MaxLoad {
+		t.Fatalf("hottest link must cool with more authorities: %d -> %d",
+			first.MaxLoad, last.MaxLoad)
+	}
+	if last.DetourShare > 1.0 {
+		t.Fatalf("k=8 must not traverse more links than k=1: %v", last.DetourShare)
+	}
+	for _, p := range r.Points {
+		if p.Concentration < 1 {
+			t.Fatalf("concentration below 1 impossible: %+v", p)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "F12") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationRebalanceShape(t *testing.T) {
+	r := AblationRebalance(Quick())
+	// Rebalancing must reduce the concentration and not reduce setups.
+	if r.LoadAfter >= r.LoadBefore {
+		t.Fatalf("rebalance must spread load: before %.2f after %.2f", r.LoadBefore, r.LoadAfter)
+	}
+	if float64(r.AfterSetups) < 0.95*float64(r.BeforeSetups) {
+		t.Fatalf("rebalance must not reduce throughput: %d -> %d", r.BeforeSetups, r.AfterSetups)
+	}
+	if out := r.Render(); !strings.Contains(out, "A4") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationEvictionShape(t *testing.T) {
+	r := AblationEviction(Quick())
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MissRate <= 0 || row.MissRate > 1 {
+			t.Fatalf("implausible miss rate: %+v", row)
+		}
+		if row.Evictions == 0 {
+			t.Fatalf("a %d-entry cache under this trace must evict: %+v", r.CacheSize, row)
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "A3") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

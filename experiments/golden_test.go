@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden experiment outputs")
+
+// TestGoldenOutputs locks the rendered output of the deterministic
+// experiments (the ones with no service-rate randomness sensitivity) at
+// quick scale. Any change to generators, the partitioner, or rendering
+// shows up as a readable diff. Refresh intentionally with:
+//
+//	go test ./experiments -run Golden -update-golden
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		render func() string
+	}{
+		{"t1_networks", func() string { return TableNetworks(Quick()).Render() }},
+		{"f4_partition_tcam", func() string { return FigPartitionTCAM(Quick()).Render() }},
+		{"f5_split_overhead", func() string { return FigSplitOverhead(Quick()).Render() }},
+		{"a2_partitioner", func() string { return AblationPartitioner(Quick()).Render() }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.render()
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("output changed from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					path, got, want)
+			}
+		})
+	}
+}

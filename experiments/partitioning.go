@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"difane/internal/core"
+	"difane/internal/metrics"
+	"difane/internal/workload"
+)
+
+// --- F4: TCAM entries per authority switch vs k --------------------------------
+
+// PartitionPoint is one (network, k) sample.
+type PartitionPoint struct {
+	Network     string
+	Authorities int
+	MaxEntries  int // largest per-authority TCAM load
+	Total       int // total entries across partitions
+	Rules       int // original rule count
+}
+
+// PartitionTCAMResult is the F4 sweep.
+type PartitionTCAMResult struct{ Points []PartitionPoint }
+
+// leafFor sizes the partitioner's leaf capacity for k authority switches:
+// half the even share, floored so pathological over-splitting (every leaf
+// re-carrying the broad rules) cannot occur at small test scales.
+func leafFor(rules, k int) int {
+	leaf := rules/(2*k) + 1
+	if leaf < 16 {
+		leaf = 16
+	}
+	return leaf
+}
+
+// FigPartitionTCAM sweeps the number of authority switches for each
+// network and reports the largest per-switch TCAM load: the paper's claim
+// is near-1/k decay with small splitting overhead.
+func FigPartitionTCAM(o Options) *PartitionTCAMResult {
+	ks := []int{1, 2, 4, 8, 16, 32, 64}
+	if o.Scale < workload.ScaleBench {
+		ks = []int{1, 2, 4, 8}
+	}
+	res := &PartitionTCAMResult{}
+	for _, spec := range workload.AllNetworks(o.Seed, o.Scale) {
+		for _, k := range ks {
+			auths := make([]uint32, k)
+			for i := range auths {
+				auths[i] = uint32(i + 1)
+			}
+			parts := core.BuildPartitions(spec.Policy, core.PartitionConfig{
+				MaxRulesPerPartition: leafFor(len(spec.Policy), k),
+			})
+			a, err := core.Assign(parts, auths)
+			if err != nil {
+				panic(err)
+			}
+			max := 0
+			for _, load := range a.LoadPerAuthority() {
+				if load > max {
+					max = load
+				}
+			}
+			res.Points = append(res.Points, PartitionPoint{
+				Network:     spec.Name,
+				Authorities: k,
+				MaxEntries:  max,
+				Total:       core.TotalEntries(parts),
+				Rules:       len(spec.Policy),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the F4 table.
+func (r *PartitionTCAMResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("F4", "TCAM entries per authority switch vs k"))
+	var tb metrics.Table
+	tb.AddRow("network", "k", "max-entries/switch", "ideal(n/k)", "total")
+	for _, p := range r.Points {
+		tb.AddRowf(p.Network, p.Authorities, p.MaxEntries, p.Rules/p.Authorities, p.Total)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// --- F5: rule-splitting overhead ----------------------------------------------
+
+// SplitPoint is one (network, k) overhead sample.
+type SplitPoint struct {
+	Network     string
+	Authorities int
+	Overhead    float64 // total entries ÷ original rules
+}
+
+// SplitOverheadResult is the F5 sweep.
+type SplitOverheadResult struct{ Points []SplitPoint }
+
+// FigSplitOverhead reports the duplication cost of rule splitting as the
+// partition count grows — the paper reports a modest factor even at many
+// partitions.
+func FigSplitOverhead(o Options) *SplitOverheadResult {
+	ks := []int{2, 4, 8, 16, 32, 64, 128}
+	if o.Scale < workload.ScaleBench {
+		ks = []int{2, 8, 32}
+	}
+	res := &SplitOverheadResult{}
+	for _, spec := range workload.AllNetworks(o.Seed, o.Scale) {
+		for _, k := range ks {
+			parts := core.BuildPartitions(spec.Policy, core.PartitionConfig{
+				MaxRulesPerPartition: leafFor(len(spec.Policy), k),
+			})
+			res.Points = append(res.Points, SplitPoint{
+				Network:     spec.Name,
+				Authorities: k,
+				Overhead:    float64(core.TotalEntries(parts)) / float64(len(spec.Policy)),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the F5 table.
+func (r *SplitOverheadResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("F5", "rule-splitting overhead vs partitions"))
+	var tb metrics.Table
+	tb.AddRow("network", "k", "entries/rules")
+	for _, p := range r.Points {
+		tb.AddRowf(p.Network, p.Authorities, p.Overhead)
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// --- F6: cache miss rate vs cache size -----------------------------------------
+
+// CacheMissPoint is one (strategy, size) sample.
+type CacheMissPoint struct {
+	Strategy  core.CacheStrategy
+	CacheSize int
+	MissRate  float64 // redirected packets ÷ total forwarded packets
+}
+
+// CacheMissResult is the F6 sweep.
+type CacheMissResult struct {
+	Points  []CacheMissPoint
+	Packets uint64
+}
+
+// FigCacheMiss replays a Zipf flow trace over the campus policy with
+// varying ingress cache sizes and strategies. Shape: misses fall steeply
+// with cache size (Zipf traffic); cover-set needs far fewer entries than
+// dependent-set on dependency-heavy policies.
+func FigCacheMiss(o Options) *CacheMissResult {
+	spec := workload.CampusNetwork(o.Seed, o.Scale)
+	flows := workload.GenerateTraffic(spec, workload.TrafficConfig{
+		Flows: scaleInt(o, 30000), Rate: 5000,
+		Population: scaleInt(o, 20000), ZipfAlpha: 1.3,
+		PacketsMean: 4, Seed: o.Seed + 20,
+	})
+	sizes := []int{16, 64, 256, 1024, 4096}
+	if o.Scale < workload.ScaleBench {
+		sizes = []int{16, 128, 1024}
+	}
+	res := &CacheMissResult{}
+	for _, strat := range []core.CacheStrategy{core.StrategyCover, core.StrategyDependent, core.StrategyExact} {
+		for _, size := range sizes {
+			auths := core.PlaceAuthorities(spec.Graph, 2)
+			dn, err := core.NewNetwork(spec.Graph, auths, spec.Policy, core.NetworkConfig{
+				Strategy:      strat,
+				CacheCapacity: size,
+				Partition:     core.PartitionConfig{MaxRulesPerPartition: len(spec.Policy)/2 + 1},
+			})
+			if err != nil {
+				panic(err)
+			}
+			runTrace(dn.InjectPacket, dn.Run, flows)
+			total := dn.M.Delivered + dn.M.Drops.Policy
+			if total == 0 {
+				continue
+			}
+			res.Packets = total
+			res.Points = append(res.Points, CacheMissPoint{
+				Strategy:  strat,
+				CacheSize: size,
+				MissRate:  float64(dn.M.Redirects) / float64(total),
+			})
+		}
+	}
+	return res
+}
+
+// Render prints the F6 table.
+func (r *CacheMissResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("F6", "cache miss rate vs ingress cache size (Zipf trace, campus)"))
+	var tb metrics.Table
+	tb.AddRow("strategy", "cache-size", "miss-rate")
+	for _, p := range r.Points {
+		tb.AddRow(p.Strategy.String(), fmt.Sprintf("%d", p.CacheSize),
+			fmt.Sprintf("%.4f", p.MissRate))
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}
+
+// --- F7: stretch CDF ------------------------------------------------------------
+
+// StretchResult maps authority counts to miss-traffic stretch
+// distributions.
+type StretchResult struct {
+	Ks     []int
+	Dists  []metrics.Dist
+	Placed [][]uint32
+}
+
+// FigStretch measures the path stretch of redirected (first) packets on
+// the campus topology as the number of authority switches grows: more
+// authorities put one closer to any ingress, shrinking the detour.
+func FigStretch(o Options) *StretchResult {
+	spec := workload.CampusNetwork(o.Seed, o.Scale)
+	flows := workload.UniformTraffic(spec, workload.TrafficConfig{
+		Flows: scaleInt(o, 10000), Rate: 5000, Seed: o.Seed + 30,
+	})
+	ks := []int{1, 2, 4, 8}
+	res := &StretchResult{Ks: ks}
+	for _, k := range ks {
+		auths := core.PlaceAuthorities(spec.Graph, k)
+		// Full replication: every partition at every authority switch, so
+		// each ingress redirects to its nearest authority. This is the
+		// TCAM-for-stretch trade the experiment quantifies.
+		dn, err := core.NewNetwork(spec.Graph, auths, spec.Policy, core.NetworkConfig{
+			Strategy:    core.StrategyCover,
+			Replication: k,
+			Partition:   core.PartitionConfig{MaxRulesPerPartition: len(spec.Policy)/k + 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		runTrace(dn.InjectPacket, dn.Run, flows)
+		res.Dists = append(res.Dists, dn.M.Stretch)
+		res.Placed = append(res.Placed, auths)
+	}
+	return res
+}
+
+// Render prints the F7 quantiles.
+func (r *StretchResult) Render() string {
+	var b strings.Builder
+	b.WriteString(header("F7", "path stretch of redirected packets vs # authorities (campus)"))
+	var tb metrics.Table
+	tb.AddRow("k", "p50", "p90", "p99", "mean", "samples")
+	for i, k := range r.Ks {
+		d := &r.Dists[i]
+		tb.AddRowf(k, d.Percentile(50), d.Percentile(90), d.Percentile(99), d.Mean(), d.N())
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

@@ -1,0 +1,3 @@
+module difane
+
+go 1.22

@@ -1,0 +1,185 @@
+// Package baseline implements the Ethane/NOX-style reactive architecture
+// DIFANE is evaluated against: every flow's first packet is buffered at the
+// ingress switch and punted to a central controller, which evaluates the
+// policy, installs an exact-match microflow rule, and releases the packet.
+// The controller's finite processing rate and round-trip latency are the
+// bottlenecks the comparison figures measure.
+package baseline
+
+import (
+	"fmt"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+	"difane/internal/sim"
+	"difane/internal/switchsim"
+	"difane/internal/tcam"
+	"difane/internal/topo"
+)
+
+// Config tunes the reactive baseline.
+type Config struct {
+	// ControllerNode is the switch the controller attaches to; control
+	// messages traverse the data network to it.
+	ControllerNode uint32
+	// ControllerRate is flow setups per second the controller sustains
+	// (NOX-era controllers manage a few tens of thousands).
+	ControllerRate float64
+	// ControllerQueue bounds pending setups (0 = unbounded); overflow
+	// first packets are dropped.
+	ControllerQueue int
+	// SetupOverhead is fixed per-setup processing latency beyond queueing
+	// (OS, serialization) in seconds.
+	SetupOverhead float64
+	// CacheCapacity bounds the per-switch microflow table (0 = unlimited).
+	CacheCapacity int
+	// RuleIdle / RuleHard are the microflow rule timeouts.
+	RuleIdle float64
+	RuleHard float64
+}
+
+// Network is a reactive-controller deployment over a topology.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Graph
+
+	Switches map[uint32]*switchsim.Switch
+	ctrl     *sim.Station
+	cfg      Config
+	policy   []flowspace.Rule
+
+	nextRuleID uint64
+
+	// M aggregates the same measurements as the DIFANE network, so the
+	// comparison harness treats both uniformly.
+	M core.Measurements
+	// ControllerSetups counts setups the controller processed.
+	ControllerSetups uint64
+}
+
+// NewNetwork builds the baseline over the topology with the global policy.
+func NewNetwork(g *topo.Graph, policy []flowspace.Rule, cfg Config) (*Network, error) {
+	if !g.NodeUp(topo.NodeID(cfg.ControllerNode)) {
+		return nil, fmt.Errorf("baseline: controller node %d not in topology", cfg.ControllerNode)
+	}
+	n := &Network{
+		Eng:        sim.New(),
+		Topo:       g,
+		Switches:   make(map[uint32]*switchsim.Switch),
+		cfg:        cfg,
+		policy:     append([]flowspace.Rule(nil), policy...),
+		nextRuleID: 1 << 40,
+	}
+	n.ctrl = sim.NewStation(n.Eng, cfg.ControllerRate, cfg.ControllerQueue)
+	for _, id := range g.Nodes() {
+		n.Switches[uint32(id)] = switchsim.New(uint32(id), switchsim.Config{
+			CacheCapacity: cfg.CacheCapacity,
+			CacheEviction: tcam.EvictLRU,
+		})
+	}
+	return n, nil
+}
+
+// InjectPacket schedules one packet entering at the ingress switch.
+func (n *Network) InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
+	n.Eng.At(at, func() { n.process(at, ingress, k, size, seq) })
+}
+
+func (n *Network) process(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
+	now := n.Eng.Now()
+	sw, ok := n.Switches[ingress]
+	if !ok || !n.Topo.NodeUp(topo.NodeID(ingress)) {
+		n.M.Drops.Unreachable++
+		return
+	}
+	sw.Advance(now)
+	if res := sw.Classify(now, k, size); res.OK {
+		n.applyAction(injected, ingress, res.Rule.Action, seq)
+		return
+	}
+	// Miss: punt to the controller (packet-in), wait for service, then the
+	// rule comes back (flow-mod + packet-out) and the packet proceeds.
+	dIC, ok := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(n.cfg.ControllerNode))
+	if !ok {
+		n.M.Drops.Unreachable++
+		return
+	}
+	n.Eng.At(now+dIC, func() {
+		accepted := n.ctrl.Submit(func(done float64) {
+			n.controllerHandle(injected, ingress, k, size, seq, dIC)
+		})
+		if !accepted {
+			n.M.Drops.AuthorityQueue++ // controller queue, same bucket
+		}
+	})
+}
+
+func (n *Network) controllerHandle(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64, dIC float64) {
+	n.ControllerSetups++
+	rule, ok := flowspace.EvalTable(n.policy, k)
+	if !ok {
+		n.M.Drops.Hole++
+		return
+	}
+	// Exact-match microflow rule back to the ingress switch.
+	n.nextRuleID++
+	exact := flowspace.Rule{
+		ID:       n.nextRuleID,
+		Priority: rule.Priority,
+		Match:    exactMatch(k),
+		Action:   rule.Action,
+	}
+	arriveBack := n.Eng.Now() + n.cfg.SetupOverhead + dIC
+	n.Eng.At(arriveBack, func() {
+		sw := n.Switches[ingress]
+		mod := proto.FlowMod{Table: proto.TableCache, Op: proto.OpAdd, Rule: exact,
+			Idle: n.cfg.RuleIdle, Hard: n.cfg.RuleHard}
+		_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
+		// The buffered packet is released and follows the rule.
+		n.applyAction(injected, ingress, rule.Action, seq)
+	})
+}
+
+func (n *Network) applyAction(injected float64, ingress uint32, a flowspace.Action, seq uint64) {
+	now := n.Eng.Now()
+	switch a.Kind {
+	case flowspace.ActDrop:
+		n.M.Drops.Policy++
+		if seq == 0 {
+			n.M.SetupsCompleted++
+		}
+	case flowspace.ActForward, flowspace.ActCount:
+		d, ok := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(a.Arg))
+		if !ok {
+			n.M.Drops.Unreachable++
+			return
+		}
+		n.Eng.At(now+d, func() {
+			n.M.Delivered++
+			delay := n.Eng.Now() - injected
+			if seq == 0 {
+				n.M.FirstPacketDelay.Add(delay)
+				n.M.SetupsCompleted++
+			} else {
+				n.M.LaterPacketDelay.Add(delay)
+			}
+		})
+	default:
+		n.M.Drops.Hole++
+	}
+}
+
+func exactMatch(k flowspace.Key) flowspace.Match {
+	m := flowspace.MatchAll()
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		m = m.WithExact(f, k[f])
+	}
+	return m
+}
+
+// Run drives the simulation to the horizon.
+func (n *Network) Run(horizon float64) { n.Eng.Run(horizon) }
+
+// ControllerBacklog returns the pending-setup queue length.
+func (n *Network) ControllerBacklog() int { return n.ctrl.Backlog() }

@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"testing"
+
+	"difane/internal/flowspace"
+	"difane/internal/topo"
+)
+
+func testPolicy() []flowspace.Rule {
+	return []flowspace.Rule{
+		{ID: 1, Priority: 10,
+			Match:  flowspace.MatchAll().WithExact(flowspace.FTPDst, 80),
+			Action: flowspace.Action{Kind: flowspace.ActForward, Arg: 4}},
+		{ID: 2, Priority: 0, Match: flowspace.MatchAll(),
+			Action: flowspace.Action{Kind: flowspace.ActDrop}},
+	}
+}
+
+func flowKey(src uint32, port uint64) flowspace.Key {
+	var k flowspace.Key
+	k[flowspace.FIPSrc] = uint64(src)
+	k[flowspace.FTPDst] = port
+	return k
+}
+
+func newNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	g := topo.Linear(5, 0.001)
+	if cfg.ControllerNode == 0 {
+		cfg.ControllerNode = 2
+	}
+	n, err := NewNetwork(g, testPolicy(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFirstPacketWaitsForControllerRoundTrip(t *testing.T) {
+	n := newNet(t, Config{SetupOverhead: 0.010})
+	n.InjectPacket(0, 0, flowKey(1, 80), 100, 0)
+	n.Run(1)
+	if n.M.Delivered != 1 {
+		t.Fatalf("delivered = %d drops=%+v", n.M.Delivered, n.M.Drops)
+	}
+	// 2ms to controller + 10ms overhead + 2ms back + 4ms to egress = 18ms.
+	d := n.M.FirstPacketDelay.Mean()
+	if d < 0.0179 || d > 0.0181 {
+		t.Fatalf("first packet delay = %v, want ~18ms", d)
+	}
+	if n.ControllerSetups != 1 {
+		t.Fatalf("controller setups = %d", n.ControllerSetups)
+	}
+}
+
+func TestSecondPacketUsesMicroflowRule(t *testing.T) {
+	n := newNet(t, Config{})
+	n.InjectPacket(0, 0, flowKey(1, 80), 100, 0)
+	n.InjectPacket(0.5, 0, flowKey(1, 80), 100, 1)
+	n.Run(1)
+	if n.ControllerSetups != 1 {
+		t.Fatalf("second packet must not reach the controller: %d", n.ControllerSetups)
+	}
+	d := n.M.LaterPacketDelay.Mean()
+	if d < 0.0039 || d > 0.0041 {
+		t.Fatalf("later packet delay = %v, want direct 4ms", d)
+	}
+}
+
+func TestMicroflowRuleIsExact(t *testing.T) {
+	// A different source hitting the same wildcard policy rule must still
+	// punt to the controller — exact-match caching shares nothing.
+	n := newNet(t, Config{})
+	n.InjectPacket(0, 0, flowKey(1, 80), 100, 0)
+	n.InjectPacket(0.5, 0, flowKey(2, 80), 100, 0)
+	n.Run(1)
+	if n.ControllerSetups != 2 {
+		t.Fatalf("controller setups = %d, want 2", n.ControllerSetups)
+	}
+}
+
+func TestControllerSaturates(t *testing.T) {
+	n := newNet(t, Config{ControllerRate: 50, ControllerQueue: 10})
+	for i := 0; i < 500; i++ {
+		n.InjectPacket(float64(i)*0.001, 0, flowKey(uint32(i+10), 80), 100, 0)
+	}
+	n.Run(1)
+	if n.M.Drops.AuthorityQueue == 0 {
+		t.Fatal("overloaded controller must shed setups")
+	}
+	// Completions bounded by rate × time.
+	if n.M.SetupsCompleted > 60 {
+		t.Fatalf("setups completed = %d exceeds controller capacity", n.M.SetupsCompleted)
+	}
+}
+
+func TestPolicyDrop(t *testing.T) {
+	n := newNet(t, Config{})
+	n.InjectPacket(0, 0, flowKey(1, 22), 100, 0)
+	n.Run(1)
+	if n.M.Drops.Policy != 1 || n.M.SetupsCompleted != 1 {
+		t.Fatalf("drops=%+v setups=%d", n.M.Drops, n.M.SetupsCompleted)
+	}
+}
+
+func TestPolicyHole(t *testing.T) {
+	g := topo.Linear(3, 0.001)
+	n, err := NewNetwork(g, nil, Config{ControllerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.InjectPacket(0, 0, flowKey(1, 80), 100, 0)
+	n.Run(1)
+	if n.M.Drops.Hole != 1 {
+		t.Fatalf("drops = %+v", n.M.Drops)
+	}
+}
+
+func TestRuleTimeoutReSetup(t *testing.T) {
+	n := newNet(t, Config{RuleIdle: 1})
+	n.InjectPacket(0, 0, flowKey(1, 80), 100, 0)
+	n.InjectPacket(5, 0, flowKey(1, 80), 100, 1)
+	n.Run(10)
+	if n.ControllerSetups != 2 {
+		t.Fatalf("expired microflow must re-setup: %d", n.ControllerSetups)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := topo.Linear(3, 0.001)
+	if _, err := NewNetwork(g, nil, Config{ControllerNode: 99}); err == nil {
+		t.Fatal("controller outside topology must error")
+	}
+}
+
+func TestControllerUnreachableAfterPartition(t *testing.T) {
+	n := newNet(t, Config{})
+	n.Topo.SetNode(1, false) // cut 0 off from controller at 2
+	n.InjectPacket(0, 0, flowKey(1, 80), 100, 0)
+	n.Run(1)
+	if n.M.Drops.Unreachable != 1 {
+		t.Fatalf("drops = %+v", n.M.Drops)
+	}
+}

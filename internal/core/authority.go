@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+)
+
+// CacheStrategy selects how an authority switch turns a rule hit into
+// cache rules for the ingress switch.
+type CacheStrategy int
+
+const (
+	// StrategyCover generates a single wildcard cache rule covering the
+	// packet, clipped to the partition and carved out of every
+	// higher-priority overlapping rule — DIFANE's wildcard-safe caching.
+	StrategyCover CacheStrategy = iota
+	// StrategyDependent caches the matched rule together with all of its
+	// higher-priority overlapping rules (clipped to the partition). Simple
+	// and safe, but burns cache entries on deep dependency chains.
+	StrategyDependent
+	// StrategyExact caches a microflow exact-match rule for just this
+	// header — the Ethane-style fallback, safe but per-flow.
+	StrategyExact
+)
+
+func (s CacheStrategy) String() string {
+	switch s {
+	case StrategyCover:
+		return "cover"
+	case StrategyDependent:
+		return "dependent"
+	case StrategyExact:
+		return "exact"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// cacheIDBase offsets generated cache-rule IDs away from policy rule IDs.
+const cacheIDBase uint64 = 1 << 40
+
+// Authority is the control logic an authority switch runs for one
+// partition: answer cache misses with a forwarding decision plus cache
+// rules for the ingress switch.
+type Authority struct {
+	// SwitchID is the switch hosting this partition.
+	SwitchID uint32
+	// Partition holds the region and its clipped rules in TCAM order.
+	Partition Partition
+	// Strategy picks the cache-rule generation scheme.
+	Strategy CacheStrategy
+	// CacheIdleTimeout / CacheHardTimeout are applied to generated cache
+	// rules (seconds, 0 = none).
+	CacheIdleTimeout float64
+	CacheHardTimeout float64
+
+	// Misses counts handled cache misses; CacheRulesSent counts generated
+	// cache rules.
+	Misses         uint64
+	CacheRulesSent uint64
+
+	nextID uint64
+	// originOf maps generated cache-rule IDs back to the policy rule they
+	// stand for, preserving per-policy-rule accounting.
+	originOf map[uint64]uint64
+}
+
+// NewAuthority builds the authority logic for a partition.
+func NewAuthority(switchID uint32, p Partition, strategy CacheStrategy) *Authority {
+	return &Authority{
+		SwitchID:  switchID,
+		Partition: p,
+		Strategy:  strategy,
+		originOf:  make(map[uint64]uint64),
+	}
+}
+
+// OriginOf maps a generated cache-rule ID back to its policy rule ID (the
+// ID itself for rules cached verbatim).
+func (a *Authority) OriginOf(cacheID uint64) (uint64, bool) {
+	if cacheID < cacheIDBase {
+		return cacheID, true
+	}
+	id, ok := a.originOf[cacheID]
+	return id, ok
+}
+
+func (a *Authority) allocID(origin uint64) uint64 {
+	a.nextID++
+	id := cacheIDBase + (uint64(a.SwitchID) << 24) + a.nextID
+	a.originOf[id] = origin
+	return id
+}
+
+// MissResult is the authority's answer to one redirected packet.
+type MissResult struct {
+	// Rule is the policy rule that matched (clipped to the partition).
+	Rule flowspace.Rule
+	// CacheMods are the flow-mods to install at the ingress switch.
+	CacheMods []proto.FlowMod
+	// OK is false when no rule in the partition matches the packet — a
+	// policy hole (the packet is dropped).
+	OK bool
+}
+
+// HandleMiss processes a redirected packet: find the matching rule, decide
+// the action, and generate ingress cache rules per the strategy.
+func (a *Authority) HandleMiss(k flowspace.Key) MissResult {
+	a.Misses++
+	rules := a.Partition.Rules
+	hitRule, ok := flowspace.EvalTable(rules, k)
+	if !ok {
+		return MissResult{}
+	}
+	hit := -1
+	for i := range rules {
+		if rules[i].ID == hitRule.ID {
+			hit = i
+			break
+		}
+	}
+
+	var mods []proto.FlowMod
+	addMod := func(r flowspace.Rule) {
+		mods = append(mods, proto.FlowMod{
+			Table: proto.TableCache,
+			Op:    proto.OpAdd,
+			Rule:  r,
+			Idle:  a.CacheIdleTimeout,
+			Hard:  a.CacheHardTimeout,
+		})
+	}
+
+	switch a.Strategy {
+	case StrategyCover:
+		cover, coverOK := flowspace.CoverFor(rules, hit, a.Partition.Region, k)
+		if coverOK {
+			addMod(flowspace.Rule{
+				ID:       a.allocID(hitRule.ID),
+				Priority: hitRule.Priority,
+				Match:    cover,
+				Action:   hitRule.Action,
+			})
+			break
+		}
+		fallthrough // sliver the subtraction couldn't isolate: exact rule
+	case StrategyExact:
+		addMod(flowspace.Rule{
+			ID:       a.allocID(hitRule.ID),
+			Priority: hitRule.Priority,
+			Match:    exactMatch(k),
+			Action:   hitRule.Action,
+		})
+	case StrategyDependent:
+		// The matched rule plus everything above it that overlaps — cached
+		// verbatim (already clipped to the partition), so the ingress cache
+		// reproduces the partition's semantics for this region.
+		addMod(rules[hit])
+		for _, j := range flowspace.DependentSet(rules, hit) {
+			addMod(rules[j])
+		}
+	}
+	a.CacheRulesSent += uint64(len(mods))
+	return MissResult{Rule: hitRule, CacheMods: mods, OK: true}
+}
+
+func exactMatch(k flowspace.Key) flowspace.Match {
+	m := flowspace.MatchAll()
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		m = m.WithExact(f, k[f])
+	}
+	return m
+}

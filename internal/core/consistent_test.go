@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+	"difane/internal/topo"
+)
+
+func consistentNet(t *testing.T) (*Network, *Controller) {
+	t.Helper()
+	g := topo.Linear(4, 0.001)
+	permit := []flowspace.Rule{{
+		ID: 1, Priority: 1, Match: flowspace.MatchAll(),
+		Action: flowspace.Action{Kind: flowspace.ActForward, Arg: 3},
+	}}
+	n, err := NewNetwork(g, []uint32{1}, permit, NetworkConfig{Strategy: StrategyExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(n)
+	c.PolicyPushDelay = 0.1
+	return n, c
+}
+
+func denyPolicy() []flowspace.Rule {
+	return []flowspace.Rule{{
+		ID: 2, Priority: 1, Match: flowspace.MatchAll(),
+		Action: flowspace.Action{Kind: flowspace.ActDrop},
+	}}
+}
+
+func TestConsistentUpdateSwitchesPolicy(t *testing.T) {
+	n, c := consistentNet(t)
+	switchAt, cleanupAt, err := c.UpdatePolicyConsistent(denyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if switchAt <= n.Eng.Now() || cleanupAt <= switchAt {
+		t.Fatalf("phase times out of order: %v %v", switchAt, cleanupAt)
+	}
+	// Before the switch: permitted. After: dropped.
+	n.InjectPacket(switchAt-0.05, 0, flowKey(1, 80), 100, 0)
+	n.InjectPacket(switchAt+0.05, 0, flowKey(2, 80), 100, 0)
+	n.Run(cleanupAt + 1)
+	if n.M.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1 (pre-switch flow)", n.M.Delivered)
+	}
+	if n.M.Drops.Policy != 1 {
+		t.Fatalf("policy drops = %d, want 1 (post-switch flow)", n.M.Drops.Policy)
+	}
+	if c.PolicyVersion != 1 {
+		t.Fatalf("policy version = %d", c.PolicyVersion)
+	}
+}
+
+func TestConsistentUpdateNoHoleWindow(t *testing.T) {
+	// Inject a continuous stream across all three phases: every packet
+	// must be either delivered (old policy) or policy-dropped (new) —
+	// never lost to a hole or unreachable authority.
+	n, c := consistentNet(t)
+	_, cleanupAt, err := c.UpdatePolicyConsistent(denyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for at := 0.0; at < cleanupAt+0.5; at += 0.004 {
+		n.InjectPacket(at, 0, flowKey(uint32(1000+seq), 80), 100, 0)
+		seq++
+	}
+	n.Run(cleanupAt + 2)
+	handled := n.M.Delivered + n.M.Drops.Policy
+	if handled != seq {
+		t.Fatalf("handled %d of %d flows (drops %+v)", handled, seq, n.M.Drops)
+	}
+	if n.M.Drops.Hole != 0 || n.M.Drops.Unreachable != 0 {
+		t.Fatalf("consistent update must not lose packets: %+v", n.M.Drops)
+	}
+}
+
+func TestConsistentUpdateCleansOldGeneration(t *testing.T) {
+	n, c := consistentNet(t)
+	authSw := n.Switches[1]
+	before := authSw.Table(proto.TableAuthority).Len()
+	if before == 0 {
+		t.Fatal("authority must hold the initial rules")
+	}
+	switchAt, cleanupAt, err := c.UpdatePolicyConsistent(denyPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Between install and cleanup both generations coexist.
+	n.Run(switchAt + 0.01)
+	during := authSw.Table(proto.TableAuthority).Len()
+	if during <= before {
+		t.Fatalf("both generations must coexist mid-update: %d then %d", before, during)
+	}
+	n.Run(cleanupAt + 0.01)
+	after := authSw.Table(proto.TableAuthority).Len()
+	if after != 1 {
+		t.Fatalf("after cleanup the authority must hold only the new rule: %d", after)
+	}
+}
+
+func TestConsistentUpdateVersionsAreSequential(t *testing.T) {
+	n, c := consistentNet(t)
+	for i := 0; i < 3; i++ {
+		_, cleanupAt, err := c.UpdatePolicyConsistent(denyPolicy())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(cleanupAt + 0.1)
+	}
+	if c.PolicyVersion != 3 {
+		t.Fatalf("version = %d", c.PolicyVersion)
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+	"difane/internal/tcam"
+	"difane/internal/topo"
+)
+
+// Controller is DIFANE's (deliberately thin) central controller: it owns
+// the policy, runs the partitioning algorithm, distributes rules, and
+// reacts to network dynamics. It never sits on the data path.
+type Controller struct {
+	net *Network
+	// FailoverDelay models detection + rule-withdrawal time after an
+	// authority switch fails (seconds).
+	FailoverDelay float64
+	// PolicyPushDelay models distribution time for a policy update.
+	PolicyPushDelay float64
+
+	// PolicyVersion counts applied policy updates.
+	PolicyVersion int
+}
+
+// NewController attaches a controller to a network.
+func NewController(n *Network) *Controller {
+	return &Controller{net: n, FailoverDelay: 0.2, PolicyPushDelay: 0.05}
+}
+
+// Network returns the managed network.
+func (c *Controller) Network() *Network { return c.net }
+
+// OnAuthorityFailure schedules the failover: after FailoverDelay the
+// primary partition rules pointing at the failed switch are withdrawn from
+// every switch, exposing the pre-installed backup rules. Returns the time
+// at which the data plane converges.
+func (c *Controller) OnAuthorityFailure(failed uint32) float64 {
+	at := c.net.Eng.Now() + c.FailoverDelay
+	c.net.Eng.At(at, func() {
+		c.net.PromoteBackups(failed)
+	})
+	return at
+}
+
+// UpdatePolicy replaces the global policy: recompute partitions on the
+// same authority set, push the new authority and partition rules after
+// PolicyPushDelay, and invalidate all caches (stale cache rules would
+// otherwise serve the old policy until timeout). Returns the convergence
+// time.
+func (c *Controller) UpdatePolicy(policy []flowspace.Rule) (float64, error) {
+	parts := BuildPartitions(policy, c.net.cfg.Partition)
+	auths := make([]uint32, 0, len(c.net.authSt))
+	for id := range c.net.authSt {
+		auths = append(auths, id)
+	}
+	sortU32(auths)
+	assign, err := AssignWithReplication(parts, auths, c.net.cfg.Replication)
+	if err != nil {
+		return 0, err
+	}
+	at := c.net.Eng.Now() + c.PolicyPushDelay
+	c.net.Eng.At(at, func() {
+		c.net.reinstall(policy, assign)
+		c.PolicyVersion++
+	})
+	return at, nil
+}
+
+// UpdatePolicyConsistent performs a make-before-break policy update: the
+// new partitions' authority rules are installed alongside the old ones
+// first, then the partition rules are switched and caches invalidated in
+// a second step, and finally the old authority rules are removed. Unlike
+// UpdatePolicy, there is no window in which a redirected packet can reach
+// an authority switch that lacks rules for it — the price is transiently
+// doubled authority TCAM occupancy.
+//
+// Returns (switchAt, cleanupAt): when the data plane starts following the
+// new policy, and when the old rules are gone.
+func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, float64, error) {
+	parts := BuildPartitions(policy, c.net.cfg.Partition)
+	auths := make([]uint32, 0, len(c.net.authSt))
+	for id := range c.net.authSt {
+		auths = append(auths, id)
+	}
+	sortU32(auths)
+	assign, err := AssignWithReplication(parts, auths, c.net.cfg.Replication)
+	if err != nil {
+		return 0, 0, err
+	}
+	n := c.net
+	// Phase 1: push the new authority rules (re-keyed so they coexist with
+	// the old generation) at t+push.
+	installAt := n.Eng.Now() + c.PolicyPushDelay
+	generation := uint64(c.PolicyVersion+1) << 32
+	staged := stageAssignment(assign, generation)
+	n.Eng.At(installAt, func() {
+		for i, p := range staged.Partitions {
+			for _, host := range staged.ReplicasFor(i) {
+				sw := n.Switches[host]
+				for _, r := range p.Rules {
+					mod := authorityAdd(r)
+					_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
+				}
+			}
+		}
+	})
+	// Phase 2: atomically switch partition rules + handlers + caches.
+	switchAt := installAt + c.PolicyPushDelay
+	n.Eng.At(switchAt, func() {
+		n.Policy = append([]flowspace.Rule(nil), policy...)
+		n.Assignment = staged
+		n.authorityAt = make(map[uint32][]*Authority)
+		for i, p := range staged.Partitions {
+			for _, host := range staged.ReplicasFor(i) {
+				auth := NewAuthority(host, p, n.cfg.Strategy)
+				auth.CacheIdleTimeout = n.cfg.CacheIdle
+				auth.CacheHardTimeout = n.cfg.CacheHard
+				n.authorityAt[host] = append(n.authorityAt[host], auth)
+			}
+		}
+		n.installPartitionRules()
+		for _, sw := range n.Switches {
+			sw.ClearCache()
+		}
+		c.PolicyVersion++
+	})
+	// Phase 3: garbage-collect the previous generation's authority rules.
+	cleanupAt := switchAt + c.PolicyPushDelay
+	n.Eng.At(cleanupAt, func() {
+		for _, sw := range n.Switches {
+			sw.Table(proto.TableAuthority).DeleteWhere(func(e tcam.Entry) bool {
+				return e.Rule.ID < generation
+			})
+		}
+	})
+	return switchAt, cleanupAt, nil
+}
+
+// stageAssignment re-keys every clipped rule ID into a generation band so
+// two policy generations can coexist in one authority TCAM. Priorities are
+// untouched: within a partition's region the rules remain internally
+// consistent, and the old and new generations only ever serve disjoint
+// time windows (the partition-rule switch is the commit point); the
+// handler evaluates its own generation's rule list, not the shared TCAM.
+func stageAssignment(a Assignment, generation uint64) Assignment {
+	out := a
+	out.Partitions = make([]Partition, len(a.Partitions))
+	for i, p := range a.Partitions {
+		rules := make([]flowspace.Rule, len(p.Rules))
+		for j, r := range p.Rules {
+			r.ID = generation | (r.ID & 0xFFFFFFFF)
+			rules[j] = r
+		}
+		out.Partitions[i] = Partition{Region: p.Region, Rules: rules}
+	}
+	return out
+}
+
+// OnTopologyChange re-derives every switch's nearest-replica partition
+// rules after link or node state changed (a failed link can make a
+// different replica closest, or the previous target unreachable). The
+// refresh lands after FailoverDelay, modeling detection + push. Returns
+// the convergence time.
+func (c *Controller) OnTopologyChange() float64 {
+	at := c.net.Eng.Now() + c.FailoverDelay
+	c.net.Eng.At(at, func() {
+		c.net.installPartitionRules()
+	})
+	return at
+}
+
+// InvalidateHost removes cache rules whose match could apply to the given
+// host address (source or destination) from every switch — the targeted
+// invalidation DIFANE uses for host mobility. Returns entries removed.
+func (c *Controller) InvalidateHost(ip uint32) int {
+	total := 0
+	for _, sw := range c.net.Switches {
+		tb := sw.Table(proto.TableCache)
+		total += tb.DeleteWhere(func(e tcam.Entry) bool {
+			srcHit := e.Rule.Match.Fields[flowspace.FIPSrc].Matches(uint64(ip))
+			dstHit := e.Rule.Match.Fields[flowspace.FIPDst].Matches(uint64(ip))
+			return srcHit || dstHit
+		})
+	}
+	return total
+}
+
+// reinstall atomically swaps the network onto a new policy + assignment.
+func (n *Network) reinstall(policy []flowspace.Rule, assign Assignment) {
+	n.Policy = append([]flowspace.Rule(nil), policy...)
+	n.Assignment = assign
+	n.authorityAt = make(map[uint32][]*Authority)
+	everything := func(tcam.Entry) bool { return true }
+	for _, sw := range n.Switches {
+		// Drop all derived state: caches, authority rules, partition rules.
+		sw.ClearCache()
+		sw.Table(proto.TableAuthority).DeleteWhere(everything)
+		sw.Table(proto.TablePartition).DeleteWhere(everything)
+	}
+	n.installAssignment()
+}
+
+// sortU32 sorts ascending without pulling in sort for one call site... it
+// actually just delegates; kept tiny for clarity.
+func sortU32(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// PlaceAuthorities picks k authority switches spread over the topology
+// using a greedy farthest-point heuristic seeded at the lowest node ID —
+// the placement knob the stretch experiment sweeps.
+func PlaceAuthorities(g *topo.Graph, k int) []uint32 {
+	nodes := g.Nodes()
+	if len(nodes) == 0 || k <= 0 {
+		return nil
+	}
+	if k > len(nodes) {
+		k = len(nodes)
+	}
+	chosen := []topo.NodeID{nodes[0]}
+	for len(chosen) < k {
+		var best topo.NodeID
+		bestDist := -1.0
+		for _, cand := range nodes {
+			already := false
+			for _, c := range chosen {
+				if c == cand {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			// Distance to the nearest chosen authority.
+			nearest := -1.0
+			for _, c := range chosen {
+				if d, ok := g.Dist(cand, c); ok {
+					if nearest < 0 || d < nearest {
+						nearest = d
+					}
+				}
+			}
+			if nearest > bestDist {
+				best, bestDist = cand, nearest
+			}
+		}
+		if bestDist < 0 {
+			break
+		}
+		chosen = append(chosen, best)
+	}
+	out := make([]uint32, len(chosen))
+	for i, c := range chosen {
+		out[i] = uint32(c)
+	}
+	return out
+}

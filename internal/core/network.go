@@ -1,0 +1,515 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"difane/internal/flowspace"
+	"difane/internal/metrics"
+	"difane/internal/packet"
+	"difane/internal/proto"
+	"difane/internal/sim"
+	"difane/internal/switchsim"
+	"difane/internal/tcam"
+	"difane/internal/topo"
+)
+
+// NetworkConfig tunes the simulated DIFANE deployment.
+type NetworkConfig struct {
+	// Strategy picks the cache-rule generation scheme.
+	Strategy CacheStrategy
+	// CacheCapacity bounds each ingress switch's cache table (0 = unlimited).
+	CacheCapacity int
+	// CacheIdle / CacheHard are timeouts for generated cache rules.
+	CacheIdle float64
+	CacheHard float64
+	// CacheEviction picks the victim policy for full caches.
+	CacheEviction EvictionChoice
+	// AuthorityRate is each authority switch's miss-handling capacity in
+	// flows per second (0 = infinitely fast). The paper's software-assisted
+	// authority switch sustains on the order of several hundred thousand
+	// flow setups per second.
+	AuthorityRate float64
+	// AuthorityQueue bounds the authority's pending-miss queue; overflow
+	// packets are dropped (0 = unbounded).
+	AuthorityQueue int
+	// InstallDelay is the extra control-path delay between an authority
+	// deciding a cache rule and the ingress switch having it installed,
+	// on top of the authority→ingress propagation delay.
+	InstallDelay float64
+	// Replication is the number of authority switches each partition is
+	// hosted at (minimum 2 when possible). More replicas cost TCAM but
+	// shorten redirect detours, since every ingress targets its nearest
+	// replica.
+	Replication int
+	// HopByHop enables per-link load accounting: packets are walked along
+	// their shortest paths and every directed-link traversal is counted in
+	// Network.LinkLoads. Delays are unchanged (shortest-path latency
+	// either way); the cost is the per-packet path computation.
+	HopByHop bool
+	// Partition tunes the flow-space partitioner.
+	Partition PartitionConfig
+}
+
+// EvictionChoice selects the ingress-cache eviction policy. The zero
+// value is LRU, the behaviour DIFANE's reactive caching approximates.
+type EvictionChoice int
+
+// Eviction policies.
+const (
+	EvictDefaultLRU EvictionChoice = iota
+	EvictLFU
+	EvictNone
+)
+
+func (e EvictionChoice) tcamPolicy() tcam.EvictionPolicy {
+	switch e {
+	case EvictLFU:
+		return tcam.EvictLFU
+	case EvictNone:
+		return tcam.EvictNone
+	default:
+		return tcam.EvictLRU
+	}
+}
+
+func (e EvictionChoice) String() string {
+	switch e {
+	case EvictLFU:
+		return "lfu"
+	case EvictNone:
+		return "none"
+	default:
+		return "lru"
+	}
+}
+
+// Drops breaks out why packets were lost.
+type Drops struct {
+	// Policy counts packets matching a drop rule (not an error).
+	Policy uint64
+	// Hole counts packets matching no rule at the authority.
+	Hole uint64
+	// AuthorityQueue counts packets shed by an overloaded authority.
+	AuthorityQueue uint64
+	// Unreachable counts packets whose redirect or delivery path was
+	// partitioned away.
+	Unreachable uint64
+}
+
+// Measurements aggregates what the evaluation records from a run.
+type Measurements struct {
+	// FirstPacketDelay is the injection→delivery latency of each flow's
+	// first packet.
+	FirstPacketDelay metrics.Dist
+	// LaterPacketDelay is the same for non-first packets.
+	LaterPacketDelay metrics.Dist
+	// Stretch is (detour length / direct length) for packets that took the
+	// authority detour.
+	Stretch metrics.Dist
+
+	Delivered uint64
+	Redirects uint64
+	Drops     Drops
+
+	// SetupsCompleted counts flows whose first packet was delivered or
+	// legitimately policy-dropped — the throughput figures' numerator.
+	SetupsCompleted uint64
+}
+
+// Network is a DIFANE deployment running under the discrete-event engine.
+type Network struct {
+	Eng  *sim.Engine
+	Topo *topo.Graph
+
+	Switches map[uint32]*switchsim.Switch
+	// authorityAt lists the Authority partition handlers hosted by each
+	// authority switch (primaries and backup replicas).
+	authorityAt map[uint32][]*Authority
+	authSt      map[uint32]*sim.Station
+
+	Assignment Assignment
+	Policy     []flowspace.Rule
+	cfg        NetworkConfig
+
+	// pinRouting makes partition rules target the assignment's primary
+	// replica instead of the nearest one. Load rebalancing sets it: the
+	// controller is then choosing replicas to balance measured load, at
+	// the cost of longer detours (the stretch/throughput trade-off).
+	pinRouting bool
+
+	// LinkLoads counts packets per directed link when cfg.HopByHop is set.
+	LinkLoads LinkLoads
+
+	M Measurements
+}
+
+// NewNetwork builds a DIFANE network over the topology. Every node in the
+// graph becomes a switch; authorities lists the switches hosting authority
+// rules; policy is the global prioritized rule set.
+func NewNetwork(g *topo.Graph, authorities []uint32, policy []flowspace.Rule, cfg NetworkConfig) (*Network, error) {
+	if len(authorities) == 0 {
+		return nil, fmt.Errorf("core: need at least one authority switch")
+	}
+	parts := BuildPartitions(policy, cfg.Partition)
+	assign, err := AssignWithReplication(parts, authorities, cfg.Replication)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Eng:         sim.New(),
+		Topo:        g,
+		Switches:    make(map[uint32]*switchsim.Switch),
+		authorityAt: make(map[uint32][]*Authority),
+		authSt:      make(map[uint32]*sim.Station),
+		Assignment:  assign,
+		Policy:      append([]flowspace.Rule(nil), policy...),
+		cfg:         cfg,
+		LinkLoads:   make(LinkLoads),
+	}
+	for _, id := range g.Nodes() {
+		n.Switches[uint32(id)] = switchsim.New(uint32(id), switchsim.Config{
+			CacheCapacity: cfg.CacheCapacity,
+			CacheEviction: cfg.CacheEviction.tcamPolicy(),
+		})
+	}
+	for _, id := range authorities {
+		if _, ok := n.Switches[id]; !ok {
+			return nil, fmt.Errorf("core: authority switch %d not in topology", id)
+		}
+		n.authSt[id] = sim.NewStation(n.Eng, cfg.AuthorityRate, cfg.AuthorityQueue)
+	}
+	n.installAssignment()
+	return n, nil
+}
+
+// installAssignment loads partition rules into every switch and authority
+// rules (primary + backup replicas) into the authority switches.
+//
+// Partition rules are per-switch: each ingress's high-priority rule points
+// at the *closest* replica of the partition (the paper's nearest-replica
+// redirection, which is what makes stretch shrink as authority switches
+// are added), with a lower-priority rule at the other replica as the
+// pre-installed failover path.
+func (n *Network) installAssignment() {
+	n.applyAssignment(n.Assignment)
+}
+
+func clearAuthorityTable(sw *switchsim.Switch) {
+	sw.Table(proto.TableAuthority).DeleteWhere(func(tcam.Entry) bool { return true })
+}
+
+func authorityAdd(r flowspace.Rule) proto.FlowMod {
+	return proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Rule: r}
+}
+
+// partitionIDBase offsets partition-rule IDs away from policy rule IDs.
+const partitionIDBase uint64 = 1 << 50
+
+// installPartitionRules (re)writes every switch's partition table from the
+// current assignment and topology: the high-priority rule targets the
+// switch's nearest reachable replica, the low-priority rule the second
+// nearest. Inserting with a fixed per-partition ID replaces any previous
+// rule, so the same path serves initial install and topology refresh.
+func (n *Network) installPartitionRules() {
+	now := n.Eng.Now()
+	for swID, sw := range n.Switches {
+		for i, p := range n.Assignment.Partitions {
+			hosts := n.Assignment.ReplicasFor(i)
+			var near, far uint32
+			if n.pinRouting {
+				near, far = n.Assignment.Primary[i], n.Assignment.Backup[i]
+			} else {
+				near, far = n.orderByDistance(swID, hosts)
+			}
+			mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd,
+				Rule: flowspace.Rule{
+					ID:       partitionIDBase + uint64(2*i),
+					Priority: PriPartitionPrimary,
+					Match:    p.Region,
+					Action:   flowspace.Action{Kind: flowspace.ActRedirect, Arg: near},
+				}}
+			_ = sw.ApplyFlowMod(now, &mod)
+			if far != near {
+				mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd,
+					Rule: flowspace.Rule{
+						ID:       partitionIDBase + uint64(2*i) + 1,
+						Priority: PriPartitionBackup,
+						Match:    p.Region,
+						Action:   flowspace.Action{Kind: flowspace.ActRedirect, Arg: far},
+					}}
+				_ = sw.ApplyFlowMod(now, &mod)
+			}
+		}
+	}
+}
+
+// orderByDistance returns the nearest and second-nearest replica hosts
+// from the given switch, breaking ties toward the lower ID. With a single
+// host, both returns are that host.
+func (n *Network) orderByDistance(from uint32, hosts []uint32) (near, far uint32) {
+	if len(hosts) == 1 {
+		return hosts[0], hosts[0]
+	}
+	distOf := func(id uint32) float64 {
+		d, ok := n.Topo.Dist(topo.NodeID(from), topo.NodeID(id))
+		if !ok {
+			return math.Inf(1)
+		}
+		return d
+	}
+	closer := func(a, b uint32) bool {
+		da, db := distOf(a), distOf(b)
+		return da < db || (da == db && a < b)
+	}
+	near = hosts[0]
+	for _, h := range hosts[1:] {
+		if closer(h, near) {
+			near = h
+		}
+	}
+	picked := false
+	for _, h := range hosts {
+		if h == near {
+			continue
+		}
+		if !picked || closer(h, far) {
+			far, picked = h, true
+		}
+	}
+	if !picked {
+		far = near
+	}
+	return near, far
+}
+
+// authorityFor finds the partition handler for key k at authority switch
+// id, or nil.
+func (n *Network) authorityFor(id uint32, k flowspace.Key) *Authority {
+	for _, a := range n.authorityAt[id] {
+		if a.Partition.Region.Matches(k) {
+			return a
+		}
+	}
+	return nil
+}
+
+// InjectPacket schedules one packet entering the network at the ingress
+// switch at time at. seq 0 marks a flow's first packet.
+func (n *Network) InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
+	n.Eng.At(at, func() {
+		n.processAtIngress(at, ingress, k, size, seq)
+	})
+}
+
+func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
+	now := n.Eng.Now()
+	sw, ok := n.Switches[ingress]
+	if !ok || !n.Topo.NodeUp(topo.NodeID(ingress)) {
+		n.M.Drops.Unreachable++
+		return
+	}
+	sw.Advance(now)
+	res := sw.Classify(now, k, size)
+	if !res.OK {
+		// No partition rule matched: with a full partition cover this only
+		// happens when partition rules were withdrawn (failover windows).
+		n.M.Drops.Unreachable++
+		return
+	}
+	switch res.Rule.Action.Kind {
+	case flowspace.ActDrop:
+		n.M.Drops.Policy++
+		if seq == 0 {
+			n.M.SetupsCompleted++
+		}
+	case flowspace.ActForward, flowspace.ActCount:
+		egress := res.Rule.Action.Arg
+		n.deliverDirect(injected, ingress, egress, seq)
+	case flowspace.ActRedirect:
+		n.redirect(injected, ingress, res.Rule.Action.Arg, k, size, seq)
+	case flowspace.ActController:
+		// DIFANE networks never punt to the controller; treat as a hole.
+		n.M.Drops.Hole++
+	}
+}
+
+func (n *Network) deliverDirect(injected float64, ingress, egress uint32, seq uint64) {
+	ok := n.sendAlong(ingress, egress, func() {
+		n.recordDelivery(injected, seq, 0) // no detour: no stretch sample
+	})
+	if !ok {
+		n.M.Drops.Unreachable++
+	}
+}
+
+func (n *Network) redirect(injected float64, ingress, authority uint32, k flowspace.Key, size int, seq uint64) {
+	n.M.Redirects++
+	dIA, okDist := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(authority))
+	if !okDist {
+		n.M.Drops.Unreachable++
+		return
+	}
+	sent := n.sendAlong(ingress, authority, func() {
+		st := n.authSt[authority]
+		if st == nil {
+			n.M.Drops.Unreachable++
+			return
+		}
+		ok := st.Submit(func(done float64) {
+			n.authorityHandle(injected, ingress, authority, k, size, seq, dIA)
+		})
+		if !ok {
+			n.M.Drops.AuthorityQueue++
+		}
+	})
+	if !sent {
+		n.M.Drops.Unreachable++
+	}
+}
+
+func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k flowspace.Key, size int, seq uint64, dIA float64) {
+	now := n.Eng.Now()
+	auth := n.authorityFor(authority, k)
+	if auth == nil {
+		n.M.Drops.Hole++
+		return
+	}
+	res := auth.HandleMiss(k)
+	if !res.OK {
+		n.M.Drops.Hole++
+		return
+	}
+	// Register the hit on the authority switch's TCAM so its counters
+	// reflect the redirected traffic it serves.
+	if sw := n.Switches[authority]; sw != nil {
+		sw.Table(proto.TableAuthority).Lookup(now, k, size)
+		sw.Stats.AuthorityHits++
+	}
+	// Install cache rules at the ingress switch after the control path.
+	if len(res.CacheMods) > 0 {
+		dAI, okBack := n.Topo.Dist(topo.NodeID(authority), topo.NodeID(ingress))
+		if okBack {
+			installAt := now + dAI + n.cfg.InstallDelay
+			mods := res.CacheMods
+			n.Eng.At(installAt, func() {
+				sw := n.Switches[ingress]
+				for i := range mods {
+					_ = sw.ApplyFlowMod(n.Eng.Now(), &mods[i])
+				}
+			})
+		}
+	}
+	// Forward the packet itself from the authority switch.
+	switch res.Rule.Action.Kind {
+	case flowspace.ActDrop:
+		n.M.Drops.Policy++
+		if seq == 0 {
+			n.M.SetupsCompleted++
+		}
+	case flowspace.ActForward, flowspace.ActCount:
+		egress := res.Rule.Action.Arg
+		dAE, ok := n.Topo.Dist(topo.NodeID(authority), topo.NodeID(egress))
+		if !ok {
+			n.M.Drops.Unreachable++
+			return
+		}
+		stretch := 1.0
+		if direct, okD := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(egress)); okD && direct > 0 {
+			stretch = (dIA + dAE) / direct
+		}
+		sent := n.sendAlong(authority, egress, func() {
+			n.recordDelivery(injected, seq, stretch)
+		})
+		if !sent {
+			n.M.Drops.Unreachable++
+		}
+	default:
+		n.M.Drops.Hole++
+	}
+}
+
+func (n *Network) recordDelivery(injected float64, seq uint64, stretch float64) {
+	now := n.Eng.Now()
+	n.M.Delivered++
+	delay := now - injected
+	if seq == 0 {
+		n.M.FirstPacketDelay.Add(delay)
+		n.M.SetupsCompleted++
+	} else {
+		n.M.LaterPacketDelay.Add(delay)
+	}
+	if stretch >= 1.0 && !math.IsInf(stretch, 1) {
+		n.M.Stretch.Add(stretch)
+	}
+}
+
+// Run drives the simulation to the horizon.
+func (n *Network) Run(horizon float64) { n.Eng.Run(horizon) }
+
+// FailAuthority marks an authority switch down in the topology. Data-plane
+// redirects to it start failing immediately; call PromoteBackups (the
+// controller's failover action) to shift its partitions to their backups.
+func (n *Network) FailAuthority(id uint32) {
+	n.Topo.SetNode(topo.NodeID(id), false)
+}
+
+// PromoteBackups deletes every partition rule redirecting to the failed
+// authority from every switch, exposing the lower-priority rules that
+// point at the surviving replica — DIFANE's failover mechanism.
+func (n *Network) PromoteBackups(failed uint32) int {
+	removed := 0
+	for _, sw := range n.Switches {
+		removed += sw.Table(proto.TablePartition).DeleteWhere(func(e tcam.Entry) bool {
+			return e.Rule.Action.Kind == flowspace.ActRedirect && e.Rule.Action.Arg == failed
+		})
+	}
+	return removed
+}
+
+// ClearCaches wipes every switch's cache table (policy-change handling)
+// and returns the number of entries removed.
+func (n *Network) ClearCaches() int {
+	total := 0
+	for _, sw := range n.Switches {
+		total += sw.ClearCache()
+	}
+	return total
+}
+
+// CacheEntries returns the current total number of cache entries across
+// all switches.
+func (n *Network) CacheEntries() int {
+	total := 0
+	for _, sw := range n.Switches {
+		total += sw.Table(proto.TableCache).Len()
+	}
+	return total
+}
+
+// AuthorityLoad returns per-authority primary TCAM entries.
+func (n *Network) AuthorityLoad() map[uint32]int { return n.Assignment.LoadPerAuthority() }
+
+// AllAuthorities returns every partition handler in the network (primaries
+// and backup replicas), for statistics aggregation.
+func (n *Network) AllAuthorities() []*Authority {
+	var out []*Authority
+	for _, id := range n.Topo.Nodes() {
+		out = append(out, n.authorityAt[uint32(id)]...)
+	}
+	return out
+}
+
+// EgressOf evaluates the global policy for a key, returning the egress
+// switch for forwarded traffic (ok=false for drops/holes). Used by tests
+// and workloads to find ground truth.
+func (n *Network) EgressOf(k flowspace.Key) (uint32, bool) {
+	r, ok := flowspace.EvalTable(n.Policy, k)
+	if !ok || r.Action.Kind != flowspace.ActForward {
+		return 0, false
+	}
+	return r.Action.Arg, true
+}
+
+// HeaderKey is a convenience for tests: project a packet header to a key.
+func HeaderKey(h packet.Header) flowspace.Key { return h.Key() }

@@ -1,0 +1,83 @@
+package flowspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchRules(n int) []Rule {
+	rng := rand.New(rand.NewSource(151))
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		rules = append(rules, Rule{
+			ID: uint64(i + 1), Priority: int32(rng.Intn(100)),
+			Match: MatchAll().
+				WithPrefix(FIPSrc, rng.Uint64(), uint(8+rng.Intn(17))).
+				WithPrefix(FIPDst, rng.Uint64(), uint(8+rng.Intn(17))),
+			Action: Action{Kind: ActForward, Arg: uint32(i)},
+		})
+	}
+	return rules
+}
+
+func BenchmarkMatchOverlaps(b *testing.B) {
+	rules := benchRules(2)
+	a, c := rules[0].Match, rules[1].Match
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Overlaps(c)
+	}
+}
+
+func BenchmarkMatchSubtract(b *testing.B) {
+	a := MatchAll().WithPrefix(FIPSrc, 0x0A000000, 8)
+	c := MatchAll().WithPrefix(FIPSrc, 0x0A0B0000, 16).WithExact(FTPDst, 80)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pieces := a.Subtract(c); len(pieces) == 0 {
+			b.Fatal("unexpected empty subtraction")
+		}
+	}
+}
+
+func BenchmarkEvalTable1k(b *testing.B) {
+	rules := benchRules(1000)
+	var k Key
+	k[FIPSrc] = 0x0A0B0C0D
+	k[FIPDst] = 0xC0A80101
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalTable(rules, k)
+	}
+}
+
+func BenchmarkCoverFor(b *testing.B) {
+	// The firewall-shaped worst case: one broad rule under many denies.
+	rules := make([]Rule, 0, 65)
+	for i := 0; i < 64; i++ {
+		rules = append(rules, Rule{
+			ID: uint64(i + 1), Priority: 100,
+			Match:  MatchAll().WithExact(FTPDst, uint64(i+1)),
+			Action: Action{Kind: ActDrop},
+		})
+	}
+	rules = append(rules, Rule{ID: 65, Priority: 0, Match: MatchAll(),
+		Action: Action{Kind: ActForward}})
+	var k Key
+	k[FTPDst] = 9999
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := CoverFor(rules, 64, MatchAll(), k); !ok {
+			b.Fatal("cover must exist")
+		}
+	}
+}
+
+func BenchmarkDependentSet(b *testing.B) {
+	rules := benchRules(500)
+	SortRules(rules)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DependentSet(rules, len(rules)-1)
+	}
+}

@@ -1,0 +1,246 @@
+package flowspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func aclRule(id uint64, prio int32, m Match, kind ActionKind) Rule {
+	return Rule{ID: id, Priority: prio, Match: m, Action: Action{Kind: kind}}
+}
+
+// A small firewall-shaped table: specific permits over a broad deny.
+func firewallTable() []Rule {
+	return []Rule{
+		aclRule(1, 100, MatchAll().WithExact(FTPDst, 80), ActForward),
+		aclRule(2, 90, MatchAll().WithExact(FTPDst, 22), ActForward),
+		aclRule(3, 50, MatchAll().WithPrefix(FIPSrc, 0x0A000000, 8), ActForward),
+		aclRule(4, 0, MatchAll(), ActDrop),
+	}
+}
+
+func TestEvalTablePriorityOrder(t *testing.T) {
+	rs := firewallTable()
+	k := Key{}
+	k[FTPDst] = 80
+	k[FIPSrc] = 0x0A000001
+	got, ok := EvalTable(rs, k)
+	if !ok || got.ID != 1 {
+		t.Fatalf("http packet must hit rule 1, got %v ok=%v", got, ok)
+	}
+	k[FTPDst] = 443
+	got, _ = EvalTable(rs, k)
+	if got.ID != 3 {
+		t.Fatalf("10/8 packet must hit rule 3, got %v", got)
+	}
+	k[FIPSrc] = 0x0B000001
+	got, _ = EvalTable(rs, k)
+	if got.ID != 4 {
+		t.Fatalf("other packet must hit default drop, got %v", got)
+	}
+}
+
+func TestEvalTableEmptyAndNoMatch(t *testing.T) {
+	if _, ok := EvalTable(nil, Key{}); ok {
+		t.Fatal("empty table must not match")
+	}
+	rs := []Rule{aclRule(1, 10, MatchAll().WithExact(FTPDst, 80), ActForward)}
+	k := Key{}
+	k[FTPDst] = 81
+	if _, ok := EvalTable(rs, k); ok {
+		t.Fatal("non-matching key must not match")
+	}
+}
+
+func TestEvalTableTieBreakByID(t *testing.T) {
+	rs := []Rule{
+		aclRule(9, 10, MatchAll(), ActDrop),
+		aclRule(2, 10, MatchAll(), ActForward),
+	}
+	got, _ := EvalTable(rs, Key{})
+	if got.ID != 2 {
+		t.Fatalf("equal priority must break ties by lower ID, got %d", got.ID)
+	}
+}
+
+func TestSortRulesIsTCAMOrder(t *testing.T) {
+	rs := firewallTable()
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(len(rs), func(i, j int) { rs[i], rs[j] = rs[j], rs[i] })
+	SortRules(rs)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Before(rs[i-1]) {
+			t.Fatalf("rules out of order at %d: %v before %v", i, rs[i], rs[i-1])
+		}
+	}
+	// First-match scan of sorted rules must agree with EvalTable.
+	rngK := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		k := randKey(rngK)
+		want, wantOK := EvalTable(rs, k)
+		var got Rule
+		gotOK := false
+		for _, r := range rs {
+			if r.Match.Matches(k) {
+				got, gotOK = r, true
+				break
+			}
+		}
+		if gotOK != wantOK || (gotOK && got.ID != want.ID) {
+			t.Fatalf("sorted-scan mismatch for %v: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestShadowedSingleCover(t *testing.T) {
+	rs := []Rule{
+		aclRule(1, 100, MatchAll().WithPrefix(FIPSrc, 0x0A000000, 8), ActDrop),
+		aclRule(2, 50, MatchAll().WithPrefix(FIPSrc, 0x0A0A0000, 16), ActForward),
+		aclRule(3, 10, MatchAll().WithPrefix(FIPSrc, 0x0B000000, 8), ActForward),
+	}
+	if !Shadowed(rs, 1) {
+		t.Fatal("rule 2 is inside higher-priority rule 1 and must be shadowed")
+	}
+	if Shadowed(rs, 2) {
+		t.Fatal("rule 3 is disjoint from rule 1 and must not be shadowed")
+	}
+	if Shadowed(rs, 0) {
+		t.Fatal("highest-priority rule can never be shadowed")
+	}
+}
+
+func TestShadowedJointCover(t *testing.T) {
+	// Two half-space rules jointly covering a third.
+	rs := []Rule{
+		aclRule(1, 100, MatchAll().WithPrefix(FIPSrc, 0x00000000, 1), ActDrop),
+		aclRule(2, 90, MatchAll().WithPrefix(FIPSrc, 0x80000000, 1), ActDrop),
+		aclRule(3, 10, MatchAll().WithPrefix(FIPSrc, 0x40000000, 4), ActForward),
+	}
+	if !Shadowed(rs, 2) {
+		t.Fatal("rule jointly covered by two higher rules must be shadowed")
+	}
+}
+
+func TestDependentSet(t *testing.T) {
+	rs := firewallTable()
+	deps := DependentSet(rs, 3) // the default drop overlaps everything above
+	if len(deps) != 3 {
+		t.Fatalf("default rule must depend on all 3 higher rules, got %v", deps)
+	}
+	deps = DependentSet(rs, 0)
+	if len(deps) != 0 {
+		t.Fatalf("top rule must have no dependencies, got %v", deps)
+	}
+}
+
+func TestCoverForExcludesHigherRules(t *testing.T) {
+	rs := firewallTable()
+	rng := rand.New(rand.NewSource(31))
+	clip := MatchAll()
+	// A packet that hits the default drop rule.
+	k := Key{}
+	k[FIPSrc] = 0x0B000001
+	k[FTPDst] = 443
+	cover, ok := CoverFor(rs, 3, clip, k)
+	if !ok {
+		t.Fatal("cover must exist for the default rule")
+	}
+	if !cover.Matches(k) {
+		t.Fatal("cover must contain the triggering packet")
+	}
+	// Every key in the cover must still evaluate to the covered rule.
+	for i := 0; i < 2000; i++ {
+		kk := randKeyIn(rng, cover)
+		got, okEval := EvalTable(rs, kk)
+		if !okEval || got.ID != rs[3].ID {
+			t.Fatalf("cover leaks: key %v evaluates to %v", kk, got)
+		}
+	}
+}
+
+func TestCoverForClipsToRegion(t *testing.T) {
+	rs := firewallTable()
+	clip := MatchAll().WithPrefix(FIPDst, 0xC0000000, 2)
+	k := Key{}
+	k[FIPSrc] = 0x0A000001
+	k[FIPDst] = 0xC0A80001
+	// Hits rule 3 (10/8 permit).
+	cover, ok := CoverFor(rs, 2, clip, k)
+	if !ok {
+		t.Fatal("cover must exist")
+	}
+	if !clip.Contains(cover) {
+		t.Fatalf("cover %s must stay inside clip %s", cover, clip)
+	}
+}
+
+func TestCoverForPacketOutsideRegion(t *testing.T) {
+	rs := firewallTable()
+	clip := MatchAll().WithPrefix(FIPDst, 0xC0000000, 2)
+	k := Key{} // ip_dst = 0, outside clip
+	if _, ok := CoverFor(rs, 3, clip, k); ok {
+		t.Fatal("cover must fail when the packet is outside the clip region")
+	}
+}
+
+// Property: on random tables and random packets, the cover of the matched
+// rule always evaluates back to the same rule for sampled members.
+func TestCoverForPropertySemanticExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + rng.Intn(10)
+		rs := make([]Rule, n)
+		for i := range rs {
+			rs[i] = Rule{
+				ID:       uint64(i + 1),
+				Priority: int32(rng.Intn(5) * 10),
+				Match:    randMatch(rng),
+				Action:   Action{Kind: ActForward, Arg: uint32(i)},
+			}
+		}
+		rs[n-1].Match = MatchAll() // ensure total coverage
+		rs[n-1].Priority = -1
+		k := randKey(rng)
+		hitRule, ok := EvalTable(rs, k)
+		if !ok {
+			t.Fatal("table with default must always match")
+		}
+		hit := -1
+		for i := range rs {
+			if rs[i].ID == hitRule.ID {
+				hit = i
+			}
+		}
+		cover, ok := CoverFor(rs, hit, MatchAll(), k)
+		if !ok {
+			t.Fatalf("cover must exist for matched rule (trial %d)", trial)
+		}
+		for i := 0; i < 64; i++ {
+			kk := randKeyIn(rng, cover)
+			got, _ := EvalTable(rs, kk)
+			if got.ID != hitRule.ID {
+				t.Fatalf("trial %d: cover member %v evaluates to rule %d, want %d",
+					trial, kk, got.ID, hitRule.ID)
+			}
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if (Action{Kind: ActForward, Arg: 7}).String() != "forward(7)" {
+		t.Fatal("forward action must render its target")
+	}
+	if (Action{Kind: ActDrop}).String() != "drop" {
+		t.Fatal("drop action must render bare")
+	}
+	if ActionKind(200).String() == "" {
+		t.Fatal("unknown action kind must still render")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := firewallTable()[0]
+	if s := r.String(); s == "" {
+		t.Fatal("rule must render")
+	}
+}

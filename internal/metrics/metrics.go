@@ -1,0 +1,217 @@
+// Package metrics collects and renders the statistics the evaluation
+// harness reports: sample distributions (CDFs, percentiles), fixed-width
+// tables, and simple x/y series in the text form the benchmark binary
+// prints.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Dist accumulates float64 samples and answers distribution queries.
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add appends a sample.
+func (d *Dist) Add(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+	d.sum += v
+}
+
+// N returns the sample count.
+func (d *Dist) N() int { return len(d.samples) }
+
+// Sum returns the sum of all samples.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean returns the sample mean (0 with no samples).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) by nearest-rank,
+// or 0 with no samples.
+func (d *Dist) Percentile(p float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if p <= 0 {
+		return d.samples[0]
+	}
+	if p >= 100 {
+		return d.samples[len(d.samples)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return d.samples[rank-1]
+}
+
+// Min and Max return the extremes (0 with no samples).
+func (d *Dist) Min() float64 { return d.Percentile(0) }
+
+// Max returns the largest sample (0 with no samples).
+func (d *Dist) Max() float64 { return d.Percentile(100) }
+
+// CDF returns (value, fraction ≤ value) pairs at the given fractions
+// (each in [0,1]).
+func (d *Dist) CDF(fractions []float64) [][2]float64 {
+	out := make([][2]float64, 0, len(fractions))
+	for _, f := range fractions {
+		out = append(out, [2]float64{d.Percentile(f * 100), f})
+	}
+	return out
+}
+
+// Quantiles is the standard set of CDF points the harness prints.
+var Quantiles = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}
+
+// --- Rendering ---------------------------------------------------------------
+
+// Table renders rows with aligned columns. The first row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddRowf appends a row formatting each value with %v.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with two-space gutters.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, r := range t.rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(r)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for i, w := range widths {
+				if i > 0 {
+					total += 2
+				}
+				total += w
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// values with enough precision to be readable.
+func FormatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case math.Abs(v) >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// FormatDuration renders seconds in engineering units (µs/ms/s).
+func FormatDuration(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.1fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.2fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", sec)
+	}
+}
+
+// Series renders an x→y mapping as "x<tab>y" lines with a header, the form
+// the figure benches print for plotting.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	points [][2]float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.points = append(s.points, [2]float64{x, y}) }
+
+// Points returns the accumulated points.
+func (s *Series) Points() [][2]float64 { return s.points }
+
+// String renders the series.
+func (s *Series) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# series %s: %s vs %s\n", s.Name, s.YLabel, s.XLabel)
+	for _, p := range s.points {
+		fmt.Fprintf(&b, "%s\t%s\n", FormatFloat(p[0]), FormatFloat(p[1]))
+	}
+	return b.String()
+}
+
+// Counter is a labeled monotonically increasing count.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Inc adds n.
+func (c *Counter) Inc(n uint64) { c.Value += n }

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	if d.N() != 0 || d.Mean() != 0 || d.Percentile(50) != 0 {
+		t.Fatal("empty dist must answer zeros")
+	}
+	for _, v := range []float64{3, 1, 2} {
+		d.Add(v)
+	}
+	if d.N() != 3 || d.Sum() != 6 || d.Mean() != 2 {
+		t.Fatalf("n=%d sum=%v mean=%v", d.N(), d.Sum(), d.Mean())
+	}
+	if d.Min() != 1 || d.Max() != 3 {
+		t.Fatalf("min=%v max=%v", d.Min(), d.Max())
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Add(float64(i))
+	}
+	cases := map[float64]float64{1: 1, 50: 50, 90: 90, 99: 99, 100: 100, 0: 1}
+	for p, want := range cases {
+		if got := d.Percentile(p); got != want {
+			t.Fatalf("p%v = %v want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileAfterInterleavedAdds(t *testing.T) {
+	var d Dist
+	d.Add(5)
+	if d.Percentile(50) != 5 {
+		t.Fatal("median of one sample")
+	}
+	d.Add(1) // must re-sort
+	if d.Min() != 1 {
+		t.Fatal("adding after a query must invalidate sorting")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var d Dist
+	rng := rand.New(rand.NewSource(53))
+	for i := 0; i < 1000; i++ {
+		d.Add(rng.ExpFloat64())
+	}
+	pts := d.CDF(Quantiles)
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] {
+			t.Fatalf("CDF values must be nondecreasing: %v", pts)
+		}
+	}
+	if pts[len(pts)-1][1] != 1.0 {
+		t.Fatal("last quantile must be 1.0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.AddRow("name", "rules", "hit%")
+	tb.AddRowf("campus", 12345, 97.25)
+	tb.AddRowf("vpn", 900, 80.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected header + rule + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("second line must be a rule: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "campus") || !strings.Contains(lines[2], "12345") {
+		t.Fatalf("row content missing: %q", lines[2])
+	}
+	var empty Table
+	if empty.String() != "" {
+		t.Fatal("empty table must render empty")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		1000000: "1000000",
+		123.456: "123.5",
+		0.5:     "0.500",
+		0.0001:  "0.0001",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Fatalf("FormatFloat(%v) = %q want %q", v, got, want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	if got := FormatDuration(0.0000005); got != "0.5µs" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FormatDuration(0.0042); got != "4.20ms" {
+		t.Fatalf("got %q", got)
+	}
+	if got := FormatDuration(2.5); got != "2.500s" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Name: "miss", XLabel: "cache", YLabel: "rate"}
+	s.Add(1, 0.5)
+	s.Add(2, 0.25)
+	if len(s.Points()) != 2 {
+		t.Fatal("points must accumulate")
+	}
+	out := s.String()
+	if !strings.Contains(out, "# series miss") || !strings.Contains(out, "0.250") {
+		t.Fatalf("series render:\n%s", out)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "hits"}
+	c.Inc(3)
+	c.Inc(2)
+	if c.Value != 5 {
+		t.Fatalf("value = %d", c.Value)
+	}
+}

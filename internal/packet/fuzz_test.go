@@ -1,0 +1,44 @@
+package packet
+
+import (
+	"testing"
+)
+
+// FuzzDecodeWire hammers the packet decoder with arbitrary bytes: it must
+// never panic, and everything it accepts must re-encode to bytes that
+// decode to the same packet (decode∘encode fixpoint).
+func FuzzDecodeWire(f *testing.F) {
+	p := samplePacket()
+	f.Add(p.AppendWire(nil))
+	p.Encapsulate(EncapRedirect, 7, 9)
+	f.Add(p.AppendWire(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0x03, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Packet
+		n, err := q.DecodeWire(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		// Accepted input: re-encode and decode must agree.
+		out := q.AppendWire(nil)
+		var r Packet
+		if _, err := r.DecodeWire(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if r.Header != q.Header {
+			t.Fatalf("re-decode header mismatch:\n%+v\n%+v", r.Header, q.Header)
+		}
+		if (r.Encap == nil) != (q.Encap == nil) {
+			t.Fatal("re-decode encap presence mismatch")
+		}
+		if r.Encap != nil && *r.Encap != *q.Encap {
+			t.Fatalf("re-decode encap mismatch: %+v vs %+v", r.Encap, q.Encap)
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package policyio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRule throws arbitrary lines at the rule parser: it must never
+// panic, and any line it accepts must survive Write→Parse unchanged.
+func FuzzParseRule(f *testing.F) {
+	f.Add("rule 1 prio 100 ip_src=10.0.0.0/8 tp_dst=80 -> forward(4)")
+	f.Add("rule 2 prio 0 -> drop")
+	f.Add("rule 3 prio 5 tp_dst=1-1024 ip_proto=udp -> drop")
+	f.Add("rule 4 prio 5 eth_src=00:11:22:33:44:55 vlan=12 -> count")
+	f.Add("-> drop")
+	f.Add("rule")
+	f.Add("rule 9 prio 9 ip_src=1.2.3.4/33 -> drop")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		rules, err := ParseRule(line)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, rules); err != nil {
+			// Parsed rules are always writable (prefixes + exacts only).
+			t.Fatalf("accepted rule not writable: %v (line %q)", err, line)
+		}
+		again, err := Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\n%s", err, buf.String())
+		}
+		if len(again) != len(rules) {
+			t.Fatalf("round trip rule count %d != %d", len(again), len(rules))
+		}
+		for i := range rules {
+			if rules[i] != again[i] {
+				t.Fatalf("rule %d changed:\n%+v\n%+v", i, rules[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,403 @@
+// Package policyio reads and writes policies in a line-oriented text
+// format, so rule sets can be stored in files, diffed, and loaded into
+// difanectl or user programs:
+//
+//	# comment
+//	rule 1 prio 100 ip_src=10.0.0.0/8 tp_dst=80 -> forward(4)
+//	rule 2 prio 90  ip_proto=udp tp_dst=53 -> drop
+//	rule 3 prio 0   -> drop
+//
+// Field syntax per key:
+//
+//	ip_src, ip_dst     dotted quad with optional /prefix
+//	tp_src, tp_dst     port number, or lo-hi range (expands to prefixes,
+//	                   emitting several rules sharing id/priority/action)
+//	ip_proto           tcp | udp | icmp | number
+//	eth_type           hex (0x0800) or decimal
+//	vlan, in_port      number
+//	eth_src, eth_dst   aa:bb:cc:dd:ee:ff
+//
+// Actions: forward(N), redirect(N), drop, count.
+package policyio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+)
+
+// Parse reads a policy from r. Range-valued port fields expand one
+// logical line into several rules (same ID is not legal twice otherwise,
+// so expanded rules get suffixed IDs id*1000+i to stay unique).
+func Parse(r io.Reader) ([]flowspace.Rule, error) {
+	var rules []flowspace.Rule
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rs, err := ParseRule(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		rules = append(rules, rs...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rules, nil
+}
+
+// ParseRule parses one "rule ..." line, possibly expanding port ranges
+// into multiple rules.
+func ParseRule(line string) ([]flowspace.Rule, error) {
+	arrow := strings.Index(line, "->")
+	if arrow < 0 {
+		return nil, fmt.Errorf("missing \"->\" action separator")
+	}
+	head := strings.Fields(line[:arrow])
+	actionStr := strings.TrimSpace(line[arrow+2:])
+
+	if len(head) < 4 || head[0] != "rule" || head[2] != "prio" {
+		return nil, fmt.Errorf("expected \"rule <id> prio <p> [fields...]\"")
+	}
+	id, err := strconv.ParseUint(head[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad rule id %q", head[1])
+	}
+	prio, err := strconv.ParseInt(head[3], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad priority %q", head[3])
+	}
+	action, err := parseAction(actionStr)
+	if err != nil {
+		return nil, err
+	}
+
+	match := flowspace.MatchAll()
+	var portRanges []portRange
+	for _, tok := range head[4:] {
+		kv := strings.SplitN(tok, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad field %q (want key=value)", tok)
+		}
+		key, val := kv[0], kv[1]
+		switch key {
+		case "ip_src", "ip_dst":
+			f := flowspace.FIPSrc
+			if key == "ip_dst" {
+				f = flowspace.FIPDst
+			}
+			addr, plen, err := parseCIDR(val)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", key, err)
+			}
+			match = match.WithPrefix(f, uint64(addr), plen)
+		case "tp_src", "tp_dst":
+			f := flowspace.FTPSrc
+			if key == "tp_dst" {
+				f = flowspace.FTPDst
+			}
+			lo, hi, err := parsePortOrRange(val)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", key, err)
+			}
+			if lo == hi {
+				match = match.WithExact(f, lo)
+			} else {
+				portRanges = append(portRanges, portRange{field: f, lo: lo, hi: hi})
+			}
+		case "ip_proto":
+			p, err := parseProto(val)
+			if err != nil {
+				return nil, err
+			}
+			match = match.WithExact(flowspace.FIPProto, uint64(p))
+		case "eth_type":
+			v, err := strconv.ParseUint(strings.TrimPrefix(val, "0x"), hexBase(val), 16)
+			if err != nil {
+				return nil, fmt.Errorf("eth_type: %w", err)
+			}
+			match = match.WithExact(flowspace.FEthType, v)
+		case "vlan":
+			v, err := strconv.ParseUint(val, 10, 12)
+			if err != nil {
+				return nil, fmt.Errorf("vlan: %w", err)
+			}
+			match = match.WithExact(flowspace.FVLAN, v)
+		case "in_port":
+			v, err := strconv.ParseUint(val, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("in_port: %w", err)
+			}
+			match = match.WithExact(flowspace.FInPort, v)
+		case "eth_src", "eth_dst":
+			f := flowspace.FEthSrc
+			if key == "eth_dst" {
+				f = flowspace.FEthDst
+			}
+			mac, err := parseMAC(val)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", key, err)
+			}
+			match = match.WithExact(f, mac)
+		default:
+			return nil, fmt.Errorf("unknown field %q", key)
+		}
+	}
+
+	base := flowspace.Rule{ID: id, Priority: int32(prio), Match: match, Action: action}
+	if len(portRanges) == 0 {
+		return []flowspace.Rule{base}, nil
+	}
+	if len(portRanges) > 1 {
+		return nil, fmt.Errorf("at most one port range per rule")
+	}
+	pr := portRanges[0]
+	fields := flowspace.RangeToFields(pr.lo, pr.hi, 16)
+	if len(fields) == 1 {
+		// Aligned range: one ternary field, no renumbering needed.
+		base.Match = base.Match.With(pr.field, fields[0])
+		return []flowspace.Rule{base}, nil
+	}
+	out := make([]flowspace.Rule, 0, len(fields))
+	for i, fd := range fields {
+		r := base
+		r.ID = id*1000 + uint64(i)
+		r.Match = base.Match.With(pr.field, fd)
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+type portRange struct {
+	field  flowspace.FieldID
+	lo, hi uint64
+}
+
+func hexBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func parseAction(s string) (flowspace.Action, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "drop":
+		return flowspace.Action{Kind: flowspace.ActDrop}, nil
+	case s == "count":
+		return flowspace.Action{Kind: flowspace.ActCount}, nil
+	case strings.HasPrefix(s, "forward(") && strings.HasSuffix(s, ")"):
+		v, err := strconv.ParseUint(s[8:len(s)-1], 10, 32)
+		if err != nil {
+			return flowspace.Action{}, fmt.Errorf("forward: %w", err)
+		}
+		return flowspace.Action{Kind: flowspace.ActForward, Arg: uint32(v)}, nil
+	case strings.HasPrefix(s, "redirect(") && strings.HasSuffix(s, ")"):
+		v, err := strconv.ParseUint(s[9:len(s)-1], 10, 32)
+		if err != nil {
+			return flowspace.Action{}, fmt.Errorf("redirect: %w", err)
+		}
+		return flowspace.Action{Kind: flowspace.ActRedirect, Arg: uint32(v)}, nil
+	default:
+		return flowspace.Action{}, fmt.Errorf("unknown action %q", s)
+	}
+}
+
+func parseCIDR(s string) (uint32, uint, error) {
+	addrStr, plenStr, hasPlen := strings.Cut(s, "/")
+	parts := strings.Split(addrStr, ".")
+	if len(parts) != 4 {
+		return 0, 0, fmt.Errorf("bad address %q", addrStr)
+	}
+	var addr uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad address octet %q", p)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	plen := uint(32)
+	if hasPlen {
+		v, err := strconv.ParseUint(plenStr, 10, 8)
+		if err != nil || v > 32 {
+			return 0, 0, fmt.Errorf("bad prefix length %q", plenStr)
+		}
+		plen = uint(v)
+	}
+	return addr, plen, nil
+}
+
+func parsePortOrRange(s string) (lo, hi uint64, err error) {
+	loStr, hiStr, isRange := strings.Cut(s, "-")
+	lo, err = strconv.ParseUint(loStr, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port %q", loStr)
+	}
+	if !isRange {
+		return lo, lo, nil
+	}
+	hi, err = strconv.ParseUint(hiStr, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port %q", hiStr)
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("inverted range %q", s)
+	}
+	return lo, hi, nil
+}
+
+func parseProto(s string) (uint8, error) {
+	switch strings.ToLower(s) {
+	case "tcp":
+		return packet.ProtoTCP, nil
+	case "udp":
+		return packet.ProtoUDP, nil
+	case "icmp":
+		return packet.ProtoICMP, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 8)
+	if err != nil {
+		return 0, fmt.Errorf("bad ip_proto %q", s)
+	}
+	return uint8(v), nil
+}
+
+func parseMAC(s string) (uint64, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return 0, fmt.Errorf("bad MAC %q", s)
+	}
+	var mac uint64
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad MAC octet %q", p)
+		}
+		mac = mac<<8 | v
+	}
+	return mac, nil
+}
+
+// Write serializes rules to w, one line each, in the format Parse reads.
+// Ternary fields that are neither wildcards nor exact values nor prefixes
+// cannot arise from Parse but can from cache-rule generation; they render
+// as raw value/mask pairs that Parse rejects, so Write reports them as an
+// error rather than producing an unreadable file.
+func Write(w io.Writer, rules []flowspace.Rule) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rules {
+		if err := writeRule(bw, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRule(w *bufio.Writer, r flowspace.Rule) error {
+	fmt.Fprintf(w, "rule %d prio %d", r.ID, r.Priority)
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		fd := r.Match.Fields[f]
+		if fd.IsWildcard() {
+			continue
+		}
+		s, err := formatField(f, fd)
+		if err != nil {
+			return fmt.Errorf("rule %d: %w", r.ID, err)
+		}
+		fmt.Fprintf(w, " %s", s)
+	}
+	act, err := formatAction(r.Action)
+	if err != nil {
+		return fmt.Errorf("rule %d: %w", r.ID, err)
+	}
+	fmt.Fprintf(w, " -> %s\n", act)
+	return nil
+}
+
+func formatField(f flowspace.FieldID, fd flowspace.Field) (string, error) {
+	w := f.Width()
+	switch f {
+	case flowspace.FIPSrc, flowspace.FIPDst:
+		plen, ok := prefixLen(fd, w)
+		if !ok {
+			return "", fmt.Errorf("%s is not a prefix", f)
+		}
+		return fmt.Sprintf("%s=%s/%d", f, packet.IPString(uint32(fd.Value)), plen), nil
+	case flowspace.FEthSrc, flowspace.FEthDst:
+		if !fd.IsExact(w) {
+			return "", fmt.Errorf("%s must be exact", f)
+		}
+		v := fd.Value
+		return fmt.Sprintf("%s=%02x:%02x:%02x:%02x:%02x:%02x", f,
+			byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v)), nil
+	case flowspace.FEthType:
+		if !fd.IsExact(w) {
+			return "", fmt.Errorf("%s must be exact", f)
+		}
+		return fmt.Sprintf("%s=0x%04x", f, fd.Value), nil
+	case flowspace.FTPSrc, flowspace.FTPDst:
+		if fd.IsExact(w) {
+			return fmt.Sprintf("%s=%d", f, fd.Value), nil
+		}
+		// A port prefix is an aligned range: render it as lo-hi, which
+		// Parse expands back to exactly this one field.
+		plen, ok := prefixLen(fd, w)
+		if !ok {
+			return "", fmt.Errorf("%s has a non-contiguous mask", f)
+		}
+		lo := fd.Value
+		hi := fd.Value | (uint64(1)<<(w-plen) - 1)
+		return fmt.Sprintf("%s=%d-%d", f, lo, hi), nil
+	default:
+		if !fd.IsExact(w) {
+			return "", fmt.Errorf("%s must be exact", f)
+		}
+		return fmt.Sprintf("%s=%d", f, fd.Value), nil
+	}
+}
+
+// prefixLen reports whether the field is a prefix (contiguous high mask)
+// and its length.
+func prefixLen(fd flowspace.Field, w uint) (uint, bool) {
+	var plen uint
+	seenZero := false
+	for i := int(w) - 1; i >= 0; i-- {
+		bit := fd.Mask & (1 << uint(i))
+		if bit != 0 {
+			if seenZero {
+				return 0, false // non-contiguous mask
+			}
+			plen++
+		} else {
+			seenZero = true
+		}
+	}
+	return plen, true
+}
+
+func formatAction(a flowspace.Action) (string, error) {
+	switch a.Kind {
+	case flowspace.ActDrop:
+		return "drop", nil
+	case flowspace.ActCount:
+		return "count", nil
+	case flowspace.ActForward:
+		return fmt.Sprintf("forward(%d)", a.Arg), nil
+	case flowspace.ActRedirect:
+		return fmt.Sprintf("redirect(%d)", a.Arg), nil
+	default:
+		return "", fmt.Errorf("unsupported action %v", a)
+	}
+}

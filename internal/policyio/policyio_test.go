@@ -1,0 +1,193 @@
+package policyio
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+)
+
+const samplePolicy = `
+# campus border ACL
+rule 1 prio 100 ip_src=10.0.0.0/8 tp_dst=80 -> forward(4)
+rule 2 prio 90  ip_proto=udp tp_dst=53 -> drop
+rule 3 prio 80  eth_type=0x0806 -> forward(2)
+rule 4 prio 70  vlan=100 in_port=3 -> count
+rule 5 prio 60  eth_src=00:11:22:33:44:55 -> drop
+
+rule 9 prio 0 -> drop
+`
+
+func TestParseSample(t *testing.T) {
+	rules, err := Parse(strings.NewReader(samplePolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 6 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	r := rules[0]
+	if r.ID != 1 || r.Priority != 100 {
+		t.Fatalf("rule 1 header: %+v", r)
+	}
+	var k flowspace.Key
+	k[flowspace.FIPSrc] = uint64(packet.IP4(10, 1, 2, 3))
+	k[flowspace.FTPDst] = 80
+	if !r.Match.Matches(k) {
+		t.Fatal("rule 1 must match 10/8:80")
+	}
+	k[flowspace.FIPSrc] = uint64(packet.IP4(11, 1, 2, 3))
+	if r.Match.Matches(k) {
+		t.Fatal("rule 1 must not match 11.x")
+	}
+	if r.Action != (flowspace.Action{Kind: flowspace.ActForward, Arg: 4}) {
+		t.Fatalf("rule 1 action: %v", r.Action)
+	}
+	if rules[1].Match.Fields[flowspace.FIPProto].Value != packet.ProtoUDP {
+		t.Fatal("udp must parse to 17")
+	}
+	if rules[2].Match.Fields[flowspace.FEthType].Value != 0x0806 {
+		t.Fatal("hex eth_type")
+	}
+	if rules[4].Match.Fields[flowspace.FEthSrc].Value != 0x001122334455 {
+		t.Fatalf("mac = %x", rules[4].Match.Fields[flowspace.FEthSrc].Value)
+	}
+	if !rules[5].Match.IsAll() {
+		t.Fatal("field-less rule must match all")
+	}
+}
+
+func TestParsePortRangeExpansion(t *testing.T) {
+	rules, err := Parse(strings.NewReader("rule 7 prio 5 tp_dst=1-32766 ip_proto=udp -> drop\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 28 {
+		t.Fatalf("range [1,32766] must expand to 28 rules, got %d", len(rules))
+	}
+	// Expanded rules share priority and action, differ in ID and match.
+	seen := map[uint64]bool{}
+	for _, r := range rules {
+		if r.Priority != 5 || r.Action.Kind != flowspace.ActDrop {
+			t.Fatalf("expanded rule differs: %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate expanded ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// Coverage: port 100 in, port 0 and 32767 out.
+	covered := func(port uint64) bool {
+		var k flowspace.Key
+		k[flowspace.FTPDst] = port
+		k[flowspace.FIPProto] = packet.ProtoUDP
+		for _, r := range rules {
+			if r.Match.Matches(k) {
+				return true
+			}
+		}
+		return false
+	}
+	if !covered(100) || covered(0) || covered(32767) {
+		t.Fatal("range expansion coverage wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"rule 1 prio 10 -> explode",
+		"rule 1 prio 10 tp_dst=80",
+		"rule x prio 10 -> drop",
+		"rule 1 prio x -> drop",
+		"norule 1 prio 10 -> drop",
+		"rule 1 prio 10 nonsense=5 -> drop",
+		"rule 1 prio 10 ip_src=999.0.0.1/8 -> drop",
+		"rule 1 prio 10 ip_src=10.0.0.0/99 -> drop",
+		"rule 1 prio 10 tp_dst=99999 -> drop",
+		"rule 1 prio 10 tp_dst=90-80 -> drop",
+		"rule 1 prio 10 vlan=9999 -> drop",
+		"rule 1 prio 10 eth_src=00:11:22 -> drop",
+		"rule 1 prio 10 tp_dst -> drop",
+		"rule 1 prio 10 tp_src=1-5 tp_dst=1-5 -> drop",
+		"rule 1 prio 10 -> forward(x)",
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line)); err == nil {
+			t.Fatalf("line %q must fail to parse", line)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	rules, err := Parse(strings.NewReader(samplePolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\noutput was:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(rules, again) {
+		t.Fatalf("round trip differs:\n%+v\n%+v", rules, again)
+	}
+}
+
+func TestWriteParseRoundTripRandomPrefixRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	var rules []flowspace.Rule
+	for i := 0; i < 200; i++ {
+		m := flowspace.MatchAll().
+			WithPrefix(flowspace.FIPSrc, rng.Uint64(), uint(rng.Intn(33))).
+			WithPrefix(flowspace.FIPDst, rng.Uint64(), uint(rng.Intn(33)))
+		if rng.Intn(2) == 0 {
+			m = m.WithExact(flowspace.FTPDst, uint64(rng.Intn(65536)))
+		}
+		action := flowspace.Action{Kind: flowspace.ActForward, Arg: uint32(rng.Intn(16))}
+		if rng.Intn(3) == 0 {
+			action = flowspace.Action{Kind: flowspace.ActDrop} // Arg meaningless for drops
+		}
+		rules = append(rules, flowspace.Rule{
+			ID: uint64(i + 1), Priority: int32(rng.Intn(1000)),
+			Match:  m,
+			Action: action,
+		})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rules, again) {
+		t.Fatal("random prefix rules must round trip")
+	}
+}
+
+func TestWriteRejectsNonPrefixTernary(t *testing.T) {
+	r := flowspace.Rule{
+		ID: 1, Priority: 1,
+		Match:  flowspace.Match{Fields: [flowspace.NumFields]flowspace.Field{flowspace.FIPSrc: {Value: 0, Mask: 0x5}}},
+		Action: flowspace.Action{Kind: flowspace.ActDrop},
+	}
+	if err := Write(&bytes.Buffer{}, []flowspace.Rule{r}); err == nil {
+		t.Fatal("non-contiguous mask must be rejected")
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "\n\n# hello\n   # indented comment\nrule 1 prio 1 -> drop\n\n"
+	rules, err := Parse(strings.NewReader(in))
+	if err != nil || len(rules) != 1 {
+		t.Fatalf("rules=%d err=%v", len(rules), err)
+	}
+}

@@ -1,0 +1,33 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage feeds arbitrary byte streams to the frame decoder: no
+// panics, no unbounded allocation (the MaxFrame guard), and anything
+// accepted must re-encode and re-decode to the same message type.
+func FuzzReadMessage(f *testing.F) {
+	for _, m := range allMessages() {
+		f.Add(Encode(nil, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 99})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out := Encode(nil, msg)
+		again, err := ReadMessage(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("re-decode of accepted message failed: %v", err)
+		}
+		if again.Type() != msg.Type() {
+			t.Fatalf("type changed across round trip: %v vs %v", again.Type(), msg.Type())
+		}
+	})
+}

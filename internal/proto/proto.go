@@ -1,0 +1,505 @@
+// Package proto defines the control-plane protocol spoken between the
+// DIFANE controller, authority switches, and ingress switches in wire mode
+// (and reused, without serialization, inside the simulator).
+//
+// Framing is a 4-byte big-endian length followed by a 1-byte message type
+// and the message payload. Rules are encoded with a field-presence bitmap
+// so sparse matches (the common case) stay small.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"difane/internal/flowspace"
+)
+
+// MsgType identifies a control message.
+type MsgType uint8
+
+const (
+	// MsgHello introduces a node and its role after connecting.
+	MsgHello MsgType = iota + 1
+	// MsgFlowMod adds or removes a rule in one of a switch's tables.
+	MsgFlowMod
+	// MsgPacketIn carries a data packet up to the controller (baseline) or
+	// records a redirected packet (diagnostics).
+	MsgPacketIn
+	// MsgPacketOut injects a data packet at a switch.
+	MsgPacketOut
+	// MsgCacheInstall carries cache rules from an authority switch to an
+	// ingress switch.
+	MsgCacheInstall
+	// MsgBarrierReq / MsgBarrierReply fence message processing.
+	MsgBarrierReq
+	// MsgBarrierReply acknowledges a barrier.
+	MsgBarrierReply
+	// MsgStatsReq asks for a rule's counters.
+	MsgStatsReq
+	// MsgStatsReply returns a rule's counters.
+	MsgStatsReply
+	// MsgError reports a failure processing a previous message.
+	MsgError
+)
+
+var msgNames = map[MsgType]string{
+	MsgHello: "hello", MsgFlowMod: "flow-mod", MsgPacketIn: "packet-in",
+	MsgPacketOut: "packet-out", MsgCacheInstall: "cache-install",
+	MsgBarrierReq: "barrier-req", MsgBarrierReply: "barrier-reply",
+	MsgStatsReq: "stats-req", MsgStatsReply: "stats-reply", MsgError: "error",
+}
+
+func (t MsgType) String() string {
+	if s, ok := msgNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msg(%d)", uint8(t))
+}
+
+// Role identifies what a connecting node is.
+type Role uint8
+
+const (
+	RoleIngress Role = iota + 1
+	RoleAuthority
+	RoleController
+)
+
+// Table identifies which of a switch's rule tables a FlowMod targets.
+type Table uint8
+
+const (
+	TableCache Table = iota + 1
+	TableAuthority
+	TablePartition
+)
+
+// FlowModOp says whether a FlowMod adds or deletes.
+type FlowModOp uint8
+
+const (
+	OpAdd FlowModOp = iota + 1
+	OpDelete
+)
+
+// Message is any control message.
+type Message interface {
+	Type() MsgType
+	appendPayload(b []byte) []byte
+	decodePayload(b []byte) error
+}
+
+// Hello introduces a node.
+type Hello struct {
+	Node uint32
+	Role Role
+}
+
+// FlowMod adds or deletes a rule with timeouts (seconds; 0 = none).
+type FlowMod struct {
+	Table Table
+	Op    FlowModOp
+	Rule  flowspace.Rule
+	Idle  float64
+	Hard  float64
+}
+
+// PacketIn carries a packet toward a controller.
+type PacketIn struct {
+	Node uint32 // the switch reporting the packet
+	Data []byte // encoded packet headers
+	Size uint32 // original wire size
+}
+
+// PacketOut injects a packet at a switch.
+type PacketOut struct {
+	Node uint32
+	Data []byte
+	Size uint32
+}
+
+// CacheInstall carries cache rules from an authority to an ingress switch.
+type CacheInstall struct {
+	Ingress uint32
+	Rules   []FlowMod
+}
+
+// BarrierReq fences processing; the peer replies with the same XID.
+type BarrierReq struct{ XID uint32 }
+
+// BarrierReply acknowledges a BarrierReq.
+type BarrierReply struct{ XID uint32 }
+
+// StatsReq asks for rule counters.
+type StatsReq struct {
+	XID    uint32
+	RuleID uint64
+}
+
+// StatsReply returns rule counters; OK is false if the rule was unknown.
+type StatsReply struct {
+	XID     uint32
+	Packets uint64
+	Bytes   uint64
+	OK      bool
+}
+
+// Error reports a failure.
+type Error struct {
+	Code uint16
+	Text string
+}
+
+func (*Hello) Type() MsgType        { return MsgHello }
+func (*FlowMod) Type() MsgType      { return MsgFlowMod }
+func (*PacketIn) Type() MsgType     { return MsgPacketIn }
+func (*PacketOut) Type() MsgType    { return MsgPacketOut }
+func (*CacheInstall) Type() MsgType { return MsgCacheInstall }
+func (*BarrierReq) Type() MsgType   { return MsgBarrierReq }
+func (*BarrierReply) Type() MsgType { return MsgBarrierReply }
+func (*StatsReq) Type() MsgType     { return MsgStatsReq }
+func (*StatsReply) Type() MsgType   { return MsgStatsReply }
+func (*Error) Type() MsgType        { return MsgError }
+
+// --- Encoding helpers -------------------------------------------------------
+
+var (
+	// ErrTruncated reports a payload shorter than its structure requires.
+	ErrTruncated = errors.New("proto: truncated message")
+	// ErrUnknownType reports an unrecognized message type byte.
+	ErrUnknownType = errors.New("proto: unknown message type")
+	// ErrTooLarge reports a frame exceeding MaxFrame.
+	ErrTooLarge = errors.New("proto: frame too large")
+)
+
+// MaxFrame bounds a single message frame, defending the decoder against
+// corrupt length prefixes.
+const MaxFrame = 1 << 22
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b) {
+		r.err = ErrTruncated
+		return nil
+	}
+	v := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
+	return v
+}
+
+func appendU16(b []byte, v uint16) []byte  { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte  { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte  { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// AppendRule encodes a rule with a field-presence bitmap.
+func AppendRule(b []byte, r flowspace.Rule) []byte {
+	b = appendU64(b, r.ID)
+	b = appendU32(b, uint32(r.Priority))
+	b = append(b, byte(r.Action.Kind))
+	b = appendU32(b, r.Action.Arg)
+	var bitmap uint16
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		if r.Match.Fields[f].Mask != 0 {
+			bitmap |= 1 << uint(f)
+		}
+	}
+	b = appendU16(b, bitmap)
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		if bitmap&(1<<uint(f)) != 0 {
+			b = appendU64(b, r.Match.Fields[f].Value)
+			b = appendU64(b, r.Match.Fields[f].Mask)
+		}
+	}
+	return b
+}
+
+func decodeRule(r *reader) flowspace.Rule {
+	var rule flowspace.Rule
+	rule.ID = r.u64()
+	rule.Priority = int32(r.u32())
+	rule.Action.Kind = flowspace.ActionKind(r.u8())
+	rule.Action.Arg = r.u32()
+	bitmap := r.u16()
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		if bitmap&(1<<uint(f)) != 0 {
+			rule.Match.Fields[f].Value = r.u64()
+			rule.Match.Fields[f].Mask = r.u64()
+		}
+	}
+	return rule
+}
+
+// --- Per-message payloads ---------------------------------------------------
+
+func (m *Hello) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Node)
+	return append(b, byte(m.Role))
+}
+func (m *Hello) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Node = r.u32()
+	m.Role = Role(r.u8())
+	return r.err
+}
+
+func appendFlowModBody(b []byte, m *FlowMod) []byte {
+	b = append(b, byte(m.Table), byte(m.Op))
+	b = AppendRule(b, m.Rule)
+	b = appendF64(b, m.Idle)
+	b = appendF64(b, m.Hard)
+	return b
+}
+
+func decodeFlowModBody(r *reader) FlowMod {
+	var m FlowMod
+	m.Table = Table(r.u8())
+	m.Op = FlowModOp(r.u8())
+	m.Rule = decodeRule(r)
+	m.Idle = r.f64()
+	m.Hard = r.f64()
+	return m
+}
+
+func (m *FlowMod) appendPayload(b []byte) []byte { return appendFlowModBody(b, m) }
+func (m *FlowMod) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	*m = decodeFlowModBody(r)
+	return r.err
+}
+
+func (m *PacketIn) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Node)
+	b = appendU32(b, m.Size)
+	return appendBytes(b, m.Data)
+}
+func (m *PacketIn) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Node = r.u32()
+	m.Size = r.u32()
+	m.Data = r.bytes()
+	return r.err
+}
+
+func (m *PacketOut) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Node)
+	b = appendU32(b, m.Size)
+	return appendBytes(b, m.Data)
+}
+func (m *PacketOut) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Node = r.u32()
+	m.Size = r.u32()
+	m.Data = r.bytes()
+	return r.err
+}
+
+func (m *CacheInstall) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Ingress)
+	b = appendU32(b, uint32(len(m.Rules)))
+	for i := range m.Rules {
+		b = appendFlowModBody(b, &m.Rules[i])
+	}
+	return b
+}
+func (m *CacheInstall) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Ingress = r.u32()
+	n := int(r.u32())
+	if r.err != nil {
+		return r.err
+	}
+	if n > MaxFrame/16 {
+		return ErrTooLarge
+	}
+	m.Rules = nil
+	if n > 0 {
+		m.Rules = make([]FlowMod, 0, n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Rules = append(m.Rules, decodeFlowModBody(r))
+	}
+	return r.err
+}
+
+func (m *BarrierReq) appendPayload(b []byte) []byte { return appendU32(b, m.XID) }
+func (m *BarrierReq) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.XID = r.u32()
+	return r.err
+}
+
+func (m *BarrierReply) appendPayload(b []byte) []byte { return appendU32(b, m.XID) }
+func (m *BarrierReply) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.XID = r.u32()
+	return r.err
+}
+
+func (m *StatsReq) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.XID)
+	return appendU64(b, m.RuleID)
+}
+func (m *StatsReq) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.XID = r.u32()
+	m.RuleID = r.u64()
+	return r.err
+}
+
+func (m *StatsReply) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.XID)
+	b = appendU64(b, m.Packets)
+	b = appendU64(b, m.Bytes)
+	ok := byte(0)
+	if m.OK {
+		ok = 1
+	}
+	return append(b, ok)
+}
+func (m *StatsReply) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.XID = r.u32()
+	m.Packets = r.u64()
+	m.Bytes = r.u64()
+	m.OK = r.u8() != 0
+	return r.err
+}
+
+func (m *Error) appendPayload(b []byte) []byte {
+	b = appendU16(b, m.Code)
+	return appendBytes(b, []byte(m.Text))
+}
+func (m *Error) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Code = r.u16()
+	m.Text = string(r.bytes())
+	return r.err
+}
+
+// --- Framing ----------------------------------------------------------------
+
+// Encode appends the framed message to b.
+func Encode(b []byte, m Message) []byte {
+	start := len(b)
+	b = appendU32(b, 0) // length placeholder
+	b = append(b, byte(m.Type()))
+	b = m.appendPayload(b)
+	binary.BigEndian.PutUint32(b[start:], uint32(len(b)-start-4))
+	return b
+}
+
+// WriteMessage writes one framed message to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf := Encode(nil, m)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadMessage reads one framed message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(hdr[:4])
+	if length < 1 {
+		return nil, ErrTruncated
+	}
+	if length > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	payload := make([]byte, length-1)
+	if len(payload) > 0 {
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, err
+		}
+	}
+	m, err := newMessage(MsgType(hdr[4]))
+	if err != nil {
+		return nil, err
+	}
+	if err := m.decodePayload(payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case MsgHello:
+		return &Hello{}, nil
+	case MsgFlowMod:
+		return &FlowMod{}, nil
+	case MsgPacketIn:
+		return &PacketIn{}, nil
+	case MsgPacketOut:
+		return &PacketOut{}, nil
+	case MsgCacheInstall:
+		return &CacheInstall{}, nil
+	case MsgBarrierReq:
+		return &BarrierReq{}, nil
+	case MsgBarrierReply:
+		return &BarrierReply{}, nil
+	case MsgStatsReq:
+		return &StatsReq{}, nil
+	case MsgStatsReply:
+		return &StatsReply{}, nil
+	case MsgError:
+		return &Error{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
+	}
+}

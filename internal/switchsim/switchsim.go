@@ -1,0 +1,156 @@
+// Package switchsim models a DIFANE-capable switch's data-plane pipeline:
+// three TCAM-semantics tables consulted in order — cache rules, authority
+// rules, partition rules — exactly the rule hierarchy of the paper. The
+// forwarding decisions themselves (where a redirect goes, what cache rule
+// to generate) belong to the control logic in internal/core; this package
+// owns classification, table management via FlowMods, and counters.
+package switchsim
+
+import (
+	"fmt"
+
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+	"difane/internal/tcam"
+)
+
+// Stats aggregates a switch's data-plane counters.
+type Stats struct {
+	// CacheHits/AuthorityHits/PartitionHits count which table terminated
+	// classification.
+	CacheHits     uint64
+	AuthorityHits uint64
+	PartitionHits uint64
+	// Misses counts packets matching no table (policy holes).
+	Misses uint64
+}
+
+// Switch is one switch's rule state.
+type Switch struct {
+	ID uint32
+
+	cache     *tcam.Table
+	authority *tcam.Table
+	partition *tcam.Table
+
+	Stats Stats
+}
+
+// Config sizes a switch's tables.
+type Config struct {
+	// CacheCapacity bounds the ingress cache (0 = unlimited).
+	CacheCapacity int
+	// CacheEviction picks victims when the cache is full.
+	CacheEviction tcam.EvictionPolicy
+	// AuthorityCapacity bounds the authority table (0 = unlimited).
+	AuthorityCapacity int
+}
+
+// New creates a switch with the given table sizing.
+func New(id uint32, cfg Config) *Switch {
+	return &Switch{
+		ID:        id,
+		cache:     tcam.New(fmt.Sprintf("sw%d/cache", id), cfg.CacheCapacity, cfg.CacheEviction),
+		authority: tcam.New(fmt.Sprintf("sw%d/authority", id), cfg.AuthorityCapacity, tcam.EvictNone),
+		partition: tcam.New(fmt.Sprintf("sw%d/partition", id), 0, tcam.EvictNone),
+	}
+}
+
+// Table returns the named table (for inspection and installs).
+func (s *Switch) Table(t proto.Table) *tcam.Table {
+	switch t {
+	case proto.TableCache:
+		return s.cache
+	case proto.TableAuthority:
+		return s.authority
+	case proto.TablePartition:
+		return s.partition
+	default:
+		return nil
+	}
+}
+
+// Result is the outcome of classifying one packet.
+type Result struct {
+	Rule  flowspace.Rule
+	Table proto.Table
+	OK    bool
+}
+
+// Classify runs the pipeline: cache, then authority, then partition. The
+// matching table's counters are updated; earlier tables record misses.
+func (s *Switch) Classify(now float64, k flowspace.Key, size int) Result {
+	if r, ok := s.cache.Lookup(now, k, size); ok {
+		s.Stats.CacheHits++
+		return Result{Rule: r, Table: proto.TableCache, OK: true}
+	}
+	if r, ok := s.authority.Lookup(now, k, size); ok {
+		s.Stats.AuthorityHits++
+		return Result{Rule: r, Table: proto.TableAuthority, OK: true}
+	}
+	if r, ok := s.partition.Lookup(now, k, size); ok {
+		s.Stats.PartitionHits++
+		return Result{Rule: r, Table: proto.TablePartition, OK: true}
+	}
+	s.Stats.Misses++
+	return Result{}
+}
+
+// Peek classifies without touching any counters.
+func (s *Switch) Peek(k flowspace.Key) Result {
+	if r, ok := s.cache.Peek(k); ok {
+		return Result{Rule: r, Table: proto.TableCache, OK: true}
+	}
+	if r, ok := s.authority.Peek(k); ok {
+		return Result{Rule: r, Table: proto.TableAuthority, OK: true}
+	}
+	if r, ok := s.partition.Peek(k); ok {
+		return Result{Rule: r, Table: proto.TablePartition, OK: true}
+	}
+	return Result{}
+}
+
+// ApplyFlowMod installs or removes a rule per the message.
+func (s *Switch) ApplyFlowMod(now float64, m *proto.FlowMod) error {
+	tb := s.Table(m.Table)
+	if tb == nil {
+		return fmt.Errorf("switch %d: no such table %d", s.ID, m.Table)
+	}
+	switch m.Op {
+	case proto.OpAdd:
+		return tb.Insert(now, m.Rule, m.Idle, m.Hard)
+	case proto.OpDelete:
+		tb.Delete(m.Rule.ID)
+		return nil
+	default:
+		return fmt.Errorf("switch %d: unknown flow-mod op %d", s.ID, m.Op)
+	}
+}
+
+// Advance expires timed-out entries in all tables.
+func (s *Switch) Advance(now float64) {
+	s.cache.Advance(now)
+	s.authority.Advance(now)
+	s.partition.Advance(now)
+}
+
+// Counters answers a stats request by searching all tables.
+func (s *Switch) Counters(ruleID uint64) (packets, bytes uint64, ok bool) {
+	for _, tb := range []*tcam.Table{s.cache, s.authority, s.partition} {
+		if p, b, found := tb.Counters(ruleID); found {
+			return p, b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// ClearCache empties the cache table (used on policy changes) and returns
+// the number of entries removed.
+func (s *Switch) ClearCache() int {
+	return s.cache.DeleteWhere(func(tcam.Entry) bool { return true })
+}
+
+// String renders a diagnostic dump of all tables.
+func (s *Switch) String() string {
+	return fmt.Sprintf("switch %d\n%s%s%s", s.ID, s.cache, s.authority, s.partition)
+}

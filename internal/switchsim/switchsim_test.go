@@ -1,0 +1,173 @@
+package switchsim
+
+import (
+	"testing"
+
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+	"difane/internal/tcam"
+)
+
+func mkRule(id uint64, prio int32, port uint64, kind flowspace.ActionKind) flowspace.Rule {
+	m := flowspace.MatchAll()
+	if port != 0 {
+		m = m.WithExact(flowspace.FTPDst, port)
+	}
+	return flowspace.Rule{ID: id, Priority: prio, Match: m, Action: flowspace.Action{Kind: kind}}
+}
+
+func keyPort(p uint64) flowspace.Key {
+	var k flowspace.Key
+	k[flowspace.FTPDst] = p
+	return k
+}
+
+func add(t *testing.T, s *Switch, table proto.Table, r flowspace.Rule) {
+	t.Helper()
+	err := s.ApplyFlowMod(0, &proto.FlowMod{Table: table, Op: proto.OpAdd, Rule: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineOrder(t *testing.T) {
+	s := New(1, Config{})
+	add(t, s, proto.TablePartition, mkRule(1, 0, 0, flowspace.ActRedirect))
+	add(t, s, proto.TableAuthority, mkRule(2, 0, 80, flowspace.ActForward))
+	add(t, s, proto.TableCache, mkRule(3, 0, 80, flowspace.ActDrop))
+
+	// Port 80 hits the cache first even though authority also matches.
+	res := s.Classify(0, keyPort(80), 100)
+	if !res.OK || res.Table != proto.TableCache || res.Rule.ID != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Port 22 falls through cache and authority to the partition rule.
+	res = s.Classify(0, keyPort(22), 100)
+	if !res.OK || res.Table != proto.TablePartition || res.Rule.ID != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if s.Stats.CacheHits != 1 || s.Stats.PartitionHits != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestClassifyMiss(t *testing.T) {
+	s := New(1, Config{})
+	res := s.Classify(0, keyPort(80), 100)
+	if res.OK {
+		t.Fatal("empty switch must miss")
+	}
+	if s.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	s := New(1, Config{})
+	add(t, s, proto.TableAuthority, mkRule(1, 0, 80, flowspace.ActForward))
+	res := s.Peek(keyPort(80))
+	if !res.OK || res.Table != proto.TableAuthority {
+		t.Fatalf("res = %+v", res)
+	}
+	if s.Stats.AuthorityHits != 0 {
+		t.Fatal("peek must not count hits")
+	}
+	if !s.Peek(keyPort(80)).OK {
+		t.Fatal("peek must be repeatable")
+	}
+	if res := s.Peek(keyPort(22)); res.OK {
+		t.Fatal("peek miss must report !OK")
+	}
+}
+
+func TestFlowModDelete(t *testing.T) {
+	s := New(1, Config{})
+	add(t, s, proto.TableCache, mkRule(1, 0, 80, flowspace.ActForward))
+	err := s.ApplyFlowMod(1, &proto.FlowMod{
+		Table: proto.TableCache, Op: proto.OpDelete, Rule: flowspace.Rule{ID: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Peek(keyPort(80)).OK {
+		t.Fatal("deleted rule must not match")
+	}
+}
+
+func TestFlowModErrors(t *testing.T) {
+	s := New(1, Config{})
+	err := s.ApplyFlowMod(0, &proto.FlowMod{Table: proto.Table(9), Op: proto.OpAdd})
+	if err == nil {
+		t.Fatal("unknown table must error")
+	}
+	err = s.ApplyFlowMod(0, &proto.FlowMod{Table: proto.TableCache, Op: proto.FlowModOp(9)})
+	if err == nil {
+		t.Fatal("unknown op must error")
+	}
+}
+
+func TestCacheCapacityEviction(t *testing.T) {
+	s := New(1, Config{CacheCapacity: 2, CacheEviction: tcam.EvictLRU})
+	add(t, s, proto.TableCache, mkRule(1, 0, 1, flowspace.ActForward))
+	add(t, s, proto.TableCache, mkRule(2, 0, 2, flowspace.ActForward))
+	s.Classify(1, keyPort(1), 64) // rule 1 is now more recent
+	add(t, s, proto.TableCache, mkRule(3, 0, 3, flowspace.ActForward))
+	if s.Table(proto.TableCache).Len() != 2 {
+		t.Fatal("cache must stay at capacity")
+	}
+	if s.Peek(keyPort(2)).OK {
+		t.Fatal("LRU victim (rule 2) must be gone")
+	}
+}
+
+func TestAdvanceExpiresCaches(t *testing.T) {
+	s := New(1, Config{})
+	err := s.ApplyFlowMod(0, &proto.FlowMod{
+		Table: proto.TableCache, Op: proto.OpAdd,
+		Rule: mkRule(1, 0, 80, flowspace.ActForward), Idle: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Advance(4)
+	if !s.Peek(keyPort(80)).OK {
+		t.Fatal("entry must survive before timeout")
+	}
+	s.Advance(6)
+	if s.Peek(keyPort(80)).OK {
+		t.Fatal("entry must idle-expire")
+	}
+}
+
+func TestCountersAcrossTables(t *testing.T) {
+	s := New(1, Config{})
+	add(t, s, proto.TableAuthority, mkRule(7, 0, 80, flowspace.ActForward))
+	s.Classify(1, keyPort(80), 500)
+	p, b, ok := s.Counters(7)
+	if !ok || p != 1 || b != 500 {
+		t.Fatalf("counters = %d/%d ok=%v", p, b, ok)
+	}
+	if _, _, ok := s.Counters(99); ok {
+		t.Fatal("unknown rule must report !ok")
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	s := New(1, Config{})
+	add(t, s, proto.TableCache, mkRule(1, 0, 1, flowspace.ActForward))
+	add(t, s, proto.TableCache, mkRule(2, 0, 2, flowspace.ActForward))
+	add(t, s, proto.TableAuthority, mkRule(3, 0, 3, flowspace.ActForward))
+	if n := s.ClearCache(); n != 2 {
+		t.Fatalf("cleared %d", n)
+	}
+	if !s.Peek(keyPort(3)).OK {
+		t.Fatal("authority table must survive a cache clear")
+	}
+}
+
+func TestStringRenders(t *testing.T) {
+	s := New(1, Config{})
+	if s.String() == "" {
+		t.Fatal("String must render")
+	}
+}

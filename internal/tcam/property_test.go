@@ -1,0 +1,179 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"difane/internal/flowspace"
+)
+
+// refModel is a brute-force reference for eviction/timeout behaviour:
+// a plain slice of entries with the same bookkeeping, no ordering tricks.
+type refModel struct {
+	capacity int
+	policy   EvictionPolicy
+	entries  []refEntry
+}
+
+type refEntry struct {
+	rule       flowspace.Rule
+	packets    uint64
+	lastHit    float64
+	installed  float64
+	idle, hard float64
+}
+
+func (m *refModel) insert(now float64, r flowspace.Rule, idle, hard float64) bool {
+	for i := range m.entries {
+		if m.entries[i].rule.ID == r.ID {
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			break
+		}
+	}
+	if m.capacity > 0 && len(m.entries) >= m.capacity {
+		if m.policy == EvictNone {
+			return false
+		}
+		victim := 0
+		better := func(a, b refEntry) bool {
+			switch m.policy {
+			case EvictLRU:
+				if a.lastHit != b.lastHit {
+					return a.lastHit < b.lastHit
+				}
+				if a.packets != b.packets {
+					return a.packets < b.packets
+				}
+			case EvictLFU:
+				if a.packets != b.packets {
+					return a.packets < b.packets
+				}
+				if a.lastHit != b.lastHit {
+					return a.lastHit < b.lastHit
+				}
+			}
+			return a.rule.ID < b.rule.ID
+		}
+		for i := 1; i < len(m.entries); i++ {
+			if better(m.entries[i], m.entries[victim]) {
+				victim = i
+			}
+		}
+		m.entries = append(m.entries[:victim], m.entries[victim+1:]...)
+	}
+	m.entries = append(m.entries, refEntry{
+		rule: r, lastHit: now, installed: now, idle: idle, hard: hard,
+	})
+	return true
+}
+
+func (m *refModel) lookup(now float64, k flowspace.Key) (flowspace.Rule, bool) {
+	best := -1
+	for i := range m.entries {
+		if !m.entries[i].rule.Match.Matches(k) {
+			continue
+		}
+		if best < 0 || m.entries[i].rule.Before(m.entries[best].rule) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return flowspace.Rule{}, false
+	}
+	m.entries[best].packets++
+	m.entries[best].lastHit = now
+	return m.entries[best].rule, true
+}
+
+func (m *refModel) advance(now float64) {
+	kept := m.entries[:0]
+	for _, e := range m.entries {
+		expired := false
+		if e.idle > 0 && e.lastHit+e.idle <= now {
+			expired = true
+		}
+		if e.hard > 0 && e.installed+e.hard <= now {
+			expired = true
+		}
+		if !expired {
+			kept = append(kept, e)
+		}
+	}
+	m.entries = kept
+}
+
+func (m *refModel) ids() map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, e := range m.entries {
+		out[e.rule.ID] = true
+	}
+	return out
+}
+
+// TestTableMatchesReferenceModel drives random operation sequences through
+// the TCAM table and the brute-force model and requires identical
+// observable behaviour: same lookup results, same resident rule sets.
+func TestTableMatchesReferenceModel(t *testing.T) {
+	for _, policy := range []EvictionPolicy{EvictNone, EvictLRU, EvictLFU} {
+		rng := rand.New(rand.NewSource(149 + int64(policy)))
+		tb := New("prop", 8, policy)
+		ref := &refModel{capacity: 8, policy: policy}
+		now := 0.0
+		for step := 0; step < 4000; step++ {
+			now += rng.Float64() * 0.5
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				r := rule(uint64(1+rng.Intn(20)), int32(rng.Intn(5)), uint64(rng.Intn(8)))
+				idle := 0.0
+				if rng.Intn(3) == 0 {
+					idle = 1 + rng.Float64()*3
+				}
+				hard := 0.0
+				if rng.Intn(4) == 0 {
+					hard = 2 + rng.Float64()*5
+				}
+				tb.Advance(now)
+				ref.advance(now)
+				gotErr := tb.Insert(now, r, idle, hard) != nil
+				wantErr := !ref.insert(now, r, idle, hard)
+				if gotErr != wantErr {
+					t.Fatalf("%v step %d: insert err=%v want %v", policy, step, gotErr, wantErr)
+				}
+			case 4, 5, 6, 7: // lookup
+				k := keyPort(uint64(rng.Intn(8)))
+				tb.Advance(now)
+				ref.advance(now)
+				got, gotOK := tb.Lookup(now, k, 64)
+				want, wantOK := ref.lookup(now, k)
+				if gotOK != wantOK || (gotOK && got.ID != want.ID) {
+					t.Fatalf("%v step %d: lookup %v/%v want %v/%v", policy, step, got, gotOK, want, wantOK)
+				}
+			case 8: // delete
+				id := uint64(1 + rng.Intn(20))
+				tb.Delete(id)
+				for i := range ref.entries {
+					if ref.entries[i].rule.ID == id {
+						ref.entries = append(ref.entries[:i], ref.entries[i+1:]...)
+						break
+					}
+				}
+			case 9: // expiry sweep + resident-set comparison
+				tb.Advance(now)
+				ref.advance(now)
+				gotIDs := map[uint64]bool{}
+				for _, r := range tb.Rules() {
+					gotIDs[r.ID] = true
+				}
+				wantIDs := ref.ids()
+				if len(gotIDs) != len(wantIDs) {
+					t.Fatalf("%v step %d: resident %v want %v", policy, step, gotIDs, wantIDs)
+				}
+				for id := range wantIDs {
+					if !gotIDs[id] {
+						t.Fatalf("%v step %d: missing rule %d", policy, step, id)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package tcam models a switch rule table with TCAM semantics: prioritized
+// ternary rules, highest-priority-first lookup, per-rule packet/byte
+// counters, idle and hard timeouts, and a capacity limit.
+//
+// Time is explicit (float64 seconds) rather than wall clock so the table is
+// deterministic under the discrete-event simulator; the wire-mode prototype
+// feeds it monotonic time converted to seconds.
+package tcam
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"difane/internal/flowspace"
+)
+
+// ErrFull is returned by Insert when the table is at capacity and no
+// eviction candidate exists.
+var ErrFull = errors.New("tcam: table full")
+
+// Entry is one installed rule plus its runtime state.
+type Entry struct {
+	Rule flowspace.Rule
+
+	// Counters.
+	Packets uint64
+	Bytes   uint64
+
+	// Timeouts, in seconds; zero disables. IdleTimeout expires the entry
+	// when no packet has matched for that long; HardTimeout expires it that
+	// long after installation regardless of traffic.
+	IdleTimeout float64
+	HardTimeout float64
+
+	installed float64
+	lastHit   float64
+}
+
+// expiresAt returns the earliest time the entry can expire, or +inf-ish.
+func (e *Entry) expiresAt() float64 {
+	const never = 1e30
+	t := never
+	if e.IdleTimeout > 0 && e.lastHit+e.IdleTimeout < t {
+		t = e.lastHit + e.IdleTimeout
+	}
+	if e.HardTimeout > 0 && e.installed+e.HardTimeout < t {
+		t = e.installed + e.HardTimeout
+	}
+	return t
+}
+
+// EvictionPolicy selects a victim when the table is full.
+type EvictionPolicy int
+
+const (
+	// EvictNone rejects inserts into a full table with ErrFull.
+	EvictNone EvictionPolicy = iota
+	// EvictLRU removes the entry with the oldest last-hit time.
+	EvictLRU
+	// EvictLFU removes the entry with the fewest matched packets.
+	EvictLFU
+)
+
+// Table is a TCAM-semantics rule table. It is not safe for concurrent use;
+// callers in the wire prototype serialize access per switch.
+type Table struct {
+	name     string
+	capacity int // 0 = unlimited
+	policy   EvictionPolicy
+
+	entries []*Entry // kept in TCAM order: highest priority first
+	byID    map[uint64]*Entry
+
+	// OnExpire, if non-nil, is invoked for each entry removed by Advance.
+	OnExpire func(Entry)
+
+	// Misses counts lookups that matched no entry.
+	Misses uint64
+	// Hits counts lookups that matched an entry.
+	Hits uint64
+	// Evictions counts capacity evictions.
+	Evictions uint64
+}
+
+// New returns an empty table. capacity 0 means unlimited.
+func New(name string, capacity int, policy EvictionPolicy) *Table {
+	return &Table{
+		name:     name,
+		capacity: capacity,
+		policy:   policy,
+		byID:     make(map[uint64]*Entry),
+	}
+}
+
+// Name returns the table's diagnostic name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Capacity returns the entry limit (0 = unlimited).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Insert installs a rule at time now. If a rule with the same ID exists it
+// is replaced in place (counters reset, as an OpenFlow flow-mod would). If
+// the table is full the eviction policy picks a victim; with EvictNone the
+// insert fails with ErrFull.
+func (t *Table) Insert(now float64, r flowspace.Rule, idle, hard float64) error {
+	if old, ok := t.byID[r.ID]; ok {
+		t.removeEntry(old)
+	}
+	if t.capacity > 0 && len(t.entries) >= t.capacity {
+		if t.policy == EvictNone {
+			return ErrFull
+		}
+		victim := t.pickVictim()
+		if victim == nil {
+			return ErrFull
+		}
+		t.removeEntry(victim)
+		t.Evictions++
+	}
+	e := &Entry{
+		Rule:        r,
+		IdleTimeout: idle,
+		HardTimeout: hard,
+		installed:   now,
+		lastHit:     now,
+	}
+	// Insert preserving TCAM order.
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return !t.entries[i].Rule.Before(r)
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	t.byID[r.ID] = e
+	return nil
+}
+
+// Delete removes the rule with the given ID, reporting whether it existed.
+func (t *Table) Delete(id uint64) bool {
+	e, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.removeEntry(e)
+	return true
+}
+
+// DeleteWhere removes all entries for which pred returns true and returns
+// how many were removed.
+func (t *Table) DeleteWhere(pred func(Entry) bool) int {
+	var victims []*Entry
+	for _, e := range t.entries {
+		if pred(*e) {
+			victims = append(victims, e)
+		}
+	}
+	for _, e := range victims {
+		t.removeEntry(e)
+	}
+	return len(victims)
+}
+
+func (t *Table) removeEntry(e *Entry) {
+	delete(t.byID, e.Rule.ID)
+	for i, x := range t.entries {
+		if x == e {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// pickVictim returns the entry to evict under a total order, so eviction
+// is deterministic: LRU orders by (lastHit, packets, ID) ascending, LFU by
+// (packets, lastHit, ID) ascending.
+func (t *Table) pickVictim() *Entry {
+	var victim *Entry
+	better := func(a, b *Entry) bool {
+		switch t.policy {
+		case EvictLRU:
+			if a.lastHit != b.lastHit {
+				return a.lastHit < b.lastHit
+			}
+			if a.Packets != b.Packets {
+				return a.Packets < b.Packets
+			}
+		case EvictLFU:
+			if a.Packets != b.Packets {
+				return a.Packets < b.Packets
+			}
+			if a.lastHit != b.lastHit {
+				return a.lastHit < b.lastHit
+			}
+		}
+		return a.Rule.ID < b.Rule.ID
+	}
+	for _, e := range t.entries {
+		if victim == nil || better(e, victim) {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Lookup returns the highest-priority entry matching k, updating counters
+// with the packet's size, and false on a miss.
+func (t *Table) Lookup(now float64, k flowspace.Key, size int) (flowspace.Rule, bool) {
+	for _, e := range t.entries {
+		if e.Rule.Match.Matches(k) {
+			e.Packets++
+			e.Bytes += uint64(size)
+			e.lastHit = now
+			t.Hits++
+			return e.Rule, true
+		}
+	}
+	t.Misses++
+	return flowspace.Rule{}, false
+}
+
+// Peek is Lookup without counter updates — for analysis passes.
+func (t *Table) Peek(k flowspace.Key) (flowspace.Rule, bool) {
+	for _, e := range t.entries {
+		if e.Rule.Match.Matches(k) {
+			return e.Rule, true
+		}
+	}
+	return flowspace.Rule{}, false
+}
+
+// Advance expires entries whose idle or hard timeout has passed by time
+// now, invoking OnExpire for each.
+func (t *Table) Advance(now float64) {
+	var expired []*Entry
+	for _, e := range t.entries {
+		if e.expiresAt() <= now {
+			expired = append(expired, e)
+		}
+	}
+	for _, e := range expired {
+		t.removeEntry(e)
+		if t.OnExpire != nil {
+			t.OnExpire(*e)
+		}
+	}
+}
+
+// NextExpiry returns the earliest pending expiry time and false if no entry
+// has a timeout armed.
+func (t *Table) NextExpiry() (float64, bool) {
+	const never = 1e30
+	best := never
+	for _, e := range t.entries {
+		if at := e.expiresAt(); at < best {
+			best = at
+		}
+	}
+	return best, best < never
+}
+
+// Entries returns a snapshot of the entries in TCAM order.
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = *e
+	}
+	return out
+}
+
+// Counters returns the packet/byte counters for rule id.
+func (t *Table) Counters(id uint64) (packets, bytes uint64, ok bool) {
+	e, found := t.byID[id]
+	if !found {
+		return 0, 0, false
+	}
+	return e.Packets, e.Bytes, true
+}
+
+// Rules returns the installed rules in TCAM order.
+func (t *Table) Rules() []flowspace.Rule {
+	out := make([]flowspace.Rule, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = e.Rule
+	}
+	return out
+}
+
+// String renders a small diagnostic dump.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "table %s (%d/%d entries, %d hits, %d misses)\n",
+		t.name, len(t.entries), t.capacity, t.Hits, t.Misses)
+	for _, e := range t.entries {
+		fmt.Fprintf(&b, "  %v pkts=%d\n", e.Rule, e.Packets)
+	}
+	return b.String()
+}

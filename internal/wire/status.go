@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"difane/internal/proto"
+)
+
+// SwitchStatus is one switch's state in the status report.
+type SwitchStatus struct {
+	ID             uint32 `json:"id"`
+	CacheEntries   int    `json:"cache_entries"`
+	AuthorityRules int    `json:"authority_rules"`
+	PartitionRules int    `json:"partition_rules"`
+	CacheHits      uint64 `json:"cache_hits"`
+	AuthorityHits  uint64 `json:"authority_hits"`
+	PartitionHits  uint64 `json:"partition_hits"`
+	Misses         uint64 `json:"misses"`
+	QueueDepth     int    `json:"queue_depth"`
+}
+
+// Status is the cluster-wide state report served at /status.
+type Status struct {
+	Switches []SwitchStatus `json:"switches"`
+	Dropped  uint64         `json:"dropped"`
+}
+
+// Status snapshots the cluster's state.
+func (c *Cluster) Status() Status {
+	ids := make([]uint32, 0, len(c.switches))
+	for id := range c.switches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	st := Status{Dropped: c.dropped.Load()}
+	for _, id := range ids {
+		n := c.switches[id]
+		n.mu.Lock()
+		ss := SwitchStatus{
+			ID:             id,
+			CacheEntries:   n.sw.Table(proto.TableCache).Len(),
+			AuthorityRules: n.sw.Table(proto.TableAuthority).Len(),
+			PartitionRules: n.sw.Table(proto.TablePartition).Len(),
+			CacheHits:      n.sw.Stats.CacheHits,
+			AuthorityHits:  n.sw.Stats.AuthorityHits,
+			PartitionHits:  n.sw.Stats.PartitionHits,
+			Misses:         n.sw.Stats.Misses,
+			QueueDepth:     len(n.data),
+		}
+		n.mu.Unlock()
+		st.Switches = append(st.Switches, ss)
+	}
+	return st
+}
+
+// StatusHandler returns an http.Handler serving the cluster status as
+// JSON — mountable into any mux for operational visibility:
+//
+//	http.Handle("/status", cluster.StatusHandler())
+func (c *Cluster) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c.Status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"difane/internal/core"
+)
+
+func TestStatusSnapshot(t *testing.T) {
+	c := newCluster(t, core.StrategyCover)
+	c.Inject(0, httpHeader(1), 100)
+	awaitDelivery(t, c)
+	st := c.Status()
+	if len(st.Switches) != 5 {
+		t.Fatalf("switches = %d", len(st.Switches))
+	}
+	// Sorted by ID, partition rules everywhere, the authority hosts rules.
+	var sawAuthorityRules, sawPartitionHit bool
+	for i, ss := range st.Switches {
+		if i > 0 && ss.ID <= st.Switches[i-1].ID {
+			t.Fatal("status must be ID-sorted")
+		}
+		if ss.PartitionRules == 0 {
+			t.Fatalf("switch %d has no partition rules", ss.ID)
+		}
+		if ss.AuthorityRules > 0 {
+			sawAuthorityRules = true
+		}
+		if ss.PartitionHits > 0 {
+			sawPartitionHit = true
+		}
+	}
+	if !sawAuthorityRules || !sawPartitionHit {
+		t.Fatalf("status missing activity: %+v", st)
+	}
+}
+
+func TestStatusHandlerServesJSON(t *testing.T) {
+	c := newCluster(t, core.StrategyCover)
+	c.Inject(0, httpHeader(1), 100)
+	awaitDelivery(t, c)
+	// Let the cache install land so the snapshot is interesting.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.CacheLen(0) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	srv := httptest.NewServer(c.StatusHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Switches) != 5 {
+		t.Fatalf("decoded switches = %d", len(st.Switches))
+	}
+	found := false
+	for _, ss := range st.Switches {
+		if ss.ID == 0 && ss.CacheEntries > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ingress cache entry must be visible: %+v", st)
+	}
+
+	// Non-GET is rejected.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d", resp2.StatusCode)
+	}
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+
+	"difane/internal/proto"
+)
+
+// dialControlTCP establishes the cluster's control connections over real
+// TCP on the loopback interface instead of net.Pipe: the controller
+// listens, every switch dials and identifies itself with a Hello, and the
+// accepted connection becomes the controller side. Exercises the full
+// framing path through the kernel socket layer.
+func dialControlTCP(ids []uint32) (switchSide, controllerSide map[uint32]net.Conn, closeAll func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	switchSide = make(map[uint32]net.Conn, len(ids))
+	controllerSide = make(map[uint32]net.Conn, len(ids))
+
+	fail := func(e error) (map[uint32]net.Conn, map[uint32]net.Conn, func(), error) {
+		for _, c := range switchSide {
+			c.Close()
+		}
+		for _, c := range controllerSide {
+			c.Close()
+		}
+		ln.Close()
+		return nil, nil, nil, e
+	}
+
+	type accepted struct {
+		conn net.Conn
+		node uint32
+		err  error
+	}
+	acceptCh := make(chan accepted, len(ids))
+	go func() {
+		for range ids {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{err: err}
+				return
+			}
+			go func(conn net.Conn) {
+				msg, err := proto.ReadMessage(conn)
+				if err != nil {
+					acceptCh <- accepted{err: err}
+					conn.Close()
+					return
+				}
+				hello, ok := msg.(*proto.Hello)
+				if !ok {
+					acceptCh <- accepted{err: fmt.Errorf("wire: expected hello, got %v", msg.Type())}
+					conn.Close()
+					return
+				}
+				acceptCh <- accepted{conn: conn, node: hello.Node}
+			}(conn)
+		}
+	}()
+
+	for _, id := range ids {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			return fail(err)
+		}
+		if err := proto.WriteMessage(conn, &proto.Hello{Node: id, Role: RoleForNode}); err != nil {
+			conn.Close()
+			return fail(err)
+		}
+		switchSide[id] = conn
+	}
+	for range ids {
+		a := <-acceptCh
+		if a.err != nil {
+			return fail(a.err)
+		}
+		if _, dup := controllerSide[a.node]; dup {
+			a.conn.Close()
+			return fail(fmt.Errorf("wire: duplicate hello from node %d", a.node))
+		}
+		if _, known := switchSide[a.node]; !known {
+			a.conn.Close()
+			return fail(fmt.Errorf("wire: hello from unknown node %d", a.node))
+		}
+		controllerSide[a.node] = a.conn
+	}
+	closeAll = func() {
+		ln.Close()
+		for _, c := range switchSide {
+			c.Close()
+		}
+		for _, c := range controllerSide {
+			c.Close()
+		}
+	}
+	return switchSide, controllerSide, closeAll, nil
+}
+
+// RoleForNode is the role switches announce in their TCP hello.
+const RoleForNode = proto.RoleIngress

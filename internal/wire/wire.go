@@ -1,0 +1,487 @@
+// Package wire runs a DIFANE deployment as real concurrent components: one
+// goroutine per switch, data-plane frames as encoded packets over
+// channels, and control-plane messages as framed proto messages over
+// net.Pipe connections — the prototype-style counterpart to the
+// discrete-event simulator in internal/core. It validates that the
+// protocol, the pipeline, and the cache-install feedback loop work under
+// real concurrency, and feeds the wire-path microbenchmarks.
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+	"difane/internal/proto"
+	"difane/internal/switchsim"
+)
+
+// Delivery reports one packet reaching its egress.
+type Delivery struct {
+	Egress  uint32
+	Header  packet.Header
+	Detour  bool // true if the packet travelled via an authority switch
+	Latency time.Duration
+}
+
+// Cluster is a running wire-mode DIFANE deployment.
+type Cluster struct {
+	cfg ClusterConfig
+
+	switches map[uint32]*node
+	// Deliveries receives every packet that reaches an egress.
+	Deliveries chan Delivery
+
+	dropped atomic.Uint64
+
+	ctx            context.Context
+	cancel         context.CancelFunc
+	wg             sync.WaitGroup
+	closeTransport func()
+}
+
+// ClusterConfig sizes the deployment.
+type ClusterConfig struct {
+	// Switches lists all switch IDs.
+	Switches []uint32
+	// Authorities lists the switches hosting authority rules.
+	Authorities []uint32
+	// Policy is the global rule set.
+	Policy []flowspace.Rule
+	// Strategy picks the cache-rule scheme.
+	Strategy core.CacheStrategy
+	// CacheCapacity bounds ingress caches (0 = unlimited).
+	CacheCapacity int
+	// QueueDepth sizes each switch's ingress frame queue.
+	QueueDepth int
+	// UseTCP runs the control plane over loopback TCP sockets instead of
+	// in-process pipes, exercising real kernel socket framing.
+	UseTCP bool
+	// Partition tunes the partitioner.
+	Partition core.PartitionConfig
+}
+
+// node is one switch goroutine with its tables, data queue, and control
+// connection.
+type node struct {
+	id uint32
+	mu sync.Mutex
+	sw *switchsim.Switch
+
+	auths []*core.Authority
+
+	data chan dataFrame
+
+	// ctrl is the switch side of the control connection and ctrlPeer the
+	// controller side. The switch reads commands from ctrl and writes
+	// replies (and authority cache-install requests) back on it; the
+	// controller relay reads ctrlPeer. Cache installs from authority
+	// switches travel switch → controller → target ingress switch, as in
+	// the paper's prototype.
+	ctrl     net.Conn
+	ctrlPeer net.Conn
+	// replies carries barrier/stats replies back to controller-side
+	// callers (Barrier, Stats).
+	replies chan proto.Message
+}
+
+type dataFrame struct {
+	buf      []byte
+	size     int
+	injected time.Time
+	detour   bool
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Switches) == 0 || len(cfg.Authorities) == 0 {
+		return nil, fmt.Errorf("wire: need switches and authorities")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	parts := core.BuildPartitions(cfg.Policy, cfg.Partition)
+	assign, err := core.Assign(parts, cfg.Authorities)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Cluster{
+		cfg:        cfg,
+		switches:   make(map[uint32]*node),
+		Deliveries: make(chan Delivery, cfg.QueueDepth),
+		ctx:        ctx,
+		cancel:     cancel,
+	}
+	var tcpSwitch, tcpCtrl map[uint32]net.Conn
+	if cfg.UseTCP {
+		var closeAll func()
+		var err error
+		tcpSwitch, tcpCtrl, closeAll, err = dialControlTCP(cfg.Switches)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		c.closeTransport = closeAll
+	}
+	for _, id := range cfg.Switches {
+		var swConn, ctrlConn net.Conn
+		if cfg.UseTCP {
+			swConn, ctrlConn = tcpSwitch[id], tcpCtrl[id]
+		} else {
+			swConn, ctrlConn = net.Pipe()
+		}
+		n := &node{
+			id: id,
+			sw: switchsim.New(id, switchsim.Config{
+				CacheCapacity: cfg.CacheCapacity,
+			}),
+			data:     make(chan dataFrame, cfg.QueueDepth),
+			ctrl:     swConn,
+			ctrlPeer: ctrlConn,
+			replies:  make(chan proto.Message, 16),
+		}
+		c.switches[id] = n
+	}
+	// Install partition rules everywhere and authority state at hosts.
+	now := 0.0
+	prules := assign.PartitionRules(1 << 50)
+	for _, n := range c.switches {
+		for _, r := range prules {
+			mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd, Rule: r}
+			if err := n.sw.ApplyFlowMod(now, &mod); err != nil {
+				cancel()
+				return nil, err
+			}
+		}
+	}
+	for i, p := range assign.Partitions {
+		hosts := []uint32{assign.Primary[i]}
+		if assign.Backup[i] != assign.Primary[i] {
+			hosts = append(hosts, assign.Backup[i])
+		}
+		for _, h := range hosts {
+			n, ok := c.switches[h]
+			if !ok {
+				cancel()
+				return nil, fmt.Errorf("wire: authority %d not a cluster switch", h)
+			}
+			n.auths = append(n.auths, core.NewAuthority(h, p, cfg.Strategy))
+			for _, r := range p.Rules {
+				mod := proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Rule: r}
+				if err := n.sw.ApplyFlowMod(now, &mod); err != nil {
+					cancel()
+					return nil, err
+				}
+			}
+		}
+	}
+	for _, n := range c.switches {
+		c.wg.Add(3)
+		go c.dataLoop(n)
+		go c.switchCtrlLoop(n)
+		go c.controllerRelayLoop(n)
+	}
+	return c, nil
+}
+
+// Inject enqueues a packet at the ingress switch's data queue. It returns
+// false if the queue is full (backpressure).
+func (c *Cluster) Inject(ingress uint32, h packet.Header, size int) bool {
+	n, ok := c.switches[ingress]
+	if !ok {
+		return false
+	}
+	p := packet.Packet{Header: h, Size: size}
+	frame := dataFrame{buf: p.AppendWire(nil), size: size, injected: time.Now()}
+	select {
+	case n.data <- frame:
+		return true
+	default:
+		c.dropped.Add(1)
+		return false
+	}
+}
+
+// Dropped returns packets shed by full queues.
+func (c *Cluster) Dropped() uint64 { return c.dropped.Load() }
+
+// dataLoop is a switch's data plane: decode, classify, act.
+func (c *Cluster) dataLoop(n *node) {
+	defer c.wg.Done()
+	var pkt packet.Packet
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case frame := <-n.data:
+			if _, err := pkt.DecodeWire(frame.buf); err != nil {
+				c.dropped.Add(1)
+				continue
+			}
+			c.handlePacket(n, &pkt, frame)
+		}
+	}
+}
+
+func (c *Cluster) handlePacket(n *node, pkt *packet.Packet, frame dataFrame) {
+	// Tunnel termination: a packet encapsulated to this switch is delivered.
+	if e := pkt.Encap; e != nil && e.Reason == packet.EncapTunnel && e.Target == n.id {
+		c.deliver(n.id, pkt, frame)
+		return
+	}
+	// Redirected packet arriving at an authority switch.
+	if e := pkt.Encap; e != nil && e.Reason == packet.EncapRedirect && e.Target == n.id {
+		c.authorityHandle(n, pkt, frame)
+		return
+	}
+	k := pkt.Header.Key()
+	n.mu.Lock()
+	res := n.sw.Classify(nowSec(), k, frame.size)
+	n.mu.Unlock()
+	if !res.OK {
+		c.dropped.Add(1)
+		return
+	}
+	switch res.Rule.Action.Kind {
+	case flowspace.ActDrop:
+		// Policy drop: intentional, not counted as a loss.
+	case flowspace.ActForward:
+		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
+	case flowspace.ActRedirect:
+		frame.detour = true
+		q := pkt.Clone()
+		q.Encapsulate(packet.EncapRedirect, n.id, res.Rule.Action.Arg)
+		c.forwardFrame(res.Rule.Action.Arg, q, frame)
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// authorityHandle runs the partition logic for a redirected packet and
+// sends the cache install back to the ingress switch over its control
+// connection.
+func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) {
+	e := pkt.Decapsulate()
+	k := pkt.Header.Key()
+	var auth *core.Authority
+	n.mu.Lock()
+	for _, a := range n.auths {
+		if a.Partition.Region.Matches(k) {
+			auth = a
+			break
+		}
+	}
+	var res core.MissResult
+	if auth != nil {
+		res = auth.HandleMiss(k)
+	}
+	n.mu.Unlock()
+	if auth == nil || !res.OK {
+		c.dropped.Add(1)
+		return
+	}
+	if len(res.CacheMods) > 0 {
+		install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
+		// The authority switch writes on its switch end; the controller
+		// relay reads the other end and forwards to the ingress switch.
+		_ = proto.WriteMessage(n.ctrl, install)
+	}
+	switch res.Rule.Action.Kind {
+	case flowspace.ActDrop:
+		// Policy drop at the authority.
+	case flowspace.ActForward:
+		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+// tunnelTo encapsulates the packet toward its egress and forwards it.
+func (c *Cluster) tunnelTo(egress, from uint32, pkt *packet.Packet, frame dataFrame) {
+	if egress == from {
+		c.deliver(from, pkt, frame)
+		return
+	}
+	q := pkt.Clone()
+	q.Encapsulate(packet.EncapTunnel, from, egress)
+	c.forwardFrame(egress, q, frame)
+}
+
+func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
+	dst, ok := c.switches[to]
+	if !ok {
+		c.dropped.Add(1)
+		return
+	}
+	out := dataFrame{buf: pkt.AppendWire(nil), size: frame.size,
+		injected: frame.injected, detour: frame.detour}
+	select {
+	case dst.data <- out:
+	default:
+		c.dropped.Add(1)
+	}
+}
+
+func (c *Cluster) deliver(at uint32, pkt *packet.Packet, frame dataFrame) {
+	d := Delivery{
+		Egress:  at,
+		Header:  pkt.Header,
+		Detour:  frame.detour,
+		Latency: time.Since(frame.injected),
+	}
+	select {
+	case c.Deliveries <- d:
+	default:
+		// Receiver not draining: drop the notification, not the packet.
+	}
+}
+
+// switchCtrlLoop is the switch side of the control connection: it applies
+// commands from the controller and answers barriers and stats requests.
+func (c *Cluster) switchCtrlLoop(n *node) {
+	defer c.wg.Done()
+	go func() {
+		<-c.ctx.Done()
+		n.ctrl.Close()
+		n.ctrlPeer.Close()
+	}()
+	for {
+		msg, err := proto.ReadMessage(n.ctrl)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *proto.FlowMod:
+			n.mu.Lock()
+			_ = n.sw.ApplyFlowMod(nowSec(), m)
+			n.mu.Unlock()
+		case *proto.CacheInstall:
+			// Relayed from an authority switch via the controller.
+			n.mu.Lock()
+			for i := range m.Rules {
+				_ = n.sw.ApplyFlowMod(nowSec(), &m.Rules[i])
+			}
+			n.mu.Unlock()
+		case *proto.BarrierReq:
+			// Replies are written asynchronously: net.Pipe writes block
+			// until read, and a reply written inline from this loop could
+			// deadlock against a relay writing toward this switch.
+			reply := &proto.BarrierReply{XID: m.XID}
+			go func() { _ = proto.WriteMessage(n.ctrl, reply) }()
+		case *proto.StatsReq:
+			n.mu.Lock()
+			pkts, bytes, ok := n.sw.Counters(m.RuleID)
+			n.mu.Unlock()
+			reply := &proto.StatsReply{XID: m.XID, Packets: pkts, Bytes: bytes, OK: ok}
+			go func() { _ = proto.WriteMessage(n.ctrl, reply) }()
+		}
+	}
+}
+
+// controllerRelayLoop is the controller side: it reads what the switch
+// sends upstream (cache installs, replies) and either relays or hands the
+// message to a waiting caller.
+func (c *Cluster) controllerRelayLoop(n *node) {
+	defer c.wg.Done()
+	for {
+		msg, err := proto.ReadMessage(n.ctrlPeer)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *proto.CacheInstall:
+			dst, ok := c.switches[m.Ingress]
+			if !ok {
+				continue
+			}
+			// Asynchronous for the same deadlock-avoidance reason as the
+			// switch-side replies.
+			go func() { _ = proto.WriteMessage(dst.ctrlPeer, m) }()
+		case *proto.BarrierReply, *proto.StatsReply:
+			select {
+			case n.replies <- m:
+			default:
+			}
+		}
+	}
+}
+
+// Barrier round-trips a barrier through a switch's control connection,
+// fencing previously sent control messages.
+func (c *Cluster) Barrier(sw uint32, xid uint32) error {
+	n, ok := c.switches[sw]
+	if !ok {
+		return fmt.Errorf("wire: no switch %d", sw)
+	}
+	if err := proto.WriteMessage(n.ctrlPeer, &proto.BarrierReq{XID: xid}); err != nil {
+		return err
+	}
+	select {
+	case msg := <-n.replies:
+		if rep, ok := msg.(*proto.BarrierReply); !ok || rep.XID != xid {
+			return fmt.Errorf("wire: unexpected barrier reply %v", msg)
+		}
+		return nil
+	case <-time.After(5 * time.Second):
+		return fmt.Errorf("wire: barrier timeout")
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	}
+}
+
+// Stats fetches a rule's counters from a switch over the control plane.
+func (c *Cluster) Stats(sw uint32, ruleID uint64, xid uint32) (*proto.StatsReply, error) {
+	n, ok := c.switches[sw]
+	if !ok {
+		return nil, fmt.Errorf("wire: no switch %d", sw)
+	}
+	if err := proto.WriteMessage(n.ctrlPeer, &proto.StatsReq{XID: xid, RuleID: ruleID}); err != nil {
+		return nil, err
+	}
+	select {
+	case msg := <-n.replies:
+		rep, ok := msg.(*proto.StatsReply)
+		if !ok || rep.XID != xid {
+			return nil, fmt.Errorf("wire: unexpected stats reply %v", msg)
+		}
+		return rep, nil
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("wire: stats timeout")
+	case <-c.ctx.Done():
+		return nil, c.ctx.Err()
+	}
+}
+
+// CacheLen returns the number of cache entries at a switch.
+func (c *Cluster) CacheLen(sw uint32) int {
+	n, ok := c.switches[sw]
+	if !ok {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sw.Table(proto.TableCache).Len()
+}
+
+// Close stops all goroutines and waits for them.
+func (c *Cluster) Close() {
+	c.cancel()
+	if c.closeTransport != nil {
+		c.closeTransport()
+	}
+	c.wg.Wait()
+}
+
+var start = time.Now()
+
+// nowSec is monotonic seconds since cluster package init, the time base
+// the TCAM tables use in wire mode.
+func nowSec() float64 { return time.Since(start).Seconds() }

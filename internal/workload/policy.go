@@ -1,0 +1,335 @@
+// Package workload synthesizes the inputs DIFANE's evaluation consumed but
+// which are proprietary: network topologies with policies shaped like the
+// paper's four networks (campus, VPN, IPTV, ISP backbone), a
+// ClassBench-style ACL generator with controllable dependency depth, and
+// Zipf-popularity flow traces. All generators are seeded and deterministic.
+package workload
+
+import (
+	"math/rand"
+
+	"difane/internal/flowspace"
+	"difane/internal/topo"
+)
+
+// Spec bundles a synthetic network: its topology, its edge (ingress)
+// switches, and its global policy.
+type Spec struct {
+	Name string
+	// Graph is the switch topology.
+	Graph *topo.Graph
+	// Edges are the switches where traffic enters and exits.
+	Edges []uint32
+	// Policy is the global prioritized rule set.
+	Policy []flowspace.Rule
+	// Describe summarizes the network for the report tables.
+	Describe string
+}
+
+// ACLConfig tunes the ClassBench-style generator.
+type ACLConfig struct {
+	// Rules is the total rule count including the default rule.
+	Rules int
+	// MaxDepth bounds the nesting depth of prefix chains; deeper chains
+	// mean longer rule dependencies (ClassBench seeds go to ~10).
+	MaxDepth int
+	// PortRangeFrac is the fraction of rules matching a transport port
+	// range (expanded to prefixes, inflating entry counts like real ACLs).
+	PortRangeFrac float64
+	// DropFrac is the fraction of deny rules.
+	DropFrac float64
+	// Egresses supplies the forward targets for permit rules.
+	Egresses []uint32
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// ClassBenchLike generates an ACL-shaped policy: chains of nested
+// source/destination prefixes (dependencies), optional port ranges, a mix
+// of permit and deny, over a catch-all default deny. The returned rules
+// are in TCAM order with deeper (more specific) rules at higher priority.
+func ClassBenchLike(cfg ACLConfig) []flowspace.Rule {
+	if cfg.Rules < 1 {
+		cfg.Rules = 1
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if len(cfg.Egresses) == 0 {
+		cfg.Egresses = []uint32{0}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rules := make([]flowspace.Rule, 0, cfg.Rules)
+	id := uint64(1)
+
+	// Grow prefix chains: pick a base /8, extend it MaxDepth times, each
+	// level becoming a more specific, higher-priority rule.
+	for len(rules) < cfg.Rules-1 {
+		srcBase := uint64(rng.Intn(224)) << 24
+		dstBase := uint64(rng.Intn(224)) << 24
+		srcLen, dstLen := uint(8), uint(8)
+		depth := 1 + rng.Intn(cfg.MaxDepth)
+		for d := 0; d < depth && len(rules) < cfg.Rules-1; d++ {
+			m := flowspace.MatchAll().
+				WithPrefix(flowspace.FIPSrc, srcBase, srcLen).
+				WithPrefix(flowspace.FIPDst, dstBase, dstLen)
+			var expanded []flowspace.Field
+			if rng.Float64() < cfg.PortRangeFrac {
+				lo := uint64(rng.Intn(1024))
+				hi := lo + uint64(rng.Intn(30000))
+				expanded = flowspace.RangeToFields(lo, hi, 16)
+				m = m.WithExact(flowspace.FIPProto, 6)
+			}
+			action := flowspace.Action{Kind: flowspace.ActForward,
+				Arg: cfg.Egresses[rng.Intn(len(cfg.Egresses))]}
+			if rng.Float64() < cfg.DropFrac {
+				action = flowspace.Action{Kind: flowspace.ActDrop}
+			}
+			prio := int32(10 * (d + 1)) // deeper ⇒ more specific ⇒ higher
+			if len(expanded) == 0 {
+				rules = append(rules, flowspace.Rule{ID: id, Priority: prio, Match: m, Action: action})
+				id++
+			} else {
+				// Range expansion: one logical rule becomes several TCAM
+				// entries sharing priority and action.
+				for _, fd := range expanded {
+					if len(rules) >= cfg.Rules-1 {
+						break
+					}
+					rules = append(rules, flowspace.Rule{
+						ID: id, Priority: prio,
+						Match:  m.With(flowspace.FTPDst, fd),
+						Action: action,
+					})
+					id++
+				}
+			}
+			// Narrow for the next level, keeping the child prefix nested
+			// inside the parent (only bits below the old prefix change).
+			srcBase, srcLen = narrow(rng, srcBase, srcLen)
+			dstBase, dstLen = narrow(rng, dstBase, dstLen)
+		}
+	}
+	rules = append(rules, flowspace.Rule{
+		ID: id, Priority: 0, Match: flowspace.MatchAll(),
+		Action: flowspace.Action{Kind: flowspace.ActDrop},
+	})
+	flowspace.SortRules(rules)
+	return rules
+}
+
+// narrow extends a prefix by 1-4 random bits, staying inside the parent.
+func narrow(rng *rand.Rand, base uint64, plen uint) (uint64, uint) {
+	newLen := plen + uint(1+rng.Intn(4))
+	if newLen > 32 {
+		newLen = 32
+	}
+	delta := newLen - plen
+	if delta > 0 {
+		base |= uint64(rng.Intn(1<<delta)) << (32 - newLen)
+	}
+	return base, newLen
+}
+
+// RoutingLike generates an ISP-style forwarding table: mostly disjoint
+// destination prefixes with shallow dependencies (a covering /8 over /16s
+// and /24s) and forward actions only.
+func RoutingLike(seed int64, n int, egresses []uint32) []flowspace.Rule {
+	if len(egresses) == 0 {
+		egresses = []uint32{0}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rules := make([]flowspace.Rule, 0, n)
+	id := uint64(1)
+	for len(rules) < n-1 {
+		base := uint64(rng.Intn(224)) << 24
+		// A covering /8 plus several more-specific routes inside it.
+		rules = append(rules, flowspace.Rule{
+			ID: id, Priority: 8,
+			Match:  flowspace.MatchAll().WithPrefix(flowspace.FIPDst, base, 8),
+			Action: flowspace.Action{Kind: flowspace.ActForward, Arg: egresses[rng.Intn(len(egresses))]},
+		})
+		id++
+		specifics := rng.Intn(12)
+		for s := 0; s < specifics && len(rules) < n-1; s++ {
+			plen := uint(16 + 8*rng.Intn(2)) // /16 or /24
+			addr := base | uint64(rng.Uint32())&^uint64(0xFF000000)
+			rules = append(rules, flowspace.Rule{
+				ID: id, Priority: int32(plen),
+				Match:  flowspace.MatchAll().WithPrefix(flowspace.FIPDst, addr, plen),
+				Action: flowspace.Action{Kind: flowspace.ActForward, Arg: egresses[rng.Intn(len(egresses))]},
+			})
+			id++
+		}
+	}
+	rules = append(rules, flowspace.Rule{
+		ID: id, Priority: 0, Match: flowspace.MatchAll(),
+		Action: flowspace.Action{Kind: flowspace.ActDrop},
+	})
+	flowspace.SortRules(rules)
+	return rules
+}
+
+// MulticastLike generates IPTV-style rules: exact multicast group
+// destinations (224/4 space) fanned out to egress switches, shallow
+// dependencies.
+func MulticastLike(seed int64, n int, egresses []uint32) []flowspace.Rule {
+	if len(egresses) == 0 {
+		egresses = []uint32{0}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rules := make([]flowspace.Rule, 0, n)
+	for i := 0; i < n-1; i++ {
+		group := uint64(0xE0000000) | uint64(rng.Intn(1<<20))
+		rules = append(rules, flowspace.Rule{
+			ID: uint64(i + 1), Priority: 10,
+			Match: flowspace.MatchAll().
+				WithExact(flowspace.FIPDst, group).
+				WithExact(flowspace.FIPProto, 17),
+			Action: flowspace.Action{Kind: flowspace.ActForward, Arg: egresses[rng.Intn(len(egresses))]},
+		})
+	}
+	rules = append(rules, flowspace.Rule{
+		ID: uint64(n), Priority: 0, Match: flowspace.MatchAll(),
+		Action: flowspace.Action{Kind: flowspace.ActDrop},
+	})
+	flowspace.SortRules(rules)
+	return rules
+}
+
+// toUint32 converts edge NodeIDs.
+func toUint32(ids []topo.NodeID) []uint32 {
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	return out
+}
+
+// NetworkScale shrinks the canonical networks for fast tests vs full
+// benches.
+type NetworkScale float64
+
+// Scales for the canonical networks.
+const (
+	ScaleTest  NetworkScale = 0.05
+	ScaleBench NetworkScale = 1.0
+)
+
+func scaled(n int, s NetworkScale) int {
+	v := int(float64(n) * float64(s))
+	if v < 8 {
+		v = 8
+	}
+	return v
+}
+
+// CampusNetwork approximates the paper's campus network: a three-tier
+// topology with ACL-heavy policy (deep dependencies, port ranges).
+func CampusNetwork(seed int64, scale NetworkScale) *Spec {
+	g, access := topo.Campus(4, 3, 5, 0.0005)
+	edges := toUint32(access)
+	policy := ClassBenchLike(ACLConfig{
+		Rules:         scaled(10000, scale),
+		MaxDepth:      8,
+		PortRangeFrac: 0.25,
+		DropFrac:      0.3,
+		Egresses:      edges,
+		Seed:          seed,
+	})
+	return &Spec{
+		Name: "campus", Graph: g, Edges: edges, Policy: policy,
+		Describe: "3-tier campus, ACL policy with deep dependencies",
+	}
+}
+
+// VPNNetwork approximates the provider VPN network: hub-and-spoke sites
+// with src/dst pair rules of moderate depth.
+func VPNNetwork(seed int64, scale NetworkScale) *Spec {
+	g, edgeIDs := topo.FatTreeish(2, 4, 4, 0.001, 0.0005)
+	edges := toUint32(edgeIDs)
+	policy := ClassBenchLike(ACLConfig{
+		Rules:         scaled(2000, scale),
+		MaxDepth:      3,
+		PortRangeFrac: 0.05,
+		DropFrac:      0.15,
+		Egresses:      edges,
+		Seed:          seed + 1,
+	})
+	return &Spec{
+		Name: "vpn", Graph: g, Edges: edges, Policy: policy,
+		Describe: "provider VPN, src/dst pair rules, shallow chains",
+	}
+}
+
+// IPTVNetwork approximates the IPTV network: multicast group forwarding.
+func IPTVNetwork(seed int64, scale NetworkScale) *Spec {
+	g, edgeIDs := topo.FatTreeish(2, 3, 6, 0.001, 0.0005)
+	edges := toUint32(edgeIDs)
+	policy := MulticastLike(seed+2, scaled(5000, scale), edges)
+	return &Spec{
+		Name: "iptv", Graph: g, Edges: edges, Policy: policy,
+		Describe: "IPTV, exact multicast groups, flat priorities",
+	}
+}
+
+// ISPNetwork approximates the tier-1 ISP backbone: a ring of POPs with a
+// large destination-prefix forwarding table.
+func ISPNetwork(seed int64, scale NetworkScale) *Spec {
+	g := topo.NewGraph()
+	const pops = 12
+	for i := 0; i < pops; i++ {
+		g.AddLink(topo.NodeID(i), topo.NodeID((i+1)%pops), 0.002)
+	}
+	// A few chords for path diversity.
+	g.AddLink(0, 6, 0.004)
+	g.AddLink(3, 9, 0.004)
+	edges := make([]uint32, pops)
+	for i := range edges {
+		edges[i] = uint32(i)
+	}
+	policy := RoutingLike(seed+3, scaled(40000, scale), edges)
+	return &Spec{
+		Name: "isp", Graph: g, Edges: edges, Policy: policy,
+		Describe: "ISP backbone, dst-prefix routes, shallow nesting",
+	}
+}
+
+// AllNetworks returns the four canonical evaluation networks.
+func AllNetworks(seed int64, scale NetworkScale) []*Spec {
+	return []*Spec{
+		CampusNetwork(seed, scale),
+		VPNNetwork(seed, scale),
+		IPTVNetwork(seed, scale),
+		ISPNetwork(seed, scale),
+	}
+}
+
+// MaxDependencyDepth measures the longest overlap chain in a policy by
+// sampling: for each rule, the count of higher-priority overlapping rules
+// bounds its chain. Exact chain computation is exponential; this proxy is
+// what the report table shows.
+func MaxDependencyDepth(rules []flowspace.Rule, sample int) int {
+	if sample <= 0 || sample > len(rules) {
+		sample = len(rules)
+	}
+	max := 0
+	step := len(rules) / sample
+	if step < 1 {
+		step = 1
+	}
+	for i := 0; i < len(rules); i += step {
+		n := len(flowspace.DependentSet(rules, i))
+		if n > max {
+			max = n
+		}
+	}
+	// Always include the lowest-priority rule: default/catch-all rules
+	// have the largest dependent sets and strided sampling can skip them.
+	if len(rules) > 0 {
+		if n := len(flowspace.DependentSet(rules, len(rules)-1)); n > max {
+			max = n
+		}
+	}
+	return max
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+)
+
+// Trace files are tab-separated, one flow per line:
+//
+//	start	ingress	ip_src	ip_dst	ip_proto	tp_src	tp_dst	packets	gap	size
+//
+// with a "#"-prefixed header. They let generated traces be archived and
+// replayed bit-identically, and external traces be imported.
+
+// WriteTrace serializes flows to w.
+func WriteTrace(w io.Writer, flows []Flow) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# start\tingress\tip_src\tip_dst\tip_proto\ttp_src\ttp_dst\tpackets\tgap\tsize")
+	for _, f := range flows {
+		// Full float precision so replays are bit-identical.
+		fmt.Fprintf(bw, "%s\t%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\t%d\n",
+			strconv.FormatFloat(f.Start, 'g', -1, 64), f.Ingress,
+			packet.IPString(uint32(f.Key[flowspace.FIPSrc])),
+			packet.IPString(uint32(f.Key[flowspace.FIPDst])),
+			f.Key[flowspace.FIPProto],
+			f.Key[flowspace.FTPSrc], f.Key[flowspace.FTPDst],
+			f.Packets, strconv.FormatFloat(f.Gap, 'g', -1, 64), f.Size)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace. Fields beyond the five
+// header-tuple columns in the key (MACs, VLAN, in_port) are zero.
+func ReadTrace(r io.Reader) ([]Flow, error) {
+	var flows []Flow
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cols := strings.Split(line, "\t")
+		if len(cols) != 10 {
+			return nil, fmt.Errorf("trace line %d: %d columns, want 10", lineNo, len(cols))
+		}
+		var f Flow
+		var err error
+		if f.Start, err = strconv.ParseFloat(cols[0], 64); err != nil {
+			return nil, fmt.Errorf("trace line %d: start: %w", lineNo, err)
+		}
+		ingress, err := strconv.ParseUint(cols[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: ingress: %w", lineNo, err)
+		}
+		f.Ingress = uint32(ingress)
+		src, err := parseIP(cols[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: ip_src: %w", lineNo, err)
+		}
+		dst, err := parseIP(cols[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: ip_dst: %w", lineNo, err)
+		}
+		proto, err := strconv.ParseUint(cols[4], 10, 8)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: ip_proto: %w", lineNo, err)
+		}
+		sport, err := strconv.ParseUint(cols[5], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: tp_src: %w", lineNo, err)
+		}
+		dport, err := strconv.ParseUint(cols[6], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: tp_dst: %w", lineNo, err)
+		}
+		f.Key[flowspace.FIPSrc] = uint64(src)
+		f.Key[flowspace.FIPDst] = uint64(dst)
+		f.Key[flowspace.FIPProto] = proto
+		f.Key[flowspace.FTPSrc] = sport
+		f.Key[flowspace.FTPDst] = dport
+		if f.Packets, err = strconv.Atoi(cols[7]); err != nil {
+			return nil, fmt.Errorf("trace line %d: packets: %w", lineNo, err)
+		}
+		if f.Gap, err = strconv.ParseFloat(cols[8], 64); err != nil {
+			return nil, fmt.Errorf("trace line %d: gap: %w", lineNo, err)
+		}
+		if f.Size, err = strconv.Atoi(cols[9]); err != nil {
+			return nil, fmt.Errorf("trace line %d: size: %w", lineNo, err)
+		}
+		flows = append(flows, f)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return flows, nil
+}
+
+func parseIP(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad address %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad octet %q", p)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	return addr, nil
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"difane/internal/flowspace"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	flows := GenerateTraffic(spec, TrafficConfig{Flows: 500, Rate: 1000, Seed: 3})
+	// Zero the fields the trace format doesn't carry so equality holds.
+	for i := range flows {
+		for _, f := range []flowspace.FieldID{
+			flowspace.FInPort, flowspace.FEthSrc, flowspace.FEthDst,
+			flowspace.FEthType, flowspace.FVLAN,
+		} {
+			flows[i].Key[f] = 0
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flows, again) {
+		for i := range flows {
+			if flows[i] != again[i] {
+				t.Fatalf("flow %d differs:\n%+v\n%+v", i, flows[i], again[i])
+			}
+		}
+		t.Fatal("traces differ")
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	bad := []string{
+		"1.0\t2\t10.0.0.1\t10.0.0.2\t6\t1\t2\t3\t0.1", // 9 columns
+		"x\t2\t10.0.0.1\t10.0.0.2\t6\t1\t2\t3\t0.1\t100",
+		"1.0\tx\t10.0.0.1\t10.0.0.2\t6\t1\t2\t3\t0.1\t100",
+		"1.0\t2\t10.0.0\t10.0.0.2\t6\t1\t2\t3\t0.1\t100",
+		"1.0\t2\t10.0.0.1\t10.0.0.2\t999\t1\t2\t3\t0.1\t100",
+		"1.0\t2\t10.0.0.1\t10.0.0.2\t6\t99999\t2\t3\t0.1\t100",
+		"1.0\t2\t10.0.0.1\t10.0.0.2\t6\t1\t2\tx\t0.1\t100",
+	}
+	for _, line := range bad {
+		if _, err := ReadTrace(strings.NewReader(line)); err == nil {
+			t.Fatalf("line %q must fail", line)
+		}
+	}
+}
+
+func TestReadTraceSkipsHeaderAndBlank(t *testing.T) {
+	in := "# header\n\n1.5\t7\t10.0.0.1\t10.0.0.2\t6\t1000\t80\t3\t0.01\t800\n"
+	flows, err := ReadTrace(strings.NewReader(in))
+	if err != nil || len(flows) != 1 {
+		t.Fatalf("flows=%d err=%v", len(flows), err)
+	}
+	f := flows[0]
+	if f.Start != 1.5 || f.Ingress != 7 || f.Packets != 3 || f.Size != 800 {
+		t.Fatalf("flow = %+v", f)
+	}
+	if f.Key[flowspace.FIPSrc] != 0x0A000001 || f.Key[flowspace.FTPDst] != 80 {
+		t.Fatalf("key = %v", f.Key)
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+
+	"difane/internal/flowspace"
+	"difane/internal/topo"
+)
+
+func TestClassBenchLikeShape(t *testing.T) {
+	rules := ClassBenchLike(ACLConfig{
+		Rules: 500, MaxDepth: 8, PortRangeFrac: 0.2, DropFrac: 0.3,
+		Egresses: []uint32{1, 2, 3}, Seed: 1,
+	})
+	if len(rules) != 500 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	// TCAM order.
+	for i := 1; i < len(rules); i++ {
+		if rules[i].Before(rules[i-1]) {
+			t.Fatalf("rules out of TCAM order at %d", i)
+		}
+	}
+	// Last rule is the catch-all default.
+	last := rules[len(rules)-1]
+	if !last.Match.IsAll() || last.Action.Kind != flowspace.ActDrop {
+		t.Fatalf("default rule = %v", last)
+	}
+	// Unique IDs.
+	seen := map[uint64]bool{}
+	for _, r := range rules {
+		if seen[r.ID] {
+			t.Fatalf("duplicate rule ID %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// Mix of actions.
+	drops, fwds := 0, 0
+	for _, r := range rules {
+		switch r.Action.Kind {
+		case flowspace.ActDrop:
+			drops++
+		case flowspace.ActForward:
+			fwds++
+		}
+	}
+	if drops == 0 || fwds == 0 {
+		t.Fatalf("need both actions: drops=%d fwds=%d", drops, fwds)
+	}
+}
+
+func TestClassBenchLikeHasDeepDependencies(t *testing.T) {
+	rules := ClassBenchLike(ACLConfig{
+		Rules: 1000, MaxDepth: 10, Egresses: []uint32{1}, Seed: 7,
+	})
+	if d := MaxDependencyDepth(rules, 200); d < 3 {
+		t.Fatalf("dependency depth = %d, want deep chains", d)
+	}
+}
+
+func TestClassBenchLikeDeterministic(t *testing.T) {
+	cfg := ACLConfig{Rules: 200, MaxDepth: 5, Egresses: []uint32{1}, Seed: 42}
+	a := ClassBenchLike(cfg)
+	b := ClassBenchLike(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generator not deterministic at rule %d", i)
+		}
+	}
+	cfg.Seed = 43
+	c := ClassBenchLike(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must give different policies")
+	}
+}
+
+func TestRoutingLikeShallow(t *testing.T) {
+	rules := RoutingLike(3, 2000, []uint32{1, 2})
+	if len(rules) < 1900 || len(rules) > 2000 {
+		t.Fatalf("rules = %d", len(rules))
+	}
+	// The catch-all default overlaps everything by construction; the
+	// routes themselves must have shallow dependencies.
+	if d := MaxDependencyDepth(rules[:len(rules)-1], 300); d > 60 {
+		t.Fatalf("routing table must have shallow dependencies, got %d", d)
+	}
+	// Only forward + one default drop.
+	for _, r := range rules[:len(rules)-1] {
+		if r.Action.Kind != flowspace.ActForward {
+			t.Fatalf("routing rule with non-forward action: %v", r)
+		}
+	}
+}
+
+func TestMulticastLikeExactGroups(t *testing.T) {
+	rules := MulticastLike(5, 1000, []uint32{1})
+	for _, r := range rules[:len(rules)-1] {
+		fd := r.Match.Fields[flowspace.FIPDst]
+		if !fd.IsExact(32) {
+			t.Fatalf("multicast rule must pin the full group address: %v", r)
+		}
+		if fd.Value>>28 != 0xE {
+			t.Fatalf("group outside 224/4: %x", fd.Value)
+		}
+	}
+}
+
+func TestAllNetworksWellFormed(t *testing.T) {
+	for _, spec := range AllNetworks(11, ScaleTest) {
+		if spec.Graph.NumNodes() == 0 {
+			t.Fatalf("%s: empty graph", spec.Name)
+		}
+		if len(spec.Edges) == 0 {
+			t.Fatalf("%s: no edges", spec.Name)
+		}
+		if len(spec.Policy) < 8 {
+			t.Fatalf("%s: policy too small (%d)", spec.Name, len(spec.Policy))
+		}
+		// Forward targets must be real switches.
+		for _, r := range spec.Policy {
+			if r.Action.Kind == flowspace.ActForward {
+				found := false
+				for _, e := range spec.Edges {
+					if e == r.Action.Arg {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("%s: rule forwards to unknown switch %d", spec.Name, r.Action.Arg)
+				}
+			}
+		}
+		// Edge switches must exist in the graph.
+		for _, e := range spec.Edges {
+			if !spec.Graph.NodeUp(topo.NodeID(e)) {
+				t.Fatalf("%s: edge %d not in graph", spec.Name, e)
+			}
+		}
+	}
+}
+
+func TestGenerateTrafficShape(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	flows := GenerateTraffic(spec, TrafficConfig{
+		Flows: 2000, Rate: 500, Population: 300, Seed: 17,
+	})
+	if len(flows) != 2000 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	// Arrival times nondecreasing, keys inside the flow space widths.
+	for i := 1; i < len(flows); i++ {
+		if flows[i].Start < flows[i-1].Start {
+			t.Fatal("arrivals must be time-ordered")
+		}
+	}
+	// Popularity skew: the most popular key must repeat many times.
+	counts := map[flowspace.Key]int{}
+	for _, f := range flows {
+		counts[f.Key]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Fatalf("Zipf trace must concentrate traffic, top flow seen %d times", max)
+	}
+	if len(counts) < 50 {
+		t.Fatalf("trace must still have diversity: %d distinct keys", len(counts))
+	}
+	// Every flow must enter at a valid edge and have sane parameters.
+	for _, f := range flows {
+		if f.Packets < 1 || f.Size <= 0 || f.Gap <= 0 {
+			t.Fatalf("bad flow: %+v", f)
+		}
+	}
+}
+
+func TestGenerateTrafficDeterministic(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	cfg := TrafficConfig{Flows: 100, Seed: 23}
+	a := GenerateTraffic(spec, cfg)
+	b := GenerateTraffic(spec, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace not deterministic at %d", i)
+		}
+	}
+}
+
+func TestUniformTrafficAllDistinctish(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	flows := UniformTraffic(spec, TrafficConfig{Flows: 1000, Seed: 29})
+	counts := map[flowspace.Key]int{}
+	for _, f := range flows {
+		counts[f.Key]++
+	}
+	if len(counts) < 900 {
+		t.Fatalf("uniform traffic must be mostly distinct: %d/%d", len(counts), len(flows))
+	}
+	for _, f := range flows {
+		if f.Packets != 1 {
+			t.Fatal("uniform traffic is single-packet flows")
+		}
+	}
+}
+
+func TestTrafficPoissonRate(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	flows := GenerateTraffic(spec, TrafficConfig{Flows: 5000, Rate: 1000, Seed: 31})
+	span := flows[len(flows)-1].Start
+	rate := float64(len(flows)) / span
+	if rate < 800 || rate > 1200 {
+		t.Fatalf("empirical rate %v far from 1000", rate)
+	}
+}
