@@ -1,0 +1,20 @@
+# The one-command check CI and contributors run before merging.
+.PHONY: verify fmt vet build test bench
+
+verify: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...

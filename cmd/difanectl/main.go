@@ -1,24 +1,30 @@
-// Command difanectl is a small interactive driver for a simulated DIFANE
+// Command difanectl is a small interactive driver for a DIFANE
 // deployment: load a canonical network, inject flows, inspect switch
-// tables and measurements.
+// tables and measurements. The -mode flag picks the backend — the
+// discrete-event simulator (default), the reactive baseline, or the
+// wire-mode prototype — all driven through the same Deployment interface.
 //
 // Usage:
 //
-//	difanectl [-network campus|vpn|iptv|isp] [-authorities K] [-seed N]
+//	difanectl [-mode sim|baseline|wire] [-network campus|vpn|iptv|isp]
+//	          [-authorities K] [-seed N]
 //
-// Commands (stdin, one per line):
+// Commands (stdin, one per line; (sim) marks simulator-only commands,
+// (wire) wire-only):
 //
 //	inject <ingress> <ip_src> <ip_dst> <tp_dst>   inject one flow (3 packets)
 //	trace <flows> [file]                          inject a Zipf trace (optionally saving it)
 //	replay <file>                                 replay a saved trace
-//	tables <switch>                               dump a switch's tables
 //	stats                                         print run measurements
-//	counters                                      aggregated per-rule counters
-//	partitions                                    print the rule partitions
-//	fail <switch>                                 fail an authority switch
-//	load <file>                                   replace the policy from a file
-//	save <file>                                   write the policy to a file
-//	compact                                       drop shadowed rules
+//	tables <switch>                               dump a switch's tables (sim)
+//	counters                                      aggregated per-rule counters (sim)
+//	partitions                                    print the rule partitions (sim)
+//	fail <switch>                                 fail an authority switch (sim)
+//	kill <switch>                                 crash a switch (wire)
+//	alive                                         failure detector verdicts (wire)
+//	load <file>                                   replace the policy from a file (sim)
+//	save <file>                                   write the policy to a file (sim)
+//	compact                                       drop shadowed rules (sim)
 //	help                                          this text
 //	quit
 //
@@ -34,12 +40,27 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"difane"
 	"difane/internal/metrics"
 )
 
+// session holds the active backend; net/ctl are nil outside sim mode and
+// cluster is nil outside wire mode.
+type session struct {
+	mode    string
+	dep     difane.Deployment
+	net     *difane.Network
+	ctl     *difane.Controller
+	cluster *difane.Cluster
+	spec    *difane.Spec
+	seed    int64
+	now     float64
+}
+
 func main() {
+	mode := flag.String("mode", "sim", "backend: sim|baseline|wire")
 	network := flag.String("network", "campus", "canonical network: campus|vpn|iptv|isp")
 	k := flag.Int("authorities", 2, "number of authority switches")
 	seed := flag.Int64("seed", 1, "generator seed")
@@ -77,236 +98,341 @@ func main() {
 	}
 
 	auths := difane.PlaceAuthorities(spec.Graph, *k)
-	net, err := difane.New(spec.Graph, auths, spec.Policy, difane.Config{})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	s := &session{mode: *mode, spec: spec, seed: *seed}
+	switch *mode {
+	case "sim":
+		net, err := difane.New(spec.Graph, auths, spec.Policy, difane.Config{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.net, s.ctl, s.dep = net, difane.NewController(net), net
+		fmt.Printf("loaded %s (sim): %d switches, %d rules, %d partitions, authorities %v\n",
+			spec.Name, spec.Graph.NumNodes(), len(spec.Policy),
+			len(net.Assignment.Partitions), auths)
+	case "baseline":
+		bn, err := difane.NewBaseline(spec.Graph, spec.Policy, difane.BaselineConfig{
+			ControllerNode: auths[0],
+			ControllerRate: 50000,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.dep = bn
+		fmt.Printf("loaded %s (baseline): %d switches, %d rules, controller at %d\n",
+			spec.Name, spec.Graph.NumNodes(), len(spec.Policy), auths[0])
+	case "wire":
+		var ids []uint32
+		for _, id := range spec.Graph.Nodes() {
+			ids = append(ids, uint32(id))
+		}
+		wd, err := difane.NewWireDeployment(difane.ClusterConfig{
+			Switches:    ids,
+			Authorities: auths,
+			Policy:      spec.Policy,
+			// Traces are injected as fast as possible in wire mode; deep
+			// queues absorb the burst, and a coarse heartbeat keeps the
+			// failure detector from false-positives while the burst
+			// saturates the host.
+			QueueDepth: 16384,
+			Heartbeat:  difane.HeartbeatConfig{Interval: 200 * time.Millisecond, MissThreshold: 10},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		s.dep, s.cluster = wd, wd.C
+		defer wd.Close()
+		fmt.Printf("loaded %s (wire): %d switches, %d rules, %d partitions, authorities %v\n",
+			spec.Name, len(ids), len(spec.Policy),
+			len(wd.C.Assignment().Partitions), auths)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
 	}
-	ctl := difane.NewController(net)
-
-	fmt.Printf("loaded %s: %d switches, %d rules, %d partitions, authorities %v\n",
-		spec.Name, spec.Graph.NumNodes(), len(spec.Policy),
-		len(net.Assignment.Partitions), auths)
 	fmt.Println(`type "help" for commands`)
 
-	now := 0.0
 	sc := bufio.NewScanner(os.Stdin)
 	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
 		fields := strings.Fields(sc.Text())
 		if len(fields) == 0 {
 			continue
 		}
-		switch fields[0] {
-		case "quit", "exit":
+		if fields[0] == "quit" || fields[0] == "exit" {
 			return
-		case "help":
-			fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> | tables <switch> | stats | counters | partitions | fail <switch> | load <file> | save <file> | compact | quit")
-		case "inject":
-			if len(fields) != 5 {
-				fmt.Println("usage: inject <ingress> <ip_src> <ip_dst> <tp_dst>")
-				continue
+		}
+		s.command(fields)
+	}
+}
+
+func (s *session) command(fields []string) {
+	switch fields[0] {
+	case "help":
+		fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> [file] | replay <file> | stats | tables <switch> | counters | partitions | fail <switch> | kill <switch> | alive | load <file> | save <file> | compact | quit")
+	case "inject":
+		if len(fields) != 5 {
+			fmt.Println("usage: inject <ingress> <ip_src> <ip_dst> <tp_dst>")
+			return
+		}
+		args := make([]uint64, 4)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseUint(f, 0, 64)
+			if err != nil {
+				fmt.Printf("bad argument %q\n", f)
+				return
 			}
-			args := make([]uint64, 4)
-			bad := false
-			for i, f := range fields[1:] {
-				v, err := strconv.ParseUint(f, 0, 64)
-				if err != nil {
-					fmt.Printf("bad argument %q\n", f)
-					bad = true
-					break
-				}
-				args[i] = v
+			args[i] = v
+		}
+		var key difane.Key
+		key[difane.FIPSrc] = args[1]
+		key[difane.FIPDst] = args[2]
+		key[difane.FTPDst] = args[3]
+		for p := 0; p < 3; p++ {
+			s.dep.InjectPacket(s.now+float64(p)*0.01, uint32(args[0]), key, 800, uint64(p))
+		}
+		s.now += 1
+		s.dep.Run(s.now)
+		m := s.dep.Measurements()
+		fmt.Printf("t=%.2fs delivered=%d drops=%+v\n", s.now, m.Delivered, m.Drops)
+	case "trace":
+		n := 1000
+		if len(fields) > 1 {
+			if v, err := strconv.Atoi(fields[1]); err == nil {
+				n = v
 			}
-			if bad {
-				continue
-			}
-			var key difane.Key
-			key[difane.FIPSrc] = args[1]
-			key[difane.FIPDst] = args[2]
-			key[difane.FTPDst] = args[3]
-			for p := 0; p < 3; p++ {
-				net.InjectPacket(now+float64(p)*0.01, uint32(args[0]), key, 800, uint64(p))
-			}
-			now += 1
-			net.Run(now)
-			fmt.Printf("t=%.2fs delivered=%d redirects=%d drops=%+v\n",
-				now, net.M.Delivered, net.M.Redirects, net.M.Drops)
-		case "trace":
-			n := 1000
-			if len(fields) > 1 {
-				if v, err := strconv.Atoi(fields[1]); err == nil {
-					n = v
-				}
-			}
-			flows := difane.GenerateTraffic(spec, difane.TrafficConfig{
-				Flows: n, Rate: 1000, Seed: *seed + int64(now),
-			})
-			if len(fields) > 2 {
-				f, err := os.Create(fields[2])
-				if err != nil {
-					fmt.Println(err)
-					continue
-				}
-				err = difane.WriteTrace(f, flows)
-				if cerr := f.Close(); err == nil {
-					err = cerr
-				}
-				if err != nil {
-					fmt.Println(err)
-					continue
-				}
-				fmt.Printf("saved trace to %s\n", fields[2])
-			}
-			now = runFlows(net, flows, now)
-		case "replay":
-			if len(fields) != 2 {
-				fmt.Println("usage: replay <file>")
-				continue
-			}
-			f, err := os.Open(fields[1])
+		}
+		flows := difane.GenerateTraffic(s.spec, difane.TrafficConfig{
+			Flows: n, Rate: 1000, Seed: s.seed + int64(s.now),
+		})
+		if len(fields) > 2 {
+			f, err := os.Create(fields[2])
 			if err != nil {
 				fmt.Println(err)
-				continue
+				return
 			}
-			flows, err := difane.ReadTrace(f)
-			f.Close()
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			if len(flows) == 0 {
-				fmt.Println("empty trace")
-				continue
-			}
-			now = runFlows(net, flows, now)
-		case "tables":
-			if len(fields) != 2 {
-				fmt.Println("usage: tables <switch>")
-				continue
-			}
-			id, err := strconv.ParseUint(fields[1], 0, 32)
-			if err != nil {
-				fmt.Println("bad switch id")
-				continue
-			}
-			sw, ok := net.Switches[uint32(id)]
-			if !ok {
-				fmt.Println("no such switch")
-				continue
-			}
-			fmt.Print(sw)
-		case "stats":
-			fmt.Printf("delivered=%d redirects=%d setups=%d drops=%+v\n",
-				net.M.Delivered, net.M.Redirects, net.M.SetupsCompleted, net.M.Drops)
-			fmt.Printf("first-packet delay: p50=%s p99=%s (n=%d)\n",
-				metrics.FormatDuration(net.M.FirstPacketDelay.Percentile(50)),
-				metrics.FormatDuration(net.M.FirstPacketDelay.Percentile(99)),
-				net.M.FirstPacketDelay.N())
-			fmt.Printf("stretch: mean=%.2f (n=%d), cache entries=%d\n",
-				net.M.Stretch.Mean(), net.M.Stretch.N(), net.CacheEntries())
-		case "partitions":
-			for i, p := range net.Assignment.Partitions {
-				fmt.Printf("partition %d: %d rules, replicas %v, region %s\n",
-					i, len(p.Rules), net.Assignment.ReplicasFor(i), p.Region)
-			}
-		case "counters":
-			for _, rc := range net.PolicyCounters() {
-				fmt.Printf("rule %d: %d packets, %d bytes\n", rc.RuleID, rc.Packets, rc.Bytes)
-			}
-		case "load":
-			if len(fields) != 2 {
-				fmt.Println("usage: load <file>")
-				continue
-			}
-			f, err := os.Open(fields[1])
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			rules, err := difane.ParsePolicy(f)
-			f.Close()
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			at, err := ctl.UpdatePolicy(rules)
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			now = at + 0.01
-			net.Run(now)
-			fmt.Printf("loaded %d rules; converged at t=%.2fs\n", len(rules), at)
-		case "save":
-			if len(fields) != 2 {
-				fmt.Println("usage: save <file>")
-				continue
-			}
-			f, err := os.Create(fields[1])
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			err = difane.WritePolicy(f, net.Policy)
+			err = difane.WriteTrace(f, flows)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 			if err != nil {
 				fmt.Println(err)
-				continue
+				return
 			}
-			fmt.Printf("wrote %d rules to %s\n", len(net.Policy), fields[1])
-		case "compact":
-			kept, removed := difane.CompactPolicy(net.Policy)
-			if len(removed) == 0 {
-				fmt.Println("no shadowed rules")
-				continue
-			}
-			at, err := ctl.UpdatePolicy(kept)
-			if err != nil {
-				fmt.Println(err)
-				continue
-			}
-			now = at + 0.01
-			net.Run(now)
-			fmt.Printf("removed %d shadowed rules: %v\n", len(removed), removed)
-		case "fail":
-			if len(fields) != 2 {
-				fmt.Println("usage: fail <switch>")
-				continue
-			}
-			id, err := strconv.ParseUint(fields[1], 0, 32)
-			if err != nil {
-				fmt.Println("bad switch id")
-				continue
-			}
-			net.FailAuthority(uint32(id))
-			at := ctl.OnAuthorityFailure(uint32(id))
-			now = at + 0.01
-			net.Run(now)
-			fmt.Printf("failed switch %d; failover converged at t=%.2fs\n", id, at)
-		default:
-			fmt.Printf("unknown command %q (try help)\n", fields[0])
+			fmt.Printf("saved trace to %s\n", fields[2])
 		}
+		s.runFlows(flows)
+	case "replay":
+		if len(fields) != 2 {
+			fmt.Println("usage: replay <file>")
+			return
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		flows, err := difane.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if len(flows) == 0 {
+			fmt.Println("empty trace")
+			return
+		}
+		s.runFlows(flows)
+	case "stats":
+		m := s.dep.Measurements()
+		fmt.Printf("delivered=%d redirects=%d setups=%d drops=%+v\n",
+			m.Delivered, m.Redirects, m.SetupsCompleted, m.Drops)
+		fmt.Printf("first-packet delay: p50=%s p99=%s (n=%d)\n",
+			metrics.FormatDuration(m.FirstPacketDelay.Percentile(50)),
+			metrics.FormatDuration(m.FirstPacketDelay.Percentile(99)),
+			m.FirstPacketDelay.N())
+		if s.net != nil {
+			fmt.Printf("stretch: mean=%.2f (n=%d), cache entries=%d\n",
+				m.Stretch.Mean(), m.Stretch.N(), s.net.CacheEntries())
+		}
+		if s.cluster != nil {
+			fmt.Printf("resilience: deaths=%d failovers(local)=%d promoted=%d reconnects=%d\n",
+				m.AuthorityDeaths, m.FailoversLocal, m.FailoversPromoted, m.ControlReconnects)
+		}
+	case "tables":
+		if s.net == nil {
+			fmt.Println("tables is sim-only")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: tables <switch>")
+			return
+		}
+		id, err := strconv.ParseUint(fields[1], 0, 32)
+		if err != nil {
+			fmt.Println("bad switch id")
+			return
+		}
+		sw, ok := s.net.Switches[uint32(id)]
+		if !ok {
+			fmt.Println("no such switch")
+			return
+		}
+		fmt.Print(sw)
+	case "partitions":
+		if s.net == nil {
+			fmt.Println("partitions is sim-only")
+			return
+		}
+		for i, p := range s.net.Assignment.Partitions {
+			fmt.Printf("partition %d: %d rules, replicas %v, region %s\n",
+				i, len(p.Rules), s.net.Assignment.ReplicasFor(i), p.Region)
+		}
+	case "counters":
+		if s.net == nil {
+			fmt.Println("counters is sim-only")
+			return
+		}
+		for _, rc := range s.net.PolicyCounters() {
+			fmt.Printf("rule %d: %d packets, %d bytes\n", rc.RuleID, rc.Packets, rc.Bytes)
+		}
+	case "load":
+		if s.net == nil {
+			fmt.Println("load is sim-only")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: load <file>")
+			return
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		rules, err := difane.ParsePolicy(f)
+		f.Close()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		at, err := s.ctl.UpdatePolicy(rules)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		s.now = at + 0.01
+		s.net.Run(s.now)
+		fmt.Printf("loaded %d rules; converged at t=%.2fs\n", len(rules), at)
+	case "save":
+		if s.net == nil {
+			fmt.Println("save is sim-only")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: save <file>")
+			return
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		err = difane.WritePolicy(f, s.net.Policy)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("wrote %d rules to %s\n", len(s.net.Policy), fields[1])
+	case "compact":
+		if s.net == nil {
+			fmt.Println("compact is sim-only")
+			return
+		}
+		kept, removed := difane.CompactPolicy(s.net.Policy)
+		if len(removed) == 0 {
+			fmt.Println("no shadowed rules")
+			return
+		}
+		at, err := s.ctl.UpdatePolicy(kept)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		s.now = at + 0.01
+		s.net.Run(s.now)
+		fmt.Printf("removed %d shadowed rules: %v\n", len(removed), removed)
+	case "fail":
+		if s.net == nil {
+			fmt.Println("fail is sim-only (use kill in wire mode)")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: fail <switch>")
+			return
+		}
+		id, err := strconv.ParseUint(fields[1], 0, 32)
+		if err != nil {
+			fmt.Println("bad switch id")
+			return
+		}
+		s.net.FailAuthority(uint32(id))
+		at := s.ctl.OnAuthorityFailure(uint32(id))
+		s.now = at + 0.01
+		s.net.Run(s.now)
+		fmt.Printf("failed switch %d; failover converged at t=%.2fs\n", id, at)
+	case "kill":
+		if s.cluster == nil {
+			fmt.Println("kill is wire-only (use fail in sim mode)")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: kill <switch>")
+			return
+		}
+		id, err := strconv.ParseUint(fields[1], 0, 32)
+		if err != nil {
+			fmt.Println("bad switch id")
+			return
+		}
+		if !s.cluster.KillSwitch(uint32(id)) {
+			fmt.Println("no such switch")
+			return
+		}
+		fmt.Printf("killed switch %d; failure detector will promote backups\n", id)
+	case "alive":
+		if s.cluster == nil {
+			fmt.Println("alive is wire-only")
+			return
+		}
+		for _, ss := range s.cluster.Status().Switches {
+			fmt.Printf("switch %d: alive=%v killed=%v queue=%d cache=%d\n",
+				ss.ID, ss.Alive, ss.Killed, ss.QueueDepth, ss.CacheEntries)
+		}
+	default:
+		fmt.Printf("unknown command %q (try help)\n", fields[0])
 	}
 }
 
 // runFlows injects a trace starting at the current time and runs the
-// simulation past its end.
-func runFlows(net *difane.Network, flows []difane.Flow, now float64) float64 {
-	last := now
+// deployment past its end.
+func (s *session) runFlows(flows []difane.Flow) {
+	last := s.now
 	for _, f := range flows {
 		for p := 0; p < f.Packets; p++ {
-			at := now + f.Start + float64(p)*f.Gap
-			net.InjectPacket(at, f.Ingress, f.Key, f.Size, uint64(p))
+			at := s.now + f.Start + float64(p)*f.Gap
+			s.dep.InjectPacket(at, f.Ingress, f.Key, f.Size, uint64(p))
 			if at > last {
 				last = at
 			}
 		}
 	}
-	end := last + 5
-	net.Run(end)
+	s.now = last + 5
+	s.dep.Run(s.now)
+	m := s.dep.Measurements()
 	fmt.Printf("t=%.2fs delivered=%d redirects=%d drops=%+v\n",
-		end, net.M.Delivered, net.M.Redirects, net.M.Drops)
-	return end
+		s.now, m.Delivered, m.Redirects, m.Drops)
 }

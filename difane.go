@@ -27,6 +27,7 @@
 package difane
 
 import (
+	"context"
 	"io"
 
 	"difane/internal/baseline"
@@ -266,21 +267,56 @@ type ClusterConfig = wire.ClusterConfig
 // Delivery reports a packet reaching its egress in wire mode.
 type Delivery = wire.Delivery
 
+// HeartbeatConfig tunes wire mode's controller↔switch failure detector.
+type HeartbeatConfig = wire.HeartbeatConfig
+
+// RetryPolicy bounds wire mode's control-plane retries (reconnect backoff,
+// FlowMod installs).
+type RetryPolicy = wire.RetryPolicy
+
+// WireDeployment adapts a wire-mode Cluster to the Deployment interface.
+type WireDeployment = wire.Deployment
+
 // NewCluster builds and starts a wire-mode cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return wire.NewCluster(cfg) }
 
+// NewClusterContext is NewCluster with a caller-controlled lifetime.
+func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	return wire.NewClusterContext(ctx, cfg)
+}
+
+// NewWireDeployment builds a wire-mode cluster and wraps it as a
+// Deployment, so traces drive it like the simulated backends.
+func NewWireDeployment(cfg ClusterConfig) (*WireDeployment, error) {
+	return wire.NewDeployment(cfg)
+}
+
 // --- Drivers -----------------------------------------------------------------
 
-// PacketInjector is the common injection surface of the DIFANE network and
-// the baseline, letting traces drive either.
-type PacketInjector interface {
+// Deployment is the uniform driving surface of every backend — the
+// simulated DIFANE network, the reactive baseline, and wire mode — letting
+// traces and tools drive any of them interchangeably: inject packets, run
+// to a horizon, read the measurements, release the resources.
+//
+// For the simulated backends, `at` is virtual time and Run drives the
+// event loop to the horizon; in wire mode, injections happen immediately
+// in real time and Run waits (at most horizon seconds) for in-flight
+// packets to reach a terminal point. Close is idempotent.
+type Deployment interface {
 	InjectPacket(at float64, ingress uint32, k Key, size int, seq uint64)
 	Run(horizon float64)
+	Measurements() *Measurements
+	Close() error
 }
+
+// PacketInjector is the older name of the driving surface.
+//
+// Deprecated: use Deployment, which adds Measurements and Close.
+type PacketInjector = Deployment
 
 // RunTrace injects every packet of every flow into the network and runs
 // the simulation until horizon seconds.
-func RunTrace(n PacketInjector, flows []Flow, horizon float64) {
+func RunTrace(n Deployment, flows []Flow, horizon float64) {
 	for _, f := range flows {
 		for p := 0; p < f.Packets; p++ {
 			at := f.Start + float64(p)*f.Gap

@@ -193,3 +193,56 @@ func TestControllerFacade(t *testing.T) {
 		t.Fatalf("policy version = %d", c.PolicyVersion)
 	}
 }
+
+// TestDeploymentInterfaceAllBackends proves every backend satisfies the
+// Deployment interface and can be driven by the same trace loop.
+func TestDeploymentInterfaceAllBackends(t *testing.T) {
+	spec := difane.CampusNetwork(1, difane.ScaleTest)
+	auths := difane.PlaceAuthorities(spec.Graph, 2)
+	flows := difane.GenerateTraffic(spec, difane.TrafficConfig{
+		Flows: 200, Rate: 2000, Seed: 3,
+	})
+
+	deployments := map[string]func() (difane.Deployment, error){
+		"sim": func() (difane.Deployment, error) {
+			return difane.New(spec.Graph, auths, spec.Policy, difane.Config{})
+		},
+		"baseline": func() (difane.Deployment, error) {
+			return difane.NewBaseline(spec.Graph, spec.Policy, difane.BaselineConfig{
+				ControllerNode: auths[0], ControllerRate: 50000,
+			})
+		},
+		"wire": func() (difane.Deployment, error) {
+			var ids []uint32
+			for _, id := range spec.Graph.Nodes() {
+				ids = append(ids, uint32(id))
+			}
+			return difane.NewWireDeployment(difane.ClusterConfig{
+				Switches: ids, Authorities: auths, Policy: spec.Policy,
+				QueueDepth: 16384,
+			})
+		},
+	}
+	for name, build := range deployments {
+		t.Run(name, func(t *testing.T) {
+			dep, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			difane.RunTrace(dep, flows, 30)
+			m := dep.Measurements()
+			if m.Delivered+m.Drops.Policy == 0 {
+				t.Fatal("no traffic handled")
+			}
+			if err := dep.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := dep.Close(); err != nil {
+				t.Fatalf("Close not idempotent: %v", err)
+			}
+		})
+	}
+
+	// The deprecated name still compiles and means the same thing.
+	var _ difane.PacketInjector = difane.Deployment(nil)
+}

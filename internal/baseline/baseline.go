@@ -181,5 +181,13 @@ func exactMatch(k flowspace.Key) flowspace.Match {
 // Run drives the simulation to the horizon.
 func (n *Network) Run(horizon float64) { n.Eng.Run(horizon) }
 
+// Measurements returns the run's recorded statistics, completing the
+// Deployment driving surface shared with the DIFANE network and wire mode.
+func (n *Network) Measurements() *core.Measurements { return &n.M }
+
+// Close releases the deployment. The baseline holds no external resources;
+// Close exists so Network satisfies the Deployment interface.
+func (n *Network) Close() error { return nil }
+
 // ControllerBacklog returns the pending-setup queue length.
 func (n *Network) ControllerBacklog() int { return n.ctrl.Backlog() }

@@ -115,6 +115,31 @@ type Measurements struct {
 	// SetupsCompleted counts flows whose first packet was delivered or
 	// legitimately policy-dropped — the throughput figures' numerator.
 	SetupsCompleted uint64
+
+	// Resilience counters, populated by wire mode's failure detector and
+	// failover machinery (zero in pure simulation runs).
+	//
+	// AuthorityDeaths counts switches the failure detector declared dead;
+	// FailoversLocal counts ingress-local partition-rule repoints onto a
+	// backup authority (no controller round trip); FailoversPromoted counts
+	// partition rules the controller withdrew after a death; and
+	// ControlReconnects counts control connections re-established after a
+	// loss.
+	AuthorityDeaths   uint64
+	FailoversLocal    uint64
+	FailoversPromoted uint64
+	ControlReconnects uint64
+}
+
+// Snapshot returns an independent copy safe to query while the original
+// keeps accumulating (Dist queries sort in place, so sharing is unsafe).
+// Callers that mutate m concurrently must hold their own lock around this.
+func (m *Measurements) Snapshot() *Measurements {
+	out := *m
+	out.FirstPacketDelay = m.FirstPacketDelay.Clone()
+	out.LaterPacketDelay = m.LaterPacketDelay.Clone()
+	out.Stretch = m.Stretch.Clone()
+	return &out
 }
 
 // Network is a DIFANE deployment running under the discrete-event engine.
@@ -446,6 +471,14 @@ func (n *Network) recordDelivery(injected float64, seq uint64, stretch float64) 
 
 // Run drives the simulation to the horizon.
 func (n *Network) Run(horizon float64) { n.Eng.Run(horizon) }
+
+// Measurements returns the run's recorded statistics, completing the
+// Deployment driving surface shared with the baseline and wire mode.
+func (n *Network) Measurements() *Measurements { return &n.M }
+
+// Close releases the deployment. The simulated network holds no external
+// resources; Close exists so Network satisfies the Deployment interface.
+func (n *Network) Close() error { return nil }
 
 // FailAuthority marks an authority switch down in the topology. Data-plane
 // redirects to it start failing immediately; call PromoteBackups (the

@@ -205,6 +205,43 @@ type Assignment struct {
 	Replicas [][]uint32
 }
 
+// FailoverList returns the ordered list of authority switches an ingress
+// switch should try for partition i: the primary first, then the backup,
+// then any further replicas. The list never contains duplicates and always
+// holds at least the primary. Wire-mode ingress switches walk this list
+// when the failure detector marks a host dead.
+func (a Assignment) FailoverList(i int) []uint32 {
+	out := []uint32{a.Primary[i]}
+	add := func(id uint32) {
+		for _, h := range out {
+			if h == id {
+				return
+			}
+		}
+		out = append(out, id)
+	}
+	add(a.Backup[i])
+	if a.Replicas != nil {
+		for _, id := range a.Replicas[i] {
+			add(id)
+		}
+	}
+	return out
+}
+
+// PartitionOfRuleID maps a partition-table rule ID (as generated by
+// PartitionRules with the given idBase) back to its partition index.
+func (a Assignment) PartitionOfRuleID(idBase, ruleID uint64) (int, bool) {
+	if ruleID < idBase {
+		return 0, false
+	}
+	i := int((ruleID - idBase) / 2)
+	if i >= len(a.Partitions) {
+		return 0, false
+	}
+	return i, true
+}
+
 // ReplicasFor returns all hosts of partition i (at least the primary).
 func (a Assignment) ReplicasFor(i int) []uint32 {
 	if a.Replicas != nil && len(a.Replicas[i]) > 0 {

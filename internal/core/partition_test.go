@@ -298,3 +298,74 @@ func TestUnsplittableRulesBecomeOneLeaf(t *testing.T) {
 		t.Fatalf("leaf must keep both rules")
 	}
 }
+
+func TestFailoverListOrderAndDedup(t *testing.T) {
+	rules := []flowspace.Rule{
+		{ID: 1, Priority: 1, Match: flowspace.MatchAll()},
+	}
+	parts := BuildPartitions(rules, PartitionConfig{})
+	a, err := Assign(parts, []uint32{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Partitions {
+		list := a.FailoverList(i)
+		if len(list) == 0 || list[0] != a.Primary[i] {
+			t.Fatalf("partition %d: failover list %v must lead with primary %d",
+				i, list, a.Primary[i])
+		}
+		seen := map[uint32]bool{}
+		for _, h := range list {
+			if seen[h] {
+				t.Fatalf("partition %d: duplicate host %d in %v", i, h, list)
+			}
+			seen[h] = true
+		}
+		if !seen[a.Backup[i]] {
+			t.Fatalf("partition %d: backup %d missing from %v", i, a.Backup[i], list)
+		}
+	}
+}
+
+func TestFailoverListSingleAuthority(t *testing.T) {
+	// With one authority, primary == backup; the list must collapse to one
+	// entry instead of repeating it.
+	rules := []flowspace.Rule{{ID: 1, Priority: 1, Match: flowspace.MatchAll()}}
+	parts := BuildPartitions(rules, PartitionConfig{})
+	a, err := Assign(parts, []uint32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list := a.FailoverList(0); len(list) != 1 || list[0] != 7 {
+		t.Fatalf("failover list = %v, want [7]", list)
+	}
+}
+
+func TestPartitionOfRuleID(t *testing.T) {
+	rules := []flowspace.Rule{
+		{ID: 1, Priority: 1, Match: flowspace.MatchAll().WithPrefix(flowspace.FIPSrc, 0, 1)},
+		{ID: 2, Priority: 1, Match: flowspace.MatchAll().WithPrefix(flowspace.FIPSrc, 1<<31, 1)},
+	}
+	parts := BuildPartitions(rules, PartitionConfig{MaxRulesPerPartition: 1})
+	a, err := Assign(parts, []uint32{7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = uint64(1) << 50
+	for i := range a.Partitions {
+		// Both the primary (base+2i) and backup (base+2i+1) rule IDs map
+		// back to partition i.
+		for _, id := range []uint64{base + uint64(2*i), base + uint64(2*i) + 1} {
+			got, ok := a.PartitionOfRuleID(base, id)
+			if !ok || got != i {
+				t.Fatalf("PartitionOfRuleID(%d) = %d,%v want %d", id, got, ok, i)
+			}
+		}
+	}
+	if _, ok := a.PartitionOfRuleID(base, 42); ok {
+		t.Fatal("sub-base rule ID must not resolve")
+	}
+	if _, ok := a.PartitionOfRuleID(base, base+uint64(2*len(a.Partitions))); ok {
+		t.Fatal("out-of-range rule ID must not resolve")
+	}
+}

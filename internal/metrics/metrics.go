@@ -28,6 +28,17 @@ func (d *Dist) Add(v float64) {
 // N returns the sample count.
 func (d *Dist) N() int { return len(d.samples) }
 
+// Clone returns an independent copy. Query methods sort samples in place,
+// so a Dist shared across goroutines must be cloned under the writer's
+// lock before being read elsewhere.
+func (d *Dist) Clone() Dist {
+	return Dist{
+		samples: append([]float64(nil), d.samples...),
+		sorted:  d.sorted,
+		sum:     d.sum,
+	}
+}
+
 // Sum returns the sum of all samples.
 func (d *Dist) Sum() float64 { return d.sum }
 

@@ -134,3 +134,23 @@ func TestCounter(t *testing.T) {
 		t.Fatalf("value = %d", c.Value)
 	}
 }
+
+func TestDistClone(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{3, 1, 2} {
+		d.Add(v)
+	}
+	c := d.Clone()
+	// Sorting the clone (Percentile sorts in place) must not reorder the
+	// original, and growing the original must not grow the clone.
+	if got := c.Percentile(50); got != 2 {
+		t.Errorf("clone p50 = %v", got)
+	}
+	d.Add(10)
+	if c.N() != 3 || d.N() != 4 {
+		t.Errorf("clone shares storage: clone n=%d orig n=%d", c.N(), d.N())
+	}
+	if c.Sum() != 6 || d.Sum() != 16 {
+		t.Errorf("sums: clone %v orig %v", c.Sum(), d.Sum())
+	}
+}

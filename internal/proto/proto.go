@@ -43,6 +43,10 @@ const (
 	MsgStatsReply
 	// MsgError reports a failure processing a previous message.
 	MsgError
+	// MsgHeartbeat is the liveness probe the controller sends to every
+	// switch; the switch echoes it back unchanged. A run of missed echoes
+	// marks the switch dead in the failure detector.
+	MsgHeartbeat
 )
 
 var msgNames = map[MsgType]string{
@@ -50,6 +54,7 @@ var msgNames = map[MsgType]string{
 	MsgPacketOut: "packet-out", MsgCacheInstall: "cache-install",
 	MsgBarrierReq: "barrier-req", MsgBarrierReply: "barrier-reply",
 	MsgStatsReq: "stats-req", MsgStatsReply: "stats-reply", MsgError: "error",
+	MsgHeartbeat: "heartbeat",
 }
 
 func (t MsgType) String() string {
@@ -153,6 +158,14 @@ type Error struct {
 	Text string
 }
 
+// Heartbeat is a liveness probe. The controller stamps the target node and
+// a monotonically increasing sequence number; the switch echoes the
+// message back verbatim.
+type Heartbeat struct {
+	Node uint32
+	Seq  uint64
+}
+
 func (*Hello) Type() MsgType        { return MsgHello }
 func (*FlowMod) Type() MsgType      { return MsgFlowMod }
 func (*PacketIn) Type() MsgType     { return MsgPacketIn }
@@ -163,6 +176,7 @@ func (*BarrierReply) Type() MsgType { return MsgBarrierReply }
 func (*StatsReq) Type() MsgType     { return MsgStatsReq }
 func (*StatsReply) Type() MsgType   { return MsgStatsReply }
 func (*Error) Type() MsgType        { return MsgError }
+func (*Heartbeat) Type() MsgType    { return MsgHeartbeat }
 
 // --- Encoding helpers -------------------------------------------------------
 
@@ -429,6 +443,17 @@ func (m *Error) decodePayload(b []byte) error {
 	return r.err
 }
 
+func (m *Heartbeat) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Node)
+	return appendU64(b, m.Seq)
+}
+func (m *Heartbeat) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Node = r.u32()
+	m.Seq = r.u64()
+	return r.err
+}
+
 // --- Framing ----------------------------------------------------------------
 
 // Encode appends the framed message to b.
@@ -499,6 +524,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &StatsReply{}, nil
 	case MsgError:
 		return &Error{}, nil
+	case MsgHeartbeat:
+		return &Heartbeat{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

@@ -41,6 +41,8 @@ func allMessages() []Message {
 		&StatsReply{XID: 13, OK: false},
 		&Error{Code: 2, Text: "no such table"},
 		&Error{Code: 0, Text: ""},
+		&Heartbeat{Node: 8, Seq: 42},
+		&Heartbeat{},
 	}
 }
 

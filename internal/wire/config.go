@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+)
+
+// ClusterConfig sizes the deployment.
+type ClusterConfig struct {
+	// Switches lists all switch IDs.
+	Switches []uint32
+	// Authorities lists the switches hosting authority rules.
+	Authorities []uint32
+	// Policy is the global rule set.
+	Policy []flowspace.Rule
+	// Strategy picks the cache-rule scheme.
+	Strategy core.CacheStrategy
+	// CacheCapacity bounds ingress caches (0 = unlimited).
+	CacheCapacity int
+	// QueueDepth sizes each switch's ingress frame queue.
+	QueueDepth int
+	// UseTCP runs the control plane over loopback TCP sockets instead of
+	// in-process pipes, exercising real kernel socket framing.
+	UseTCP bool
+	// Heartbeat tunes the controller↔switch failure detector.
+	Heartbeat HeartbeatConfig
+	// Retry bounds control-plane retries: reconnect backoff and FlowMod
+	// installs.
+	Retry RetryPolicy
+	// Partition tunes the partitioner.
+	Partition core.PartitionConfig
+
+	// trans overrides the control transport (tests only).
+	trans transport
+}
+
+// HeartbeatConfig tunes the heartbeat-based failure detector between the
+// controller and every switch.
+type HeartbeatConfig struct {
+	// Interval is the probe period (default 50ms).
+	Interval time.Duration
+	// MissThreshold is how many silent intervals mark a switch dead
+	// (default 3).
+	MissThreshold int
+	// RedirectTimeout is how long a redirect may stay unacknowledged by an
+	// authority switch's data plane before the switch is treated as dead
+	// even if its control plane still echoes heartbeats (default
+	// 2·Interval·MissThreshold).
+	RedirectTimeout time.Duration
+}
+
+func (h *HeartbeatConfig) applyDefaults() {
+	if h.Interval <= 0 {
+		h.Interval = 50 * time.Millisecond
+	}
+	if h.MissThreshold <= 0 {
+		h.MissThreshold = 3
+	}
+	if h.RedirectTimeout <= 0 {
+		h.RedirectTimeout = 2 * time.Duration(h.MissThreshold) * h.Interval
+	}
+}
+
+// RetryPolicy bounds retried control operations: each operation is
+// attempted at most MaxAttempts times with exponential backoff between
+// attempts, jittered to avoid synchronized retry storms.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per operation, including
+	// the first (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles each
+	// further attempt (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 500ms).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomized away, in [0,1)
+	// (default 0.2).
+	Jitter float64
+}
+
+func (p *RetryPolicy) applyDefaults() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 500 * time.Millisecond
+	}
+	if p.Jitter <= 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+}
+
+// Backoff returns the delay to sleep after failed attempt n (n ≥ 1):
+// BaseDelay·2^(n-1), capped at MaxDelay, with up to Jitter of it
+// subtracted at random.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	return p.backoff(attempt, rand.Float64)
+}
+
+// backoff is Backoff with an injectable randomness source, for tests.
+func (p RetryPolicy) backoff(attempt int, rnd func() float64) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.MaxDelay
+	if shift := uint(attempt - 1); shift < 30 {
+		if scaled := p.BaseDelay << shift; scaled < p.MaxDelay {
+			d = scaled
+		}
+	}
+	if p.Jitter > 0 {
+		d -= time.Duration(float64(d) * p.Jitter * rnd())
+	}
+	return d
+}
+
+// Validate checks the configuration and fills defaulted fields in place
+// (queue depth, heartbeat cadence, retry policy). NewCluster calls it; use
+// it directly to surface configuration errors before building anything.
+func (cfg *ClusterConfig) Validate() error {
+	if len(cfg.Switches) == 0 || len(cfg.Authorities) == 0 {
+		return fmt.Errorf("wire: need switches and authorities")
+	}
+	seen := make(map[uint32]bool, len(cfg.Switches))
+	for _, id := range cfg.Switches {
+		if seen[id] {
+			return fmt.Errorf("wire: duplicate switch %d", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range cfg.Authorities {
+		if !seen[id] {
+			return fmt.Errorf("wire: authority %d not a cluster switch", id)
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	cfg.Heartbeat.applyDefaults()
+	cfg.Retry.applyDefaults()
+	return nil
+}

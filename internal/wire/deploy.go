@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"sync/atomic"
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+)
+
+// Deployment adapts a Cluster to the simulator-facing driving surface
+// (difane.Deployment): virtual-time injection timestamps are ignored —
+// wire mode runs in real time — and Run becomes "wait until everything
+// injected so far has reached a terminal point".
+type Deployment struct {
+	C *Cluster
+
+	injected atomic.Uint64
+}
+
+// NewDeployment builds a cluster and wraps it.
+func NewDeployment(cfg ClusterConfig) (*Deployment, error) {
+	c, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{C: c}, nil
+}
+
+// Deploy wraps an already-running cluster.
+func Deploy(c *Cluster) *Deployment { return &Deployment{C: c} }
+
+// injectDeadline bounds how long InjectPacket retries against transient
+// queue backpressure before counting the packet lost.
+const injectDeadline = time.Second
+
+// InjectPacket injects one packet now (the virtual timestamp `at` has no
+// meaning in real time). Transient backpressure is retried briefly;
+// packets toward killed switches or past the deadline are recorded lost.
+func (d *Deployment) InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
+	h := packet.HeaderFromKey(k)
+	deadline := time.Now().Add(injectDeadline)
+	for {
+		if d.C.tryInject(ingress, h, size) {
+			d.injected.Add(1)
+			return
+		}
+		n, ok := d.C.switches[ingress]
+		if !ok || n.killed.Load() || d.C.closed.Load() || time.Now().After(deadline) {
+			d.C.drop(dropUnreachable)
+			d.injected.Add(1)
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Run blocks until every injected packet has reached a terminal point
+// (delivered or dropped), bounded by horizon seconds of real time.
+func (d *Deployment) Run(horizon float64) {
+	deadline := time.Now().Add(time.Duration(horizon * float64(time.Second)))
+	for time.Now().Before(deadline) {
+		if d.C.completed.Load() >= d.injected.Load() && d.C.drained() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Measurements returns a consistent snapshot of the run's statistics.
+func (d *Deployment) Measurements() *core.Measurements { return d.C.Measurements() }
+
+// Close shuts the cluster down.
+func (d *Deployment) Close() error { return d.C.Close() }

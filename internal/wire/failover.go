@@ -1,0 +1,168 @@
+package wire
+
+import (
+	"time"
+
+	"difane/internal/proto"
+)
+
+// This file is the cluster's failure detector and failover machinery.
+//
+// Liveness has two signals. The primary one is the heartbeat: the
+// controller probes every switch each Heartbeat.Interval and the switch
+// echoes; a switch silent for MissThreshold intervals is marked dead. The
+// secondary one is redirect acknowledgement: an authority whose control
+// plane still echoes but whose data plane has stopped processing
+// redirected packets (oldest unacknowledged redirect older than
+// RedirectTimeout) is also marked dead — the failure the paper's ingress
+// switches must survive without a controller round trip.
+//
+// Death triggers two independent recovery paths:
+//   - ingress-local: the next redirect toward the dead authority re-points
+//     the partition rule at the first live host on the partition's
+//     failover list, purely in the data plane (failoverLocal in wire.go);
+//   - controller-driven: promoteBackups withdraws the dead switch's
+//     partition rules from every live switch so backups (pre-installed at
+//     lower priority) take over cluster-wide.
+
+// heartbeatLoop is the controller's prober: every interval it sends a
+// heartbeat to each switch and re-evaluates each switch's liveness.
+func (c *Cluster) heartbeatLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Heartbeat.Interval)
+	defer ticker.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		seq++
+		now := time.Now()
+		for _, n := range c.switches {
+			if !n.killed.Load() {
+				hb := &proto.Heartbeat{Node: n.id, Seq: seq}
+				target := n
+				// Asynchronous: a wedged control connection must not stall
+				// probing of the other switches.
+				go func() { _ = c.writeToSwitch(target, hb) }()
+			}
+			c.checkLiveness(n, now)
+		}
+	}
+}
+
+// checkLiveness updates one switch's alive verdict from both signals, and
+// revives a switch whose heartbeats returned (after a holddown so a
+// flapping switch doesn't bounce traffic back and forth).
+func (c *Cluster) checkLiveness(n *node, now time.Time) {
+	hb := c.cfg.Heartbeat
+	silence := now.Sub(time.Unix(0, n.lastBeat.Load()))
+	stale := silence > time.Duration(hb.MissThreshold)*hb.Interval
+	suspect := false
+	if t, ok := c.oldestPending(n.id); ok && now.Sub(t) > hb.RedirectTimeout {
+		suspect = true
+	}
+	if n.alive.Load() {
+		if stale || suspect {
+			c.markDead(n)
+		}
+		return
+	}
+	holddown := now.Sub(time.Unix(0, n.deadAt.Load())) > 2*hb.RedirectTimeout
+	if !n.killed.Load() && !stale && !suspect && holddown {
+		c.markAlive(n)
+	}
+}
+
+// markDead records a death verdict and kicks off backup promotion.
+func (c *Cluster) markDead(n *node) {
+	if !n.alive.CompareAndSwap(true, false) {
+		return
+	}
+	n.deadAt.Store(time.Now().UnixNano())
+	c.clearPending(n.id)
+	c.mMu.Lock()
+	c.m.AuthorityDeaths++
+	c.mMu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.promoteBackups(n.id)
+	}()
+}
+
+// markAlive reinstates a recovered switch.
+func (c *Cluster) markAlive(n *node) {
+	if !n.alive.CompareAndSwap(false, true) {
+		return
+	}
+	n.lastBeat.Store(time.Now().UnixNano())
+}
+
+// promoteBackups is the controller-driven half of failover: it withdraws
+// the dead switch's partition rules from every live switch, exposing the
+// lower-priority backup rules that were pre-installed at build time.
+func (c *Cluster) promoteBackups(dead uint32) {
+	var mods []proto.FlowMod
+	for i := range c.assign.Partitions {
+		if c.assign.Primary[i] == dead {
+			mods = append(mods, deleteRuleMod(partitionRuleBase+uint64(2*i)))
+		}
+		if c.assign.Backup[i] == dead {
+			mods = append(mods, deleteRuleMod(partitionRuleBase+uint64(2*i)+1))
+		}
+	}
+	if len(mods) == 0 {
+		return
+	}
+	promoted := false
+	for _, n := range c.switches {
+		if n.id == dead || n.killed.Load() {
+			continue
+		}
+		for i := range mods {
+			if err := c.installRule(n, &mods[i]); err == nil {
+				promoted = true
+			}
+		}
+	}
+	if promoted {
+		c.mMu.Lock()
+		c.m.FailoversPromoted += uint64(len(mods))
+		c.mMu.Unlock()
+	}
+}
+
+func deleteRuleMod(id uint64) proto.FlowMod {
+	mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpDelete}
+	mod.Rule.ID = id
+	return mod
+}
+
+// notePending records a redirect sent toward an authority, keeping only
+// the oldest outstanding one per authority.
+func (c *Cluster) notePending(auth uint32) {
+	c.pendMu.Lock()
+	if _, ok := c.pending[auth]; !ok {
+		c.pending[auth] = time.Now()
+	}
+	c.pendMu.Unlock()
+}
+
+// clearPending acknowledges an authority's data-plane liveness.
+func (c *Cluster) clearPending(auth uint32) {
+	c.pendMu.Lock()
+	delete(c.pending, auth)
+	c.pendMu.Unlock()
+}
+
+// oldestPending returns the send time of the authority's oldest
+// unacknowledged redirect.
+func (c *Cluster) oldestPending(auth uint32) (time.Time, bool) {
+	c.pendMu.Lock()
+	t, ok := c.pending[auth]
+	c.pendMu.Unlock()
+	return t, ok
+}

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+)
+
+// failoverPolicy forwards everything to switch 4, which is never an
+// authority, so killing an authority can never strand an egress.
+func failoverPolicy() []flowspace.Rule {
+	return []flowspace.Rule{
+		{ID: 1, Priority: 10,
+			Match:  flowspace.MatchAll().WithExact(flowspace.FTPDst, 80),
+			Action: flowspace.Action{Kind: flowspace.ActForward, Arg: 4}},
+		{ID: 3, Priority: 0, Match: flowspace.MatchAll(),
+			Action: flowspace.Action{Kind: flowspace.ActForward, Arg: 4}},
+	}
+}
+
+// newFailoverCluster builds a cluster with two authorities (so every
+// partition has a distinct backup) and a fast failure detector.
+func newFailoverCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		Switches:    []uint32{0, 1, 2, 3, 4},
+		Authorities: []uint32{2, 3},
+		Policy:      failoverPolicy(),
+		// Exact caching keeps every new source a genuine miss, so the
+		// post-kill misses below are guaranteed to exercise the backup.
+		Strategy:  core.StrategyExact,
+		Heartbeat: HeartbeatConfig{Interval: 5 * time.Millisecond, MissThreshold: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// primaryFor returns the primary authority of the partition owning k.
+func primaryFor(t *testing.T, c *Cluster, k flowspace.Key) uint32 {
+	t.Helper()
+	a := c.Assignment()
+	for i, p := range a.Partitions {
+		if p.Region.Matches(k) {
+			return a.Primary[i]
+		}
+	}
+	t.Fatal("no partition owns the key")
+	return 0
+}
+
+// awaitDead waits for the failure detector's formal death verdict (not
+// just the killed flag, which flips synchronously).
+func awaitDead(t *testing.T, c *Cluster, id uint32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.NodeAlive(id) || c.Measurements().AuthorityDeaths == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("switch %d never detected dead", id)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func awaitCache(t *testing.T, c *Cluster, sw uint32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.CacheLen(sw) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("cache install never arrived at switch %d", sw)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHeartbeatKeepsNodesAlive(t *testing.T) {
+	c := newFailoverCluster(t)
+	time.Sleep(300 * time.Millisecond) // many heartbeat intervals
+	for id := range c.switches {
+		if !c.NodeAlive(id) {
+			t.Errorf("switch %d marked dead without faults", id)
+		}
+	}
+	if m := c.Measurements(); m.AuthorityDeaths != 0 {
+		t.Errorf("deaths = %d, want 0", m.AuthorityDeaths)
+	}
+}
+
+func TestKillSwitchDetectedDead(t *testing.T) {
+	c := newFailoverCluster(t)
+	if !c.KillSwitch(2) {
+		t.Fatal("KillSwitch(2) failed")
+	}
+	awaitDead(t, c, 2)
+	if m := c.Measurements(); m.AuthorityDeaths == 0 {
+		t.Error("death not counted")
+	}
+	if c.KillSwitch(99) {
+		t.Error("KillSwitch of unknown switch must fail")
+	}
+	// Killing twice is a no-op, not a panic.
+	c.KillSwitch(2)
+}
+
+// TestFailoverE2E is the acceptance scenario: with two authorities per
+// partition, killing a primary mid-trace loses zero packets of
+// already-cached flows, and subsequent cache misses are delivered via the
+// backup.
+func TestFailoverE2E(t *testing.T) {
+	c := newFailoverCluster(t)
+
+	// Flow A: first packet detours, cache rule lands at ingress 0.
+	if !c.Inject(0, httpHeader(1), 100) {
+		t.Fatal("inject failed")
+	}
+	if d := awaitDelivery(t, c); !d.Detour || d.Egress != 4 {
+		t.Fatalf("flow A first packet: %+v", d)
+	}
+	awaitCache(t, c, 0)
+
+	// Kill the primary authority of the partition that will serve flow B's
+	// miss, and wait for the failure detector's verdict.
+	missKey := httpHeader(50).Key()
+	primary := primaryFor(t, c, missKey)
+	if !c.KillSwitch(primary) {
+		t.Fatal("kill failed")
+	}
+	awaitDead(t, c, primary)
+
+	// Zero loss for the cached flow: every packet goes direct, none touch
+	// the dead authority.
+	const cached = 50
+	for i := 0; i < cached; i++ {
+		if !c.Inject(0, httpHeader(1), 100) {
+			t.Fatal("inject of cached flow failed")
+		}
+	}
+	for i := 0; i < cached; i++ {
+		d := awaitDelivery(t, c)
+		if d.Detour || d.Egress != 4 {
+			t.Fatalf("cached packet %d after kill: %+v", i, d)
+		}
+	}
+
+	// Subsequent cache misses (fresh ingress, empty cache) are served by
+	// the backup authority.
+	const misses = 5
+	for i := 0; i < misses; i++ {
+		if !c.Inject(1, httpHeader(uint32(50+i)), 100) {
+			t.Fatal("inject of miss flow failed")
+		}
+		d := awaitDelivery(t, c)
+		if !d.Detour || d.Egress != 4 {
+			t.Fatalf("miss %d after kill: %+v", i, d)
+		}
+	}
+
+	m := c.Measurements()
+	if m.AuthorityDeaths == 0 {
+		t.Error("no death recorded")
+	}
+	if m.FailoversLocal+m.FailoversPromoted == 0 {
+		t.Error("no failover recorded")
+	}
+	if got := m.Drops.Unreachable + m.Drops.Hole + m.Drops.AuthorityQueue; got != 0 {
+		t.Errorf("lost %d packets across the failover", got)
+	}
+}
+
+// TestIngressLocalFailover pins down the data-plane half in isolation: the
+// detector's verdict alone (no controller-driven promotion) is enough for
+// an ingress to re-point its partition rule at the backup.
+func TestIngressLocalFailover(t *testing.T) {
+	c := newFailoverCluster(t)
+	missKey := httpHeader(50).Key()
+	primary := primaryFor(t, c, missKey)
+	// Flip the verdict directly, bypassing markDead so promoteBackups
+	// never runs and only the ingress-local path can save the packet.
+	c.switches[primary].alive.Store(false)
+
+	if !c.Inject(1, httpHeader(50), 100) {
+		t.Fatal("inject failed")
+	}
+	d := awaitDelivery(t, c)
+	if !d.Detour || d.Egress != 4 {
+		t.Fatalf("miss not delivered via backup: %+v", d)
+	}
+	if m := c.Measurements(); m.FailoversLocal == 0 {
+		t.Error("local failover not recorded")
+	}
+}
+
+func TestFaultHooksUnknownSwitch(t *testing.T) {
+	c := newFailoverCluster(t)
+	if c.PartitionControl(99) || c.HealControl(99) || c.DelayControl(99, time.Millisecond) {
+		t.Error("fault hooks must reject unknown switches")
+	}
+}
+
+func TestDelayControlSlowsInstalls(t *testing.T) {
+	c := newFailoverCluster(t)
+	if !c.DelayControl(0, 30*time.Millisecond) {
+		t.Fatal("DelayControl failed")
+	}
+	startT := time.Now()
+	if err := c.Barrier(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Request and reply each cross the delayed control plane once.
+	if took := time.Since(startT); took < 30*time.Millisecond {
+		t.Errorf("barrier took %v, want ≥ 30ms under injected delay", took)
+	}
+	c.DelayControl(0, 0)
+}
+
+func TestMeasurementsSnapshotIsolated(t *testing.T) {
+	c := newFailoverCluster(t)
+	c.Inject(0, httpHeader(1), 100)
+	awaitDelivery(t, c)
+	m1 := c.Measurements()
+	n1 := m1.FirstPacketDelay.N()
+	// Mutating the snapshot must not touch the live measurements.
+	m1.FirstPacketDelay.Add(42)
+	m2 := c.Measurements()
+	if m2.FirstPacketDelay.N() != n1 {
+		t.Errorf("snapshot mutation leaked into live measurements")
+	}
+}
+
+func TestHeaderRoundTripForDeployment(t *testing.T) {
+	// The Deployment adapter reconstructs headers from keys; the round
+	// trip must preserve classification.
+	h := httpHeader(7)
+	k := h.Key()
+	h2 := packet.HeaderFromKey(k)
+	if h2.Key() != k {
+		t.Fatal("HeaderFromKey round trip changed the key")
+	}
+}

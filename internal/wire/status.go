@@ -19,6 +19,8 @@ type SwitchStatus struct {
 	PartitionHits  uint64 `json:"partition_hits"`
 	Misses         uint64 `json:"misses"`
 	QueueDepth     int    `json:"queue_depth"`
+	Alive          bool   `json:"alive"`
+	Killed         bool   `json:"killed"`
 }
 
 // Status is the cluster-wide state report served at /status.
@@ -48,6 +50,8 @@ func (c *Cluster) Status() Status {
 			PartitionHits:  n.sw.Stats.PartitionHits,
 			Misses:         n.sw.Stats.Misses,
 			QueueDepth:     len(n.data),
+			Alive:          n.alive.Load(),
+			Killed:         n.killed.Load(),
 		}
 		n.mu.Unlock()
 		st.Switches = append(st.Switches, ss)

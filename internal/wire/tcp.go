@@ -1,103 +1,198 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	"difane/internal/proto"
 )
 
-// dialControlTCP establishes the cluster's control connections over real
-// TCP on the loopback interface instead of net.Pipe: the controller
-// listens, every switch dials and identifies itself with a Hello, and the
-// accepted connection becomes the controller side. Exercises the full
-// framing path through the kernel socket layer.
-func dialControlTCP(ids []uint32) (switchSide, controllerSide map[uint32]net.Conn, closeAll func(), err error) {
+// transport abstracts how a switch's control connection to the controller
+// is (re)established. connect returns the two ends of a fresh connection
+// for the node: the switch side and the controller side. Reconnection
+// after a control-plane loss goes through the same path.
+type transport interface {
+	connect(ctx context.Context, id uint32) (switchSide, controllerSide net.Conn, err error)
+	close()
+}
+
+// pipeTransport is the in-process default: both ends of a net.Pipe.
+type pipeTransport struct{}
+
+func (pipeTransport) connect(context.Context, uint32) (net.Conn, net.Conn, error) {
+	a, b := net.Pipe()
+	return a, b, nil
+}
+
+func (pipeTransport) close() {}
+
+// helloTimeout bounds the identification handshake on a freshly accepted
+// or dialed control connection.
+const helloTimeout = 5 * time.Second
+
+// tcpTransport establishes control connections over real loopback TCP: the
+// controller listens for the cluster's whole lifetime, every switch dials
+// and identifies itself with a Hello, and the accepted connection becomes
+// the controller side. The listener staying up is what makes reconnection
+// after a control-connection loss possible.
+type tcpTransport struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	closed   bool
+	pending  map[uint32]chan net.Conn
+	inflight map[net.Conn]bool
+
+	wg sync.WaitGroup
+}
+
+func newTCPTransport() (*tcpTransport, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	switchSide = make(map[uint32]net.Conn, len(ids))
-	controllerSide = make(map[uint32]net.Conn, len(ids))
-
-	fail := func(e error) (map[uint32]net.Conn, map[uint32]net.Conn, func(), error) {
-		for _, c := range switchSide {
-			c.Close()
-		}
-		for _, c := range controllerSide {
-			c.Close()
-		}
-		ln.Close()
-		return nil, nil, nil, e
+	t := &tcpTransport{
+		ln:       ln,
+		pending:  make(map[uint32]chan net.Conn),
+		inflight: make(map[net.Conn]bool),
 	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
 
-	type accepted struct {
-		conn net.Conn
-		node uint32
-		err  error
-	}
-	acceptCh := make(chan accepted, len(ids))
-	go func() {
-		for range ids {
-			conn, err := ln.Accept()
-			if err != nil {
-				acceptCh <- accepted{err: err}
-				return
-			}
-			go func(conn net.Conn) {
-				msg, err := proto.ReadMessage(conn)
-				if err != nil {
-					acceptCh <- accepted{err: err}
-					conn.Close()
-					return
-				}
-				hello, ok := msg.(*proto.Hello)
-				if !ok {
-					acceptCh <- accepted{err: fmt.Errorf("wire: expected hello, got %v", msg.Type())}
-					conn.Close()
-					return
-				}
-				acceptCh <- accepted{conn: conn, node: hello.Node}
-			}(conn)
-		}
-	}()
-
-	for _, id := range ids {
-		conn, err := net.Dial("tcp", ln.Addr().String())
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
 		if err != nil {
-			return fail(err)
+			return
 		}
-		if err := proto.WriteMessage(conn, &proto.Hello{Node: id, Role: RoleForNode}); err != nil {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
 			conn.Close()
-			return fail(err)
+			return
 		}
-		switchSide[id] = conn
+		t.inflight[conn] = true
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.identify(conn)
 	}
-	for range ids {
-		a := <-acceptCh
-		if a.err != nil {
-			return fail(a.err)
-		}
-		if _, dup := controllerSide[a.node]; dup {
-			a.conn.Close()
-			return fail(fmt.Errorf("wire: duplicate hello from node %d", a.node))
-		}
-		if _, known := switchSide[a.node]; !known {
-			a.conn.Close()
-			return fail(fmt.Errorf("wire: hello from unknown node %d", a.node))
-		}
-		controllerSide[a.node] = a.conn
+}
+
+// identify reads the Hello a dialing switch sends and hands the accepted
+// connection to the connect call waiting for that node. Connections that
+// present no valid hello within the deadline, or that nobody is waiting
+// for, are closed — nothing leaks on partial failure.
+func (t *tcpTransport) identify(conn net.Conn) {
+	defer t.wg.Done()
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	msg, err := proto.ReadMessage(conn)
+	_ = conn.SetReadDeadline(time.Time{})
+
+	t.mu.Lock()
+	delete(t.inflight, conn)
+	hello, ok := msg.(*proto.Hello)
+	if err != nil || !ok {
+		t.mu.Unlock()
+		conn.Close()
+		return
 	}
-	closeAll = func() {
-		ln.Close()
-		for _, c := range switchSide {
+	// Hand off under the lock: either the waiter is still registered and
+	// receives the conn (buffered send cannot block), or it has already
+	// given up and we close — no window where the conn is orphaned.
+	ch := t.pending[hello.Node]
+	delete(t.pending, hello.Node)
+	if ch != nil {
+		ch <- conn
+	}
+	t.mu.Unlock()
+	if ch == nil {
+		conn.Close()
+	}
+}
+
+func (t *tcpTransport) connect(ctx context.Context, id uint32) (net.Conn, net.Conn, error) {
+	ch := make(chan net.Conn, 1)
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, nil, fmt.Errorf("wire: transport closed")
+	}
+	if _, dup := t.pending[id]; dup {
+		t.mu.Unlock()
+		return nil, nil, fmt.Errorf("wire: concurrent connect for node %d", id)
+	}
+	t.pending[id] = ch
+	t.mu.Unlock()
+
+	// abandon deregisters the waiter and reaps a conn that identify may
+	// have delivered in the meantime.
+	abandon := func() {
+		t.mu.Lock()
+		if t.pending[id] == ch {
+			delete(t.pending, id)
+		}
+		t.mu.Unlock()
+		select {
+		case c := <-ch:
 			c.Close()
-		}
-		for _, c := range controllerSide {
-			c.Close()
+		default:
 		}
 	}
-	return switchSide, controllerSide, closeAll, nil
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", t.ln.Addr().String())
+	if err != nil {
+		abandon()
+		return nil, nil, err
+	}
+	if err := proto.WriteMessage(conn, &proto.Hello{Node: id, Role: RoleForNode}); err != nil {
+		conn.Close()
+		abandon()
+		return nil, nil, err
+	}
+	select {
+	case peer := <-ch:
+		return conn, peer, nil
+	case <-ctx.Done():
+		conn.Close()
+		abandon()
+		return nil, nil, ctx.Err()
+	case <-time.After(helloTimeout):
+		conn.Close()
+		abandon()
+		return nil, nil, fmt.Errorf("wire: control handshake timeout for node %d", id)
+	}
+}
+
+// close shuts the listener and every half-established connection, then
+// waits for the accept and identify goroutines to exit.
+func (t *tcpTransport) close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	for conn := range t.inflight {
+		conn.Close()
+	}
+	for id, ch := range t.pending {
+		delete(t.pending, id)
+		select {
+		case c := <-ch:
+			c.Close()
+		default:
+		}
+	}
+	t.mu.Unlock()
+	t.ln.Close()
+	t.wg.Wait()
 }
 
 // RoleForNode is the role switches announce in their TCP hello.

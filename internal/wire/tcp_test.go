@@ -20,7 +20,7 @@ func newTCPCluster(t *testing.T) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { c.Close() })
 	return c
 }
 

@@ -1,10 +1,13 @@
 // Package wire runs a DIFANE deployment as real concurrent components: one
 // goroutine per switch, data-plane frames as encoded packets over
 // channels, and control-plane messages as framed proto messages over
-// net.Pipe connections — the prototype-style counterpart to the
-// discrete-event simulator in internal/core. It validates that the
+// net.Pipe or loopback-TCP connections — the prototype-style counterpart
+// to the discrete-event simulator in internal/core. It validates that the
 // protocol, the pipeline, and the cache-install feedback loop work under
-// real concurrency, and feeds the wire-path microbenchmarks.
+// real concurrency, and adds the resilience layer the paper's failover
+// story requires: a heartbeat failure detector, pre-installed backup
+// authority rules with ingress-local failover, reconnecting control
+// connections, and fault-injection hooks for testing all of it.
 package wire
 
 import (
@@ -32,39 +35,38 @@ type Delivery struct {
 
 // Cluster is a running wire-mode DIFANE deployment.
 type Cluster struct {
-	cfg ClusterConfig
+	cfg    ClusterConfig
+	assign core.Assignment
+	// failover holds, per partition, the ordered authority hosts an
+	// ingress switch walks when the current target is dead.
+	failover [][]uint32
 
 	switches map[uint32]*node
 	// Deliveries receives every packet that reaches an egress.
 	Deliveries chan Delivery
 
-	dropped atomic.Uint64
+	dropped   atomic.Uint64
+	injected  atomic.Uint64
+	completed atomic.Uint64
 
-	ctx            context.Context
-	cancel         context.CancelFunc
-	wg             sync.WaitGroup
-	closeTransport func()
-}
+	mMu sync.Mutex
+	m   core.Measurements
 
-// ClusterConfig sizes the deployment.
-type ClusterConfig struct {
-	// Switches lists all switch IDs.
-	Switches []uint32
-	// Authorities lists the switches hosting authority rules.
-	Authorities []uint32
-	// Policy is the global rule set.
-	Policy []flowspace.Rule
-	// Strategy picks the cache-rule scheme.
-	Strategy core.CacheStrategy
-	// CacheCapacity bounds ingress caches (0 = unlimited).
-	CacheCapacity int
-	// QueueDepth sizes each switch's ingress frame queue.
-	QueueDepth int
-	// UseTCP runs the control plane over loopback TCP sockets instead of
-	// in-process pipes, exercising real kernel socket framing.
-	UseTCP bool
-	// Partition tunes the partitioner.
-	Partition core.PartitionConfig
+	// pendMu guards pending: per authority switch, the send time of the
+	// oldest redirect its data plane has not yet acknowledged (by
+	// processing a redirected packet). The failure detector treats a stale
+	// entry as a dead authority even when its control plane still echoes
+	// heartbeats.
+	pendMu  sync.Mutex
+	pending map[uint32]time.Time
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	trans  transport
+
+	closed    atomic.Bool
+	closeOnce sync.Once
 }
 
 // node is one switch goroutine with its tables, data queue, and control
@@ -78,17 +80,30 @@ type node struct {
 
 	data chan dataFrame
 
-	// ctrl is the switch side of the control connection and ctrlPeer the
-	// controller side. The switch reads commands from ctrl and writes
-	// replies (and authority cache-install requests) back on it; the
-	// controller relay reads ctrlPeer. Cache installs from authority
-	// switches travel switch → controller → target ingress switch, as in
-	// the paper's prototype.
+	// connMu guards the current control-connection pair. ctrl is the
+	// switch side and ctrlPeer the controller side; the connection manager
+	// replaces both on reconnect. Cache installs from authority switches
+	// travel switch → controller → target ingress switch, as in the
+	// paper's prototype.
+	connMu   sync.Mutex
 	ctrl     net.Conn
 	ctrlPeer net.Conn
+
 	// replies carries barrier/stats replies back to controller-side
 	// callers (Barrier, Stats).
 	replies chan proto.Message
+
+	// done is closed by KillSwitch: the node's goroutines stop, simulating
+	// a crashed switch.
+	done     chan struct{}
+	killOnce sync.Once
+
+	killed      atomic.Bool
+	alive       atomic.Bool  // the failure detector's current verdict
+	partitioned atomic.Bool  // control-plane partition fault injected
+	ctrlDelay   atomic.Int64 // injected per-control-write delay, ns
+	lastBeat    atomic.Int64 // unix nanos of the last heartbeat echo
+	deadAt      atomic.Int64 // unix nanos of the last death, for holddown
 }
 
 type dataFrame struct {
@@ -100,11 +115,15 @@ type dataFrame struct {
 
 // NewCluster builds and starts a cluster.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	if len(cfg.Switches) == 0 || len(cfg.Authorities) == 0 {
-		return nil, fmt.Errorf("wire: need switches and authorities")
-	}
-	if cfg.QueueDepth <= 0 {
-		cfg.QueueDepth = 1024
+	return NewClusterContext(context.Background(), cfg)
+}
+
+// NewClusterContext is NewCluster with a caller-controlled lifetime: when
+// ctx is cancelled the cluster shuts down as if Close had been called
+// (without the drain grace period).
+func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	parts := core.BuildPartitions(cfg.Policy, cfg.Partition)
 	assign, err := core.Assign(parts, cfg.Authorities)
@@ -112,31 +131,44 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	cctx, cancel := context.WithCancel(ctx)
 	c := &Cluster{
 		cfg:        cfg,
+		assign:     assign,
+		failover:   make([][]uint32, len(assign.Partitions)),
 		switches:   make(map[uint32]*node),
 		Deliveries: make(chan Delivery, cfg.QueueDepth),
-		ctx:        ctx,
+		pending:    make(map[uint32]time.Time),
+		ctx:        cctx,
 		cancel:     cancel,
 	}
-	var tcpSwitch, tcpCtrl map[uint32]net.Conn
-	if cfg.UseTCP {
-		var closeAll func()
-		var err error
-		tcpSwitch, tcpCtrl, closeAll, err = dialControlTCP(cfg.Switches)
+	for i := range assign.Partitions {
+		c.failover[i] = assign.FailoverList(i)
+	}
+	switch {
+	case cfg.trans != nil:
+		c.trans = cfg.trans
+	case cfg.UseTCP:
+		t, err := newTCPTransport()
 		if err != nil {
 			cancel()
 			return nil, err
 		}
-		c.closeTransport = closeAll
+		c.trans = t
+	default:
+		c.trans = pipeTransport{}
 	}
+	now := time.Now()
 	for _, id := range cfg.Switches {
-		var swConn, ctrlConn net.Conn
-		if cfg.UseTCP {
-			swConn, ctrlConn = tcpSwitch[id], tcpCtrl[id]
-		} else {
-			swConn, ctrlConn = net.Pipe()
+		swConn, ctrlConn, err := c.trans.connect(cctx, id)
+		if err != nil {
+			cancel()
+			c.trans.close()
+			for _, n := range c.switches {
+				n.ctrl.Close()
+				n.ctrlPeer.Close()
+			}
+			return nil, err
 		}
 		n := &node{
 			id: id,
@@ -147,71 +179,152 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			ctrl:     swConn,
 			ctrlPeer: ctrlConn,
 			replies:  make(chan proto.Message, 16),
+			done:     make(chan struct{}),
 		}
+		n.alive.Store(true)
+		n.lastBeat.Store(now.UnixNano())
 		c.switches[id] = n
 	}
-	// Install partition rules everywhere and authority state at hosts.
+	if err := c.installAssignment(); err != nil {
+		cancel()
+		c.trans.close()
+		for _, n := range c.switches {
+			n.ctrl.Close()
+			n.ctrlPeer.Close()
+		}
+		return nil, err
+	}
+	for _, n := range c.switches {
+		c.wg.Add(2)
+		go c.dataLoop(n)
+		go c.ctrlManager(n)
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// installAssignment pre-installs partition rules everywhere (primary and
+// backup redirect rules, the backup at lower priority) and the clipped
+// authority rules at both the primary and the backup host of every
+// partition — the paper's replicated-authority deployment.
+func (c *Cluster) installAssignment() error {
 	now := 0.0
-	prules := assign.PartitionRules(1 << 50)
+	prules := c.assign.PartitionRules(partitionRuleBase)
 	for _, n := range c.switches {
 		for _, r := range prules {
 			mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd, Rule: r}
 			if err := n.sw.ApplyFlowMod(now, &mod); err != nil {
-				cancel()
-				return nil, err
+				return err
 			}
 		}
 	}
-	for i, p := range assign.Partitions {
-		hosts := []uint32{assign.Primary[i]}
-		if assign.Backup[i] != assign.Primary[i] {
-			hosts = append(hosts, assign.Backup[i])
-		}
-		for _, h := range hosts {
+	for i, p := range c.assign.Partitions {
+		for _, h := range c.failover[i] {
 			n, ok := c.switches[h]
 			if !ok {
-				cancel()
-				return nil, fmt.Errorf("wire: authority %d not a cluster switch", h)
+				return fmt.Errorf("wire: authority %d not a cluster switch", h)
 			}
-			n.auths = append(n.auths, core.NewAuthority(h, p, cfg.Strategy))
+			n.auths = append(n.auths, core.NewAuthority(h, p, c.cfg.Strategy))
 			for _, r := range p.Rules {
 				mod := proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Rule: r}
 				if err := n.sw.ApplyFlowMod(now, &mod); err != nil {
-					cancel()
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
-	for _, n := range c.switches {
-		c.wg.Add(3)
-		go c.dataLoop(n)
-		go c.switchCtrlLoop(n)
-		go c.controllerRelayLoop(n)
-	}
-	return c, nil
+	return nil
 }
 
+// partitionRuleBase offsets partition-rule IDs away from policy and cache
+// rule IDs (matches the simulator's base).
+const partitionRuleBase uint64 = 1 << 50
+
+// Assignment returns the partition→authority assignment the cluster runs.
+func (c *Cluster) Assignment() core.Assignment { return c.assign }
+
 // Inject enqueues a packet at the ingress switch's data queue. It returns
-// false if the queue is full (backpressure).
+// false if the queue is full (backpressure), the switch is unknown or
+// killed, or the cluster is closing.
 func (c *Cluster) Inject(ingress uint32, h packet.Header, size int) bool {
+	if !c.tryInject(ingress, h, size) {
+		c.dropped.Add(1)
+		return false
+	}
+	return true
+}
+
+// tryInject is Inject without the drop accounting, for callers that retry
+// on backpressure and record the loss themselves.
+func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
+	if c.closed.Load() {
+		return false
+	}
 	n, ok := c.switches[ingress]
-	if !ok {
+	if !ok || n.killed.Load() {
 		return false
 	}
 	p := packet.Packet{Header: h, Size: size}
 	frame := dataFrame{buf: p.AppendWire(nil), size: size, injected: time.Now()}
 	select {
 	case n.data <- frame:
+		c.injected.Add(1)
 		return true
 	default:
-		c.dropped.Add(1)
 		return false
 	}
 }
 
-// Dropped returns packets shed by full queues.
+// Dropped returns packets shed by full queues or failed paths.
 func (c *Cluster) Dropped() uint64 { return c.dropped.Load() }
+
+// Measurements returns a consistent snapshot of the cluster's recorded
+// statistics (latency distributions, delivery and drop counts, failover
+// counters). Safe to call while the cluster runs.
+func (c *Cluster) Measurements() *core.Measurements {
+	c.mMu.Lock()
+	defer c.mMu.Unlock()
+	return c.m.Snapshot()
+}
+
+// dropKind classifies a terminal packet loss for Measurements.
+type dropKind int
+
+const (
+	dropUnreachable dropKind = iota
+	dropHole
+	dropQueue
+)
+
+// drop records a terminal packet loss.
+func (c *Cluster) drop(kind dropKind) {
+	c.dropped.Add(1)
+	c.completed.Add(1)
+	c.mMu.Lock()
+	switch kind {
+	case dropHole:
+		c.m.Drops.Hole++
+	case dropQueue:
+		c.m.Drops.AuthorityQueue++
+	default:
+		c.m.Drops.Unreachable++
+	}
+	c.mMu.Unlock()
+}
+
+// policyDrop records an intentional drop (the packet matched a drop rule);
+// it is not counted as a loss. firstPacket marks a flow-setup decision
+// made at an authority switch.
+func (c *Cluster) policyDrop(firstPacket bool) {
+	c.completed.Add(1)
+	c.mMu.Lock()
+	c.m.Drops.Policy++
+	if firstPacket {
+		c.m.SetupsCompleted++
+	}
+	c.mMu.Unlock()
+}
 
 // dataLoop is a switch's data plane: decode, classify, act.
 func (c *Cluster) dataLoop(n *node) {
@@ -221,9 +334,11 @@ func (c *Cluster) dataLoop(n *node) {
 		select {
 		case <-c.ctx.Done():
 			return
+		case <-n.done:
+			return
 		case frame := <-n.data:
 			if _, err := pkt.DecodeWire(frame.buf); err != nil {
-				c.dropped.Add(1)
+				c.drop(dropUnreachable)
 				continue
 			}
 			c.handlePacket(n, &pkt, frame)
@@ -247,21 +362,35 @@ func (c *Cluster) handlePacket(n *node, pkt *packet.Packet, frame dataFrame) {
 	res := n.sw.Classify(nowSec(), k, frame.size)
 	n.mu.Unlock()
 	if !res.OK {
-		c.dropped.Add(1)
+		c.drop(dropHole)
 		return
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
-		// Policy drop: intentional, not counted as a loss.
+		// Policy drop at the ingress (cached decision): intentional.
+		c.policyDrop(false)
 	case flowspace.ActForward:
 		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
 	case flowspace.ActRedirect:
+		target := res.Rule.Action.Arg
+		if !c.nodeUsable(target) {
+			// The failure detector marked the target dead: fail over to
+			// the backup locally, in the data plane, without a controller
+			// round trip.
+			next, ok := c.failoverLocal(n, res.Rule, target)
+			if !ok {
+				c.drop(dropUnreachable)
+				return
+			}
+			target = next
+		}
 		frame.detour = true
 		q := pkt.Clone()
-		q.Encapsulate(packet.EncapRedirect, n.id, res.Rule.Action.Arg)
-		c.forwardFrame(res.Rule.Action.Arg, q, frame)
+		q.Encapsulate(packet.EncapRedirect, n.id, target)
+		c.notePending(target)
+		c.forwardFrame(target, q, frame)
 	default:
-		c.dropped.Add(1)
+		c.drop(dropHole)
 	}
 }
 
@@ -269,6 +398,9 @@ func (c *Cluster) handlePacket(n *node, pkt *packet.Packet, frame dataFrame) {
 // sends the cache install back to the ingress switch over its control
 // connection.
 func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) {
+	// Processing a redirected packet is the data-plane liveness signal the
+	// redirect-timeout detector watches for.
+	c.clearPending(n.id)
 	e := pkt.Decapsulate()
 	k := pkt.Header.Key()
 	var auth *core.Authority
@@ -285,24 +417,67 @@ func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) 
 	}
 	n.mu.Unlock()
 	if auth == nil || !res.OK {
-		c.dropped.Add(1)
+		c.drop(dropHole)
 		return
 	}
 	if len(res.CacheMods) > 0 {
 		install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
 		// The authority switch writes on its switch end; the controller
 		// relay reads the other end and forwards to the ingress switch.
-		_ = proto.WriteMessage(n.ctrl, install)
+		go func() { _ = c.writeToController(n, install) }()
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
-		// Policy drop at the authority.
+		// Policy drop at the authority: a completed (negative) flow setup.
+		c.policyDrop(true)
 	case flowspace.ActForward:
 		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
 	default:
-		c.dropped.Add(1)
+		c.drop(dropHole)
 	}
 }
+
+// failoverLocal re-points a partition rule at the next live authority in
+// the partition's failover list — the ingress-side half of DIFANE's
+// failover, requiring no controller involvement because backup authority
+// rules are pre-installed.
+func (c *Cluster) failoverLocal(n *node, r flowspace.Rule, dead uint32) (uint32, bool) {
+	idx, ok := c.assign.PartitionOfRuleID(partitionRuleBase, r.ID)
+	if !ok {
+		return 0, false
+	}
+	next := uint32(0)
+	found := false
+	for _, h := range c.failover[idx] {
+		if h != dead && c.nodeUsable(h) {
+			next, found = h, true
+			break
+		}
+	}
+	if !found {
+		return 0, false
+	}
+	nr := r
+	nr.Action = flowspace.Action{Kind: flowspace.ActRedirect, Arg: next}
+	mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd, Rule: nr}
+	n.mu.Lock()
+	_ = n.sw.ApplyFlowMod(nowSec(), &mod)
+	n.mu.Unlock()
+	c.mMu.Lock()
+	c.m.FailoversLocal++
+	c.mMu.Unlock()
+	return next, true
+}
+
+// nodeUsable reports whether the failure detector currently believes the
+// switch can serve traffic.
+func (c *Cluster) nodeUsable(id uint32) bool {
+	n, ok := c.switches[id]
+	return ok && !n.killed.Load() && n.alive.Load()
+}
+
+// NodeAlive reports the failure detector's verdict for a switch.
+func (c *Cluster) NodeAlive(id uint32) bool { return c.nodeUsable(id) }
 
 // tunnelTo encapsulates the packet toward its egress and forwards it.
 func (c *Cluster) tunnelTo(egress, from uint32, pkt *packet.Packet, frame dataFrame) {
@@ -318,7 +493,7 @@ func (c *Cluster) tunnelTo(egress, from uint32, pkt *packet.Packet, frame dataFr
 func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
 	dst, ok := c.switches[to]
 	if !ok {
-		c.dropped.Add(1)
+		c.drop(dropUnreachable)
 		return
 	}
 	out := dataFrame{buf: pkt.AppendWire(nil), size: frame.size,
@@ -326,16 +501,27 @@ func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
 	select {
 	case dst.data <- out:
 	default:
-		c.dropped.Add(1)
+		c.drop(dropQueue)
 	}
 }
 
 func (c *Cluster) deliver(at uint32, pkt *packet.Packet, frame dataFrame) {
+	lat := time.Since(frame.injected)
+	c.completed.Add(1)
+	c.mMu.Lock()
+	c.m.Delivered++
+	if frame.detour {
+		c.m.FirstPacketDelay.Add(lat.Seconds())
+		c.m.SetupsCompleted++
+	} else {
+		c.m.LaterPacketDelay.Add(lat.Seconds())
+	}
+	c.mMu.Unlock()
 	d := Delivery{
 		Egress:  at,
 		Header:  pkt.Header,
 		Detour:  frame.detour,
-		Latency: time.Since(frame.injected),
+		Latency: lat,
 	}
 	select {
 	case c.Deliveries <- d:
@@ -344,17 +530,104 @@ func (c *Cluster) deliver(at uint32, pkt *packet.Packet, frame dataFrame) {
 	}
 }
 
-// switchCtrlLoop is the switch side of the control connection: it applies
-// commands from the controller and answers barriers and stats requests.
-func (c *Cluster) switchCtrlLoop(n *node) {
-	defer c.wg.Done()
-	go func() {
-		<-c.ctx.Done()
+// conns returns the node's current control-connection pair.
+func (n *node) conns() (net.Conn, net.Conn) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	return n.ctrl, n.ctrlPeer
+}
+
+// closeConns closes the node's current control-connection pair, unblocking
+// any reader.
+func (n *node) closeConns() {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.ctrl != nil {
 		n.ctrl.Close()
+	}
+	if n.ctrlPeer != nil {
 		n.ctrlPeer.Close()
-	}()
+	}
+}
+
+// ctrlManager owns a node's control-connection lifecycle: it runs one
+// reader per side, and when either side fails it tears the session down
+// and re-establishes the connection with exponential backoff and jitter.
+func (c *Cluster) ctrlManager(n *node) {
+	defer c.wg.Done()
 	for {
-		msg, err := proto.ReadMessage(n.ctrl)
+		sw, peer := n.conns()
+		fail := make(chan struct{}, 2)
+		var session sync.WaitGroup
+		session.Add(2)
+		go func() {
+			defer session.Done()
+			c.switchCtrlRead(n, sw)
+			fail <- struct{}{}
+		}()
+		go func() {
+			defer session.Done()
+			c.relayRead(n, peer)
+			fail <- struct{}{}
+		}()
+		<-fail
+		sw.Close()
+		peer.Close()
+		session.Wait()
+		if c.ctx.Err() != nil || n.killed.Load() {
+			return
+		}
+		if !c.reconnect(n) {
+			return
+		}
+	}
+}
+
+// reconnect re-establishes a node's control connection: while a partition
+// fault is injected it holds and re-checks; otherwise it retries per the
+// cluster's RetryPolicy and, when attempts are exhausted, marks the node
+// dead so the failover machinery takes over.
+func (c *Cluster) reconnect(n *node) bool {
+	attempt := 0
+	for {
+		if c.ctx.Err() != nil || n.killed.Load() {
+			return false
+		}
+		if n.partitioned.Load() {
+			// A severed control link is not a dial failure: hold until the
+			// fault is healed, without burning retry attempts.
+			if !sleepCtx(c.ctx, c.cfg.Heartbeat.Interval) {
+				return false
+			}
+			continue
+		}
+		sw, peer, err := c.trans.connect(c.ctx, n.id)
+		if err == nil {
+			n.connMu.Lock()
+			n.ctrl, n.ctrlPeer = sw, peer
+			n.connMu.Unlock()
+			c.mMu.Lock()
+			c.m.ControlReconnects++
+			c.mMu.Unlock()
+			return true
+		}
+		attempt++
+		if attempt >= c.cfg.Retry.MaxAttempts {
+			c.markDead(n)
+			return false
+		}
+		if !sleepCtx(c.ctx, c.cfg.Retry.Backoff(attempt)) {
+			return false
+		}
+	}
+}
+
+// switchCtrlRead is the switch side of the control connection: it applies
+// commands from the controller, echoes heartbeats, and answers barriers
+// and stats requests.
+func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
+	for {
+		msg, err := proto.ReadMessage(conn)
 		if err != nil {
 			return
 		}
@@ -375,41 +648,109 @@ func (c *Cluster) switchCtrlLoop(n *node) {
 			// until read, and a reply written inline from this loop could
 			// deadlock against a relay writing toward this switch.
 			reply := &proto.BarrierReply{XID: m.XID}
-			go func() { _ = proto.WriteMessage(n.ctrl, reply) }()
+			go func() { _ = c.writeToController(n, reply) }()
 		case *proto.StatsReq:
 			n.mu.Lock()
 			pkts, bytes, ok := n.sw.Counters(m.RuleID)
 			n.mu.Unlock()
 			reply := &proto.StatsReply{XID: m.XID, Packets: pkts, Bytes: bytes, OK: ok}
-			go func() { _ = proto.WriteMessage(n.ctrl, reply) }()
+			go func() { _ = c.writeToController(n, reply) }()
+		case *proto.Heartbeat:
+			hb := m
+			go func() { _ = c.writeToController(n, hb) }()
 		}
 	}
 }
 
-// controllerRelayLoop is the controller side: it reads what the switch
-// sends upstream (cache installs, replies) and either relays or hands the
-// message to a waiting caller.
-func (c *Cluster) controllerRelayLoop(n *node) {
-	defer c.wg.Done()
+// relayRead is the controller side: it reads what the switch sends
+// upstream (cache installs, heartbeat echoes, replies) and either relays
+// or hands the message to a waiting caller.
+func (c *Cluster) relayRead(n *node, conn net.Conn) {
 	for {
-		msg, err := proto.ReadMessage(n.ctrlPeer)
+		msg, err := proto.ReadMessage(conn)
 		if err != nil {
 			return
 		}
 		switch m := msg.(type) {
 		case *proto.CacheInstall:
+			c.clearPending(n.id)
 			dst, ok := c.switches[m.Ingress]
 			if !ok {
 				continue
 			}
 			// Asynchronous for the same deadlock-avoidance reason as the
 			// switch-side replies.
-			go func() { _ = proto.WriteMessage(dst.ctrlPeer, m) }()
+			install := m
+			go func() { _ = c.writeToSwitch(dst, install) }()
+		case *proto.Heartbeat:
+			n.lastBeat.Store(time.Now().UnixNano())
 		case *proto.BarrierReply, *proto.StatsReply:
 			select {
 			case n.replies <- m:
 			default:
 			}
+		}
+	}
+}
+
+// errPartitioned reports a control write suppressed by an injected
+// control-plane partition.
+var errPartitioned = fmt.Errorf("wire: control plane partitioned")
+
+// writeToSwitch writes a controller→switch control message, honouring
+// injected delay and partition faults.
+func (c *Cluster) writeToSwitch(n *node, msg proto.Message) error {
+	return c.writeControl(n, msg, false)
+}
+
+// writeToController writes a switch→controller control message, honouring
+// injected delay and partition faults.
+func (c *Cluster) writeToController(n *node, msg proto.Message) error {
+	return c.writeControl(n, msg, true)
+}
+
+func (c *Cluster) writeControl(n *node, msg proto.Message, switchSide bool) error {
+	if n.partitioned.Load() {
+		return errPartitioned
+	}
+	if d := time.Duration(n.ctrlDelay.Load()); d > 0 {
+		if !sleepCtx(c.ctx, d) {
+			return c.ctx.Err()
+		}
+	}
+	ctrl, peer := n.conns()
+	conn := peer
+	if switchSide {
+		conn = ctrl
+	}
+	if conn == nil {
+		return fmt.Errorf("wire: no control connection for node %d", n.id)
+	}
+	return proto.WriteMessage(conn, msg)
+}
+
+// InstallRule sends a FlowMod to a switch over its control connection,
+// retrying per the cluster's RetryPolicy with exponential backoff.
+func (c *Cluster) InstallRule(sw uint32, mod proto.FlowMod) error {
+	n, ok := c.switches[sw]
+	if !ok {
+		return fmt.Errorf("wire: no switch %d", sw)
+	}
+	return c.installRule(n, &mod)
+}
+
+func (c *Cluster) installRule(n *node, mod *proto.FlowMod) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = c.writeToSwitch(n, mod)
+		if err == nil {
+			return nil
+		}
+		if attempt >= c.cfg.Retry.MaxAttempts {
+			return err
+		}
+		if !sleepCtx(c.ctx, c.cfg.Retry.Backoff(attempt)) {
+			return c.ctx.Err()
 		}
 	}
 }
@@ -421,7 +762,7 @@ func (c *Cluster) Barrier(sw uint32, xid uint32) error {
 	if !ok {
 		return fmt.Errorf("wire: no switch %d", sw)
 	}
-	if err := proto.WriteMessage(n.ctrlPeer, &proto.BarrierReq{XID: xid}); err != nil {
+	if err := c.writeToSwitch(n, &proto.BarrierReq{XID: xid}); err != nil {
 		return err
 	}
 	select {
@@ -443,7 +784,7 @@ func (c *Cluster) Stats(sw uint32, ruleID uint64, xid uint32) (*proto.StatsReply
 	if !ok {
 		return nil, fmt.Errorf("wire: no switch %d", sw)
 	}
-	if err := proto.WriteMessage(n.ctrlPeer, &proto.StatsReq{XID: xid, RuleID: ruleID}); err != nil {
+	if err := c.writeToSwitch(n, &proto.StatsReq{XID: xid, RuleID: ruleID}); err != nil {
 		return nil, err
 	}
 	select {
@@ -471,13 +812,56 @@ func (c *Cluster) CacheLen(sw uint32) int {
 	return n.sw.Table(proto.TableCache).Len()
 }
 
-// Close stops all goroutines and waits for them.
-func (c *Cluster) Close() {
-	c.cancel()
-	if c.closeTransport != nil {
-		c.closeTransport()
+// drainTimeout bounds how long Close waits for in-flight frames to reach a
+// terminal point before tearing the cluster down.
+const drainTimeout = time.Second
+
+// Close gracefully stops the cluster: it stops accepting injections,
+// drains in-flight data frames (bounded by drainTimeout), then shuts every
+// goroutine down and waits for them. Close is idempotent.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		deadline := time.Now().Add(drainTimeout)
+		for time.Now().Before(deadline) && !c.drained() {
+			time.Sleep(time.Millisecond)
+		}
+		c.cancel()
+		c.trans.close()
+		for _, n := range c.switches {
+			n.closeConns()
+		}
+		c.wg.Wait()
+	})
+	return nil
+}
+
+// drained reports whether every live switch's data queue is empty.
+func (c *Cluster) drained() bool {
+	for _, n := range c.switches {
+		if n.killed.Load() {
+			continue
+		}
+		if len(n.data) > 0 {
+			return false
+		}
 	}
-	c.wg.Wait()
+	return true
+}
+
+// sleepCtx sleeps d, returning false early if ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 var start = time.Now()

@@ -33,7 +33,7 @@ func newCluster(t *testing.T, strategy core.CacheStrategy) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { c.Close() })
 	return c
 }
 
