@@ -1,7 +1,7 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench
+.PHONY: verify fmt vet build test bench fuzz-smoke
 
-verify: fmt vet build test
+verify: fmt vet build test fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -18,3 +18,11 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Short fuzz runs over the decoders that face untrusted bytes: decode
+# must return an error, never panic or over-allocate.
+fuzz-smoke:
+	go test -run=^$$ -fuzz=FuzzDecodeFrame -fuzztime=10s ./internal/proto/
+	go test -run=^$$ -fuzz=FuzzReadMessage -fuzztime=10s ./internal/proto/
+	go test -run=^$$ -fuzz=FuzzDecodeWire -fuzztime=10s ./internal/packet/
+	go test -run=^$$ -fuzz=FuzzParseRule -fuzztime=10s ./internal/policyio/

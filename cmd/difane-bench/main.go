@@ -52,6 +52,7 @@ func main() {
 		{"A2", func(o experiments.Options) renderer { return experiments.AblationPartitioner(o) }},
 		{"A3", func(o experiments.Options) renderer { return experiments.AblationEviction(o) }},
 		{"A4", func(o experiments.Options) renderer { return experiments.AblationRebalance(o) }},
+		{"W3", func(o experiments.Options) renderer { return experiments.WireRobustness(o) }},
 	}
 
 	want := map[string]bool{}

@@ -22,6 +22,9 @@
 //	fail <switch>                                 fail an authority switch (sim)
 //	kill <switch>                                 crash a switch (wire)
 //	alive                                         failure detector verdicts (wire)
+//	snapshot <dir>                                checkpoint controller state to a journal (sim)
+//	restore <dir>                                 recover the controller from a journal (sim)
+//	epoch                                         print the controller's fencing epoch
 //	load <file>                                   replace the policy from a file (sim)
 //	save <file>                                   write the policy to a file (sim)
 //	compact                                       drop shadowed rules (sim)
@@ -169,7 +172,7 @@ func main() {
 func (s *session) command(fields []string) {
 	switch fields[0] {
 	case "help":
-		fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> [file] | replay <file> | stats | tables <switch> | counters | partitions | fail <switch> | kill <switch> | alive | load <file> | save <file> | compact | quit")
+		fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> [file] | replay <file> | stats | tables <switch> | counters | partitions | fail <switch> | kill <switch> | alive | snapshot <dir> | restore <dir> | epoch | load <file> | save <file> | compact | quit")
 	case "inject":
 		if len(fields) != 5 {
 			fmt.Println("usage: inject <ingress> <ip_src> <ip_dst> <tp_dst>")
@@ -403,6 +406,67 @@ func (s *session) command(fields []string) {
 			return
 		}
 		fmt.Printf("killed switch %d; failure detector will promote backups\n", id)
+	case "snapshot":
+		if s.ctl == nil {
+			fmt.Println("snapshot is sim-only")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: snapshot <dir>")
+			return
+		}
+		if s.ctl.Journal() == nil {
+			if err := s.ctl.AttachJournal(fields[1]); err != nil {
+				fmt.Println(err)
+				return
+			}
+		}
+		if err := s.ctl.Checkpoint(); err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("checkpointed epoch %d, policy version %d to %s\n",
+			s.ctl.Epoch, s.ctl.PolicyVersion, s.ctl.Journal().Dir())
+	case "restore":
+		if s.net == nil {
+			fmt.Println("restore is sim-only")
+			return
+		}
+		if len(fields) != 2 {
+			fmt.Println("usage: restore <dir>")
+			return
+		}
+		if s.ctl != nil && s.ctl.Journal() != nil {
+			s.ctl.Journal().Close()
+		}
+		ctl, rep, err := difane.NewControllerFromJournal(s.net, fields[1])
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		s.ctl = ctl
+		if !rep.HadState {
+			fmt.Printf("no durable state in %s; controller starts fresh at epoch %d\n",
+				fields[1], ctl.Epoch)
+			return
+		}
+		fmt.Printf("recovered epoch %d, policy version %d; reconciliation installed %d, deleted %d rules\n",
+			ctl.Epoch, ctl.PolicyVersion, rep.Installed, rep.Deleted)
+	case "epoch":
+		switch {
+		case s.ctl != nil:
+			journaled := "no journal"
+			if j := s.ctl.Journal(); j != nil {
+				journaled = "journal at " + j.Dir()
+			}
+			fmt.Printf("epoch %d, policy version %d (%s)\n",
+				s.ctl.Epoch, s.ctl.PolicyVersion, journaled)
+		case s.cluster != nil:
+			fmt.Printf("epoch %d, controller down=%v\n",
+				s.cluster.Epoch(), s.cluster.ControllerDown())
+		default:
+			fmt.Println("epoch needs a controller (sim or wire mode)")
+		}
 	case "alive":
 		if s.cluster == nil {
 			fmt.Println("alive is wire-only")

@@ -33,6 +33,7 @@ import (
 	"difane/internal/baseline"
 	"difane/internal/core"
 	"difane/internal/flowspace"
+	"difane/internal/journal"
 	"difane/internal/policyio"
 	"difane/internal/topo"
 	"difane/internal/wire"
@@ -173,6 +174,40 @@ func Assign(parts []Partition, authorities []uint32) (Assignment, error) {
 // PlaceAuthorities picks k well-spread authority switches.
 func PlaceAuthorities(g *Graph, k int) []uint32 { return core.PlaceAuthorities(g, k) }
 
+// --- Crash recovery ----------------------------------------------------------
+
+// ControllerState is the controller state persisted to the journal: the
+// fencing epoch, policy, assignment, and generation counters a restarted
+// controller needs to resume without churning the network.
+type ControllerState = core.ControllerState
+
+// RecoveryReport summarizes what NewControllerFromJournal had to repair.
+type RecoveryReport = core.RecoveryReport
+
+// Journal is the write-ahead log + snapshot store backing controller
+// crash recovery.
+type Journal = journal.Journal
+
+// OpenJournal opens (or creates) a journal directory.
+func OpenJournal(dir string) (*Journal, error) { return journal.Open(dir) }
+
+// NewControllerWithJournal attaches a controller that persists its state
+// to a journal in dir on every mutation.
+func NewControllerWithJournal(n *Network, dir string) (*Controller, error) {
+	return core.NewControllerWithJournal(n, dir)
+}
+
+// NewControllerFromJournal recovers a controller from a journal written
+// by a previous incarnation: state is replayed, the epoch is bumped to
+// fence the dead controller, and the live switch tables are reconciled
+// against the recovered assignment instead of blindly reinstalled.
+func NewControllerFromJournal(n *Network, dir string) (*Controller, RecoveryReport, error) {
+	return core.NewControllerFromJournal(n, dir)
+}
+
+// LoadState replays a journal directory without touching any network.
+func LoadState(dir string) (ControllerState, bool, error) { return core.LoadState(dir) }
+
 // CompactPolicy removes shadowed (dead) rules without changing semantics.
 func CompactPolicy(rules []Rule) (kept []Rule, removedIDs []uint64) {
 	return core.CompactPolicy(rules)
@@ -273,6 +308,10 @@ type HeartbeatConfig = wire.HeartbeatConfig
 // RetryPolicy bounds wire mode's control-plane retries (reconnect backoff,
 // FlowMod installs).
 type RetryPolicy = wire.RetryPolicy
+
+// OverloadConfig tunes wire mode's miss-storm protection (token-bucket
+// redirect/install budgets) and the controller-outage event buffer.
+type OverloadConfig = wire.OverloadConfig
 
 // WireDeployment adapts a wire-mode Cluster to the Deployment interface.
 type WireDeployment = wire.Deployment

@@ -2,6 +2,7 @@ package core
 
 import (
 	"difane/internal/flowspace"
+	"difane/internal/journal"
 	"difane/internal/proto"
 	"difane/internal/tcam"
 	"difane/internal/topo"
@@ -20,11 +21,29 @@ type Controller struct {
 
 	// PolicyVersion counts applied policy updates.
 	PolicyVersion int
+
+	// Epoch is the controller's fencing token: it increments on every
+	// controller (re)start, never within a controller's lifetime. Installs
+	// stamped with an older epoch are rejected by fenced switches, so a
+	// crashed controller's stragglers cannot clobber its successor's state.
+	Epoch uint64
+
+	// gen counts staged policy generations. Unlike PolicyVersion (which
+	// increments when an update commits) it increments when an update is
+	// *scheduled*, so two consistent updates in flight at once stage
+	// disjoint generation bands instead of colliding.
+	gen uint64
+
+	// jour, when set, records every committed state change; JournalErr
+	// holds the most recent append failure (appends happen inside
+	// scheduled commit callbacks, which cannot return errors).
+	jour       *journal.Journal
+	JournalErr error
 }
 
 // NewController attaches a controller to a network.
 func NewController(n *Network) *Controller {
-	return &Controller{net: n, FailoverDelay: 0.2, PolicyPushDelay: 0.05}
+	return &Controller{net: n, FailoverDelay: 0.2, PolicyPushDelay: 0.05, Epoch: 1}
 }
 
 // Network returns the managed network.
@@ -62,6 +81,7 @@ func (c *Controller) UpdatePolicy(policy []flowspace.Rule) (float64, error) {
 	c.net.Eng.At(at, func() {
 		c.net.reinstall(policy, assign)
 		c.PolicyVersion++
+		c.logState()
 	})
 	return at, nil
 }
@@ -77,6 +97,20 @@ func (c *Controller) UpdatePolicy(policy []flowspace.Rule) (float64, error) {
 // Returns (switchAt, cleanupAt): when the data plane starts following the
 // new policy, and when the old rules are gone.
 func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, float64, error) {
+	n := c.net
+	// A no-op update — the offered policy is semantically identical to the
+	// running one — must not churn installed rules or invalidate caches:
+	// redirected packets would re-derive the exact same cache rules. Only
+	// the version advances, at the usual commit time.
+	if PoliciesEqual(n.Policy, policy) {
+		switchAt := n.Eng.Now() + c.PolicyPushDelay
+		cleanupAt := switchAt + c.PolicyPushDelay
+		n.Eng.At(switchAt, func() {
+			c.PolicyVersion++
+			c.logState()
+		})
+		return switchAt, cleanupAt, nil
+	}
 	parts := BuildPartitions(policy, c.net.cfg.Partition)
 	auths := make([]uint32, 0, len(c.net.authSt))
 	for id := range c.net.authSt {
@@ -87,11 +121,13 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 	if err != nil {
 		return 0, 0, err
 	}
-	n := c.net
 	// Phase 1: push the new authority rules (re-keyed so they coexist with
-	// the old generation) at t+push.
+	// the old generation) at t+push. The generation band comes from a
+	// counter bumped at scheduling time, so overlapping consistent updates
+	// stage disjoint bands instead of colliding on PolicyVersion+1.
 	installAt := n.Eng.Now() + c.PolicyPushDelay
-	generation := uint64(c.PolicyVersion+1) << 32
+	c.gen++
+	generation := c.gen << 32
 	staged := stageAssignment(assign, generation)
 	n.Eng.At(installAt, func() {
 		for i, p := range staged.Partitions {
@@ -100,6 +136,7 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 				for _, r := range p.Rules {
 					mod := authorityAdd(r)
 					_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
+					n.M.PolicyRuleInstalls++
 				}
 			}
 		}
@@ -123,17 +160,37 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 			sw.ClearCache()
 		}
 		c.PolicyVersion++
+		c.logState()
 	})
 	// Phase 3: garbage-collect the previous generation's authority rules.
 	cleanupAt := switchAt + c.PolicyPushDelay
 	n.Eng.At(cleanupAt, func() {
 		for _, sw := range n.Switches {
-			sw.Table(proto.TableAuthority).DeleteWhere(func(e tcam.Entry) bool {
+			n.M.PolicyRuleDeletes += uint64(sw.Table(proto.TableAuthority).DeleteWhere(func(e tcam.Entry) bool {
 				return e.Rule.ID < generation
-			})
+			}))
 		}
 	})
 	return switchAt, cleanupAt, nil
+}
+
+// PoliciesEqual reports whether two rule lists are semantically identical:
+// the same rules (by ID, priority, match, and action) regardless of slice
+// order.
+func PoliciesEqual(a, b []flowspace.Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]flowspace.Rule(nil), a...)
+	bs := append([]flowspace.Rule(nil), b...)
+	flowspace.SortRules(as)
+	flowspace.SortRules(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // stageAssignment re-keys every clipped rule ID into a generation band so
@@ -194,7 +251,7 @@ func (n *Network) reinstall(policy []flowspace.Rule, assign Assignment) {
 	for _, sw := range n.Switches {
 		// Drop all derived state: caches, authority rules, partition rules.
 		sw.ClearCache()
-		sw.Table(proto.TableAuthority).DeleteWhere(everything)
+		n.M.PolicyRuleDeletes += uint64(sw.Table(proto.TableAuthority).DeleteWhere(everything))
 		sw.Table(proto.TablePartition).DeleteWhere(everything)
 	}
 	n.installAssignment()

@@ -92,6 +92,10 @@ type Drops struct {
 	Hole uint64
 	// AuthorityQueue counts packets shed by an overloaded authority.
 	AuthorityQueue uint64
+	// RedirectShed counts redirects refused by the ingress token bucket —
+	// wire mode's miss-storm protection deliberately dropping the tail of
+	// an overload instead of collapsing the authority switch.
+	RedirectShed uint64
 	// Unreachable counts packets whose redirect or delivery path was
 	// partitioned away.
 	Unreachable uint64
@@ -129,6 +133,29 @@ type Measurements struct {
 	FailoversLocal    uint64
 	FailoversPromoted uint64
 	ControlReconnects uint64
+
+	// Controller crash-recovery and overload-protection counters (wire
+	// mode; zero elsewhere).
+	//
+	// ControllerOutages counts controller losses the switches rode out;
+	// OutageBuffered/OutageDrained/OutageDropped track controller-bound
+	// events queued in the bounded outage buffer, replayed on reconnect,
+	// or shed when the buffer overflowed; StaleInstallsRejected counts
+	// FlowMods a switch refused because they carried an epoch older than
+	// its fence; CacheInstallsShed counts cache installs suppressed by the
+	// control-plane token bucket under a miss storm.
+	ControllerOutages     uint64
+	OutageBuffered        uint64
+	OutageDrained         uint64
+	OutageDropped         uint64
+	StaleInstallsRejected uint64
+	CacheInstallsShed     uint64
+
+	// Policy-churn counters: authority/partition rules installed and
+	// removed by policy updates, rebalances, and recovery reconciliation.
+	// A no-op policy update must leave both untouched.
+	PolicyRuleInstalls uint64
+	PolicyRuleDeletes  uint64
 }
 
 // Snapshot returns an independent copy safe to query while the original
@@ -220,8 +247,8 @@ func (n *Network) installAssignment() {
 	n.applyAssignment(n.Assignment)
 }
 
-func clearAuthorityTable(sw *switchsim.Switch) {
-	sw.Table(proto.TableAuthority).DeleteWhere(func(tcam.Entry) bool { return true })
+func clearAuthorityTable(sw *switchsim.Switch) int {
+	return sw.Table(proto.TableAuthority).DeleteWhere(func(tcam.Entry) bool { return true })
 }
 
 func authorityAdd(r flowspace.Rule) proto.FlowMod {

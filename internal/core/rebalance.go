@@ -144,6 +144,7 @@ func (c *Controller) RebalanceByLoad() int {
 	// overridden by proximity routing.
 	n.pinRouting = true
 	n.applyAssignment(newAssign)
+	c.logState()
 	return moved
 }
 
@@ -154,7 +155,7 @@ func (n *Network) applyAssignment(assign Assignment) {
 	// Tear down old authority tables and handlers.
 	for host := range n.authorityAt {
 		if sw := n.Switches[host]; sw != nil {
-			clearAuthorityTable(sw)
+			n.M.PolicyRuleDeletes += uint64(clearAuthorityTable(sw))
 		}
 	}
 	n.Assignment = assign
@@ -169,6 +170,7 @@ func (n *Network) applyAssignment(assign Assignment) {
 			for _, r := range p.Rules {
 				mod := authorityAdd(r)
 				_ = sw.ApplyFlowMod(now, &mod)
+				n.M.PolicyRuleInstalls++
 			}
 		}
 	}

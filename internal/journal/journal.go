@@ -1,0 +1,283 @@
+// Package journal gives the DIFANE controller a crash-safe, file-backed
+// record of its state: an append-only write-ahead log of JSON records plus
+// an atomically replaced snapshot. A restarted controller replays the
+// snapshot and then every WAL record written after it, recovering the
+// policy, partition tree, assignments, and generation/epoch counters it
+// held before the crash.
+//
+// The format is deliberately simple and self-describing:
+//
+//   - wal.log — one record per line: {"seq":N,"kind":K,"data":D,"crc":C}
+//     where C is the IEEE CRC32 of the kind and raw data bytes. A torn or
+//     corrupt tail line (the crash case) terminates replay cleanly instead
+//     of erroring: everything before it is the durable prefix.
+//   - snapshot.json — {"seq":N,"state":S}, written to a temp file, fsynced,
+//     and renamed into place. Writing a snapshot truncates the WAL, so the
+//     journal never grows without bound.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record is one durable WAL entry.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+	CRC  uint32          `json:"crc"`
+}
+
+// checksum covers the kind and the raw data bytes (not the seq, which the
+// reader validates by monotonicity instead).
+func (r *Record) checksum() uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte(r.Kind))
+	h.Write(r.Data)
+	return h.Sum32()
+}
+
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.json"
+	tmpName  = "snapshot.json.tmp"
+)
+
+type snapshotFile struct {
+	Seq   uint64          `json:"seq"`
+	State json.RawMessage `json:"state"`
+}
+
+// Journal is an open journal directory. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	dir  string
+	wal  *os.File
+	next uint64 // seq of the next record to append
+}
+
+// Open opens (creating if needed) the journal rooted at dir and positions
+// the appender after the last durable record.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir}
+	snapSeq, _, err := j.readSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	recs, err := j.readWAL(snapSeq)
+	if err != nil {
+		return nil, err
+	}
+	j.next = snapSeq + 1
+	if n := len(recs); n > 0 {
+		j.next = recs[n-1].Seq + 1
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.wal = wal
+	return j, nil
+}
+
+// Append durably writes one record and returns its sequence number.
+func (j *Journal) Append(kind string, payload any) (uint64, error) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshal %s: %w", kind, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal == nil {
+		return 0, fmt.Errorf("journal: closed")
+	}
+	rec := Record{Seq: j.next, Kind: kind, Data: data}
+	rec.CRC = rec.checksum()
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.wal.Write(line); err != nil {
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.wal.Sync(); err != nil {
+		return 0, fmt.Errorf("journal: sync: %w", err)
+	}
+	j.next++
+	return rec.Seq, nil
+}
+
+// WriteSnapshot atomically replaces the snapshot with state and truncates
+// the WAL: records up to now are folded into the snapshot.
+func (j *Journal) WriteSnapshot(state any) error {
+	data, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("journal: marshal snapshot: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	snap := snapshotFile{Seq: j.next, State: data}
+	buf, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp := filepath.Join(j.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		return fmt.Errorf("journal: snapshot rename: %w", err)
+	}
+	// The snapshot now covers every appended record: restart the WAL. The
+	// snapshot carries j.next as its seq, so older WAL records — had the
+	// truncate been lost — would be skipped on replay anyway.
+	if err := j.wal.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	wal, err := os.OpenFile(filepath.Join(j.dir, walName),
+		os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.wal = nil
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.wal = wal
+	j.next = snap.Seq + 1
+	return nil
+}
+
+// Replay loads the durable state: the snapshot (if any) is unmarshalled
+// into snap when snap is non-nil, then apply is called for every WAL
+// record after it, in order. It returns the number of WAL records applied
+// and whether a snapshot existed.
+func (j *Journal) Replay(snap any, apply func(Record) error) (applied int, hadSnapshot bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	snapSeq, raw, err := j.readSnapshot()
+	if err != nil {
+		return 0, false, err
+	}
+	if raw != nil {
+		hadSnapshot = true
+		if snap != nil {
+			if err := json.Unmarshal(raw, snap); err != nil {
+				return 0, true, fmt.Errorf("journal: snapshot state: %w", err)
+			}
+		}
+	}
+	recs, err := j.readWAL(snapSeq)
+	if err != nil {
+		return 0, hadSnapshot, err
+	}
+	for _, rec := range recs {
+		if apply != nil {
+			if err := apply(rec); err != nil {
+				return applied, hadSnapshot, err
+			}
+		}
+		applied++
+	}
+	return applied, hadSnapshot, nil
+}
+
+// readSnapshot returns the snapshot's seq and raw state, or (0, nil) when
+// no snapshot exists.
+func (j *Journal) readSnapshot() (uint64, json.RawMessage, error) {
+	buf, err := os.ReadFile(filepath.Join(j.dir, snapName))
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("journal: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(buf, &snap); err != nil {
+		return 0, nil, fmt.Errorf("journal: corrupt snapshot: %w", err)
+	}
+	return snap.Seq, snap.State, nil
+}
+
+// readWAL scans the WAL, returning every valid record with seq > after. A
+// torn or corrupt line ends the scan without error (crash-consistent
+// prefix); a record whose seq goes backwards does too.
+func (j *Journal) readWAL(after uint64) ([]Record, error) {
+	f, err := os.Open(filepath.Join(j.dir, walName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	var out []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	last := uint64(0)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail
+		}
+		if rec.CRC != rec.checksum() {
+			break // corrupt tail
+		}
+		if rec.Seq <= last && last != 0 {
+			break // sequence went backwards: stale bytes past a crash
+		}
+		last = rec.Seq
+		if rec.Seq > after {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Close releases the WAL file handle. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal == nil {
+		return nil
+	}
+	err := j.wal.Close()
+	j.wal = nil
+	return err
+}

@@ -1,0 +1,201 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type fakeState struct {
+	Epoch  uint64 `json:"epoch"`
+	Policy string `json:"policy"`
+}
+
+func mustAppend(t *testing.T, j *Journal, kind string, payload any) uint64 {
+	t.Helper()
+	seq, err := j.Append(kind, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func replayStates(t *testing.T, j *Journal) (snap fakeState, recs []fakeState, hadSnap bool) {
+	t.Helper()
+	n, had, err := j.Replay(&snap, func(r Record) error {
+		var st fakeState
+		if err := json.Unmarshal(r.Data, &st); err != nil {
+			return err
+		}
+		recs = append(recs, st)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(recs) {
+		t.Fatalf("applied %d, collected %d", n, len(recs))
+	}
+	return snap, recs, had
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		mustAppend(t, j, "state", fakeState{Epoch: uint64(i), Policy: "p"})
+	}
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_, recs, hadSnap := replayStates(t, j2)
+	if hadSnap {
+		t.Fatal("no snapshot was written")
+	}
+	if len(recs) != 3 || recs[2].Epoch != 3 {
+		t.Fatalf("replay = %+v", recs)
+	}
+	if j2.NextSeq() != 4 {
+		t.Fatalf("next seq = %d, want 4", j2.NextSeq())
+	}
+}
+
+func TestSnapshotTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "state", fakeState{Epoch: 1})
+	mustAppend(t, j, "state", fakeState{Epoch: 2})
+	if err := j.WriteSnapshot(fakeState{Epoch: 2, Policy: "snap"}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "state", fakeState{Epoch: 3})
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	snap, recs, hadSnap := replayStates(t, j2)
+	if !hadSnap || snap.Policy != "snap" || snap.Epoch != 2 {
+		t.Fatalf("snapshot = %+v (had=%v)", snap, hadSnap)
+	}
+	if len(recs) != 1 || recs[0].Epoch != 3 {
+		t.Fatalf("post-snapshot records = %+v", recs)
+	}
+	wal, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := countLines(wal); lines != 1 {
+		t.Fatalf("WAL holds %d records after snapshot, want 1", lines)
+	}
+}
+
+func TestTornTailStopsReplayCleanly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "state", fakeState{Epoch: 1})
+	mustAppend(t, j, "state", fakeState{Epoch: 2})
+	j.Close()
+
+	// Simulate a crash mid-append: a truncated JSON line at the tail.
+	walPath := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":3,"kind":"state","da`)
+	f.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_, recs, _ := replayStates(t, j2)
+	if len(recs) != 2 || recs[1].Epoch != 2 {
+		t.Fatalf("replay after torn tail = %+v", recs)
+	}
+	// New appends continue the sequence past the durable prefix.
+	if seq := mustAppend(t, j2, "state", fakeState{Epoch: 3}); seq != 3 {
+		t.Fatalf("seq after torn tail = %d, want 3", seq)
+	}
+}
+
+func TestCorruptCRCStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "state", fakeState{Epoch: 1})
+	j.Close()
+
+	// Flip a byte inside the record's data without touching framing.
+	walPath := filepath.Join(dir, "wal.log")
+	buf, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := []byte(string(buf))
+	idx := len(`{"seq":1,"kind":"state","data":{"epoch":`)
+	if idx >= len(mutated) || mutated[idx] != '1' {
+		t.Fatalf("unexpected WAL layout: %s", buf)
+	}
+	mutated[idx] = '7'
+	if err := os.WriteFile(walPath, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_, recs, _ := replayStates(t, j2)
+	if len(recs) != 0 {
+		t.Fatalf("corrupt record must not replay: %+v", recs)
+	}
+}
+
+func TestClosedJournalRejectsWrites(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := j.Append("state", fakeState{}); err == nil {
+		t.Fatal("append after close must fail")
+	}
+	if err := j.WriteSnapshot(fakeState{}); err == nil {
+		t.Fatal("snapshot after close must fail")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	b := NewTokenBucket(10, 3)
+	start := b.last // exact clock base: refill arithmetic is deterministic
+	for i := 0; i < 3; i++ {
+		if !b.AllowAt(start) {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if b.AllowAt(start) {
+		t.Fatal("admitted past the burst with no refill")
+	}
+	// 100ms at 10 tokens/s refills exactly one token.
+	later := start.Add(100 * time.Millisecond)
+	if !b.AllowAt(later) {
+		t.Fatal("refilled token refused")
+	}
+	if b.AllowAt(later) {
+		t.Fatal("admitted two events off one refilled token")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b := NewTokenBucket(1000, 2)
+	// A long idle period must not accumulate more than the burst.
+	later := b.last.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if b.AllowAt(later) {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d, want burst cap 2", admitted)
+	}
+}
+
+func TestNilBucketAdmitsEverything(t *testing.T) {
+	var b *TokenBucket
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("nil bucket must admit")
+		}
+	}
+	if NewTokenBucket(0, 5) != nil {
+		t.Fatal("zero rate must mean unlimited (nil)")
+	}
+}

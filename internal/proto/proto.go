@@ -47,6 +47,11 @@ const (
 	// switch; the switch echoes it back unchanged. A run of missed echoes
 	// marks the switch dead in the failure detector.
 	MsgHeartbeat
+	// MsgEpochReport carries a switch's current controller epoch upstream.
+	// A switch sends it when it rejects a FlowMod carrying a stale epoch,
+	// telling the (recovered or lagging) controller what epoch currently
+	// fences its tables.
+	MsgEpochReport
 )
 
 var msgNames = map[MsgType]string{
@@ -54,7 +59,7 @@ var msgNames = map[MsgType]string{
 	MsgPacketOut: "packet-out", MsgCacheInstall: "cache-install",
 	MsgBarrierReq: "barrier-req", MsgBarrierReply: "barrier-reply",
 	MsgStatsReq: "stats-req", MsgStatsReply: "stats-reply", MsgError: "error",
-	MsgHeartbeat: "heartbeat",
+	MsgHeartbeat: "heartbeat", MsgEpochReport: "epoch-report",
 }
 
 func (t MsgType) String() string {
@@ -104,12 +109,20 @@ type Hello struct {
 }
 
 // FlowMod adds or deletes a rule with timeouts (seconds; 0 = none).
+//
+// Epoch fences the install: a switch tracks the highest epoch it has
+// accepted and rejects any FlowMod carrying a lower, nonzero epoch —
+// answering with an EpochReport — so a recovered (or lagging pre-crash)
+// controller cannot clobber newer state. Epoch 0 means unfenced: installs
+// originating in the data plane (authority cache installs, local
+// failover) bypass the fence.
 type FlowMod struct {
 	Table Table
 	Op    FlowModOp
 	Rule  flowspace.Rule
 	Idle  float64
 	Hard  float64
+	Epoch uint64
 }
 
 // PacketIn carries a packet toward a controller.
@@ -166,6 +179,13 @@ type Heartbeat struct {
 	Seq  uint64
 }
 
+// EpochReport tells the controller which epoch currently fences a switch's
+// tables (sent when the switch rejects a stale-epoch FlowMod).
+type EpochReport struct {
+	Node  uint32
+	Epoch uint64
+}
+
 func (*Hello) Type() MsgType        { return MsgHello }
 func (*FlowMod) Type() MsgType      { return MsgFlowMod }
 func (*PacketIn) Type() MsgType     { return MsgPacketIn }
@@ -177,6 +197,7 @@ func (*StatsReq) Type() MsgType     { return MsgStatsReq }
 func (*StatsReply) Type() MsgType   { return MsgStatsReply }
 func (*Error) Type() MsgType        { return MsgError }
 func (*Heartbeat) Type() MsgType    { return MsgHeartbeat }
+func (*EpochReport) Type() MsgType  { return MsgEpochReport }
 
 // --- Encoding helpers -------------------------------------------------------
 
@@ -314,8 +335,14 @@ func appendFlowModBody(b []byte, m *FlowMod) []byte {
 	b = AppendRule(b, m.Rule)
 	b = appendF64(b, m.Idle)
 	b = appendF64(b, m.Hard)
+	b = appendU64(b, m.Epoch)
 	return b
 }
+
+// flowModMinSize is the smallest possible encoded FlowMod body (all match
+// fields wildcarded): table+op (2) + rule header (19) + idle/hard/epoch
+// (24). Used to bound CacheInstall preallocation against forged counts.
+const flowModMinSize = 2 + 19 + 24
 
 func decodeFlowModBody(r *reader) FlowMod {
 	var m FlowMod
@@ -324,6 +351,7 @@ func decodeFlowModBody(r *reader) FlowMod {
 	m.Rule = decodeRule(r)
 	m.Idle = r.f64()
 	m.Hard = r.f64()
+	m.Epoch = r.u64()
 	return m
 }
 
@@ -377,6 +405,12 @@ func (m *CacheInstall) decodePayload(b []byte) error {
 	}
 	if n > MaxFrame/16 {
 		return ErrTooLarge
+	}
+	// A forged count larger than the remaining payload could possibly hold
+	// must not drive the preallocation below: each encoded rule is at least
+	// flowModMinSize bytes, so anything bigger is already truncated.
+	if n > len(r.b)/flowModMinSize {
+		return ErrTruncated
 	}
 	m.Rules = nil
 	if n > 0 {
@@ -454,6 +488,17 @@ func (m *Heartbeat) decodePayload(b []byte) error {
 	return r.err
 }
 
+func (m *EpochReport) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Node)
+	return appendU64(b, m.Epoch)
+}
+func (m *EpochReport) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Node = r.u32()
+	m.Epoch = r.u64()
+	return r.err
+}
+
 // --- Framing ----------------------------------------------------------------
 
 // Encode appends the framed message to b.
@@ -492,7 +537,38 @@ func ReadMessage(r io.Reader) (Message, error) {
 			return nil, err
 		}
 	}
-	m, err := newMessage(MsgType(hdr[4]))
+	return decodeBody(MsgType(hdr[4]), payload)
+}
+
+// DecodeFrame decodes one framed message from the front of b, returning
+// the message and the number of bytes consumed. It never panics on
+// malformed or truncated input — errors are ErrTruncated, ErrTooLarge, or
+// ErrUnknownType, with zero bytes consumed.
+func DecodeFrame(b []byte) (Message, int, error) {
+	if len(b) < 5 {
+		return nil, 0, ErrTruncated
+	}
+	length := binary.BigEndian.Uint32(b[:4])
+	if length < 1 {
+		return nil, 0, ErrTruncated
+	}
+	if length > MaxFrame {
+		return nil, 0, ErrTooLarge
+	}
+	total := 4 + int(length)
+	if len(b) < total {
+		return nil, 0, ErrTruncated
+	}
+	m, err := decodeBody(MsgType(b[4]), b[5:total])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, total, nil
+}
+
+// decodeBody builds and decodes a message of type t from its payload.
+func decodeBody(t MsgType, payload []byte) (Message, error) {
+	m, err := newMessage(t)
 	if err != nil {
 		return nil, err
 	}
@@ -526,6 +602,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &Error{}, nil
 	case MsgHeartbeat:
 		return &Heartbeat{}, nil
+	case MsgEpochReport:
+		return &EpochReport{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

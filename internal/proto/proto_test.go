@@ -43,6 +43,45 @@ func allMessages() []Message {
 		&Error{Code: 0, Text: ""},
 		&Heartbeat{Node: 8, Seq: 42},
 		&Heartbeat{},
+		&FlowMod{Table: TableAuthority, Op: OpAdd, Rule: sampleRule(5), Epoch: 3},
+		&EpochReport{Node: 2, Epoch: 7},
+		&EpochReport{},
+	}
+}
+
+func TestDecodeFrameMultiple(t *testing.T) {
+	var buf []byte
+	msgs := allMessages()
+	for _, m := range msgs {
+		buf = Encode(buf, m)
+	}
+	for i := 0; len(buf) > 0; i++ {
+		m, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(m, msgs[i]) {
+			t.Fatalf("frame %d:\n got %+v\nwant %+v", i, m, msgs[i])
+		}
+		buf = buf[n:]
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	full := Encode(nil, &FlowMod{Table: TableCache, Op: OpAdd, Rule: sampleRule(1), Epoch: 2})
+	for cut := 0; cut < len(full); cut++ {
+		if _, n, err := DecodeFrame(full[:cut]); err == nil || n != 0 {
+			t.Fatalf("cut=%d: accepted truncated frame (n=%d err=%v)", cut, n, err)
+		}
+	}
+}
+
+func TestCacheInstallForgedCountRejected(t *testing.T) {
+	payload := appendU32(nil, 7)         // ingress
+	payload = appendU32(payload, 100000) // count with no rule bytes behind it
+	var m CacheInstall
+	if err := m.decodePayload(payload); err == nil {
+		t.Fatal("forged rule count must not decode")
 	}
 }
 

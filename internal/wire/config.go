@@ -31,6 +31,9 @@ type ClusterConfig struct {
 	// Retry bounds control-plane retries: reconnect backoff and FlowMod
 	// installs.
 	Retry RetryPolicy
+	// Overload tunes miss-storm protection and the controller-outage
+	// buffer.
+	Overload OverloadConfig
 	// Partition tunes the partitioner.
 	Partition core.PartitionConfig
 
@@ -62,6 +65,45 @@ func (h *HeartbeatConfig) applyDefaults() {
 	}
 	if h.RedirectTimeout <= 0 {
 		h.RedirectTimeout = 2 * time.Duration(h.MissThreshold) * h.Interval
+	}
+}
+
+// OverloadConfig tunes wire mode's overload protection: token buckets that
+// shed the tail of a miss storm before it collapses an authority switch or
+// the control plane, and the bounded buffer that holds controller-bound
+// events across a controller outage.
+type OverloadConfig struct {
+	// RedirectRate bounds how many cache-miss redirects per second each
+	// ingress switch may send toward authority switches (0 = unlimited).
+	// Excess packets are shed and counted in Drops.RedirectShed.
+	RedirectRate float64
+	// RedirectBurst is the redirect bucket's burst capacity (default 32
+	// when RedirectRate is set).
+	RedirectBurst int
+	// CacheInstallRate bounds how many cache installs per second each
+	// authority switch may push toward the controller (0 = unlimited).
+	// Suppressed installs are counted in CacheInstallsShed; the packets
+	// themselves still forward, so shedding costs extra redirects, not
+	// reachability.
+	CacheInstallRate float64
+	// CacheInstallBurst is the install bucket's burst capacity (default 32
+	// when CacheInstallRate is set).
+	CacheInstallBurst int
+	// OutageBuffer bounds the per-switch queue of controller-bound events
+	// held while the controller is unreachable (default 256). Overflow is
+	// shed oldest-first and counted in OutageDropped.
+	OutageBuffer int
+}
+
+func (o *OverloadConfig) applyDefaults() {
+	if o.RedirectBurst <= 0 {
+		o.RedirectBurst = 32
+	}
+	if o.CacheInstallBurst <= 0 {
+		o.CacheInstallBurst = 32
+	}
+	if o.OutageBuffer <= 0 {
+		o.OutageBuffer = 256
 	}
 }
 
@@ -145,5 +187,6 @@ func (cfg *ClusterConfig) Validate() error {
 	}
 	cfg.Heartbeat.applyDefaults()
 	cfg.Retry.applyDefaults()
+	cfg.Overload.applyDefaults()
 	return nil
 }

@@ -38,6 +38,11 @@ func (c *Cluster) heartbeatLoop() {
 			return
 		case <-ticker.C:
 		}
+		if c.ctrlDown.Load() {
+			// Simulated controller crash: no probes, no verdicts. The
+			// switches ride the outage out on their own.
+			continue
+		}
 		seq++
 		now := time.Now()
 		for _, n := range c.switches {

@@ -1,0 +1,90 @@
+package wire
+
+import "time"
+
+// Controller-outage mode: a wire cluster can simulate the central
+// controller crashing while every switch keeps running. Switches detect
+// the outage through the existing heartbeat machinery (probes stop
+// arriving), keep serving traffic from their cached and authority rules —
+// DIFANE's data plane never depends on the controller — and park
+// controller-bound events (cache installs) in a bounded per-switch outbox.
+// When the controller returns, heartbeats resume, outboxes drain in order,
+// and the restarted controller fences the old one out with a higher epoch.
+
+// KillController simulates a controller crash: probing stops, every
+// control connection drops, and reconnection holds until
+// RestoreController. Returns false if the controller is already down.
+func (c *Cluster) KillController() bool {
+	if !c.ctrlDown.CompareAndSwap(false, true) {
+		return false
+	}
+	c.mMu.Lock()
+	c.m.ControllerOutages++
+	c.mMu.Unlock()
+	for _, n := range c.switches {
+		n.closeConns()
+	}
+	return true
+}
+
+// RestoreController brings the controller back, as a recovered process
+// would: its fencing epoch is bumped past the dead incarnation's, every
+// switch's liveness clock is reset so the returning probes don't race a
+// spurious death verdict, and the connection managers re-establish control
+// connections (draining the switches' outage buffers as heartbeats
+// resume). Returns false if the controller was not down.
+func (c *Cluster) RestoreController() bool {
+	if !c.ctrlDown.CompareAndSwap(true, false) {
+		return false
+	}
+	c.epoch.Add(1)
+	now := time.Now().UnixNano()
+	for _, n := range c.switches {
+		n.lastBeat.Store(now)
+		n.lastProbe.Store(now)
+	}
+	return true
+}
+
+// ControllerDown reports whether a simulated controller outage is active.
+func (c *Cluster) ControllerDown() bool { return c.ctrlDown.Load() }
+
+// Epoch returns the controller's current fencing epoch.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// SetEpoch raises the controller's fencing epoch — the integration point
+// for an external controller recovering from a journal whose durable epoch
+// is ahead of this incarnation's. Lowering is refused.
+func (c *Cluster) SetEpoch(e uint64) bool {
+	for {
+		cur := c.epoch.Load()
+		if e < cur {
+			return false
+		}
+		if e == cur || c.epoch.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
+
+// PeakQueueDepth returns the highest data-queue occupancy any switch has
+// seen — the bounded-queue evidence the miss-storm bench reports.
+func (c *Cluster) PeakQueueDepth() int {
+	max := int64(0)
+	for _, n := range c.switches {
+		if d := n.peakQueue.Load(); d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// OutboxLen returns the number of buffered controller-bound events at a
+// switch.
+func (c *Cluster) OutboxLen(id uint32) int {
+	n, ok := c.switches[id]
+	if !ok {
+		return 0
+	}
+	return len(n.outbox)
+}

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+)
+
+// waitMeasure polls the cluster's measurements until cond passes.
+func waitMeasure(t *testing.T, c *Cluster, what string, cond func(*core.Measurements) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cond(c.Measurements()) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never happened (measurements %+v)", what, c.Measurements())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestControllerOutageRideThrough is the kill-and-restart-controller
+// scenario: mid-trace the controller dies; switches must keep serving from
+// cached and authority rules with zero packet loss, buffer their
+// controller-bound events, and drain them when the controller returns with
+// a bumped epoch.
+func TestControllerOutageRideThrough(t *testing.T) {
+	c := newFailoverCluster(t)
+	// Warm the ingress cache at switch 0 so there is a cached flow to
+	// serve during the outage.
+	if !c.Inject(0, httpHeader(1), 100) {
+		t.Fatal("inject failed")
+	}
+	awaitDelivery(t, c)
+	awaitCache(t, c, 0)
+	base := c.Measurements()
+	epochBefore := c.Epoch()
+
+	if !c.KillController() {
+		t.Fatal("KillController failed")
+	}
+	if c.KillController() {
+		t.Fatal("second KillController must report false")
+	}
+
+	// Mid-outage traffic: the cached flow forwards from the ingress cache,
+	// and brand-new flows still complete their setup entirely in the data
+	// plane (redirect → authority rules → tunnel) — the controller is only
+	// needed to relay cache installs, which get buffered instead.
+	const cachedPkts, newFlows = 20, 5
+	for i := 0; i < cachedPkts; i++ {
+		if !c.Inject(0, httpHeader(1), 100) {
+			t.Fatal("inject of cached flow failed mid-outage")
+		}
+	}
+	for i := 0; i < newFlows; i++ {
+		if !c.Inject(1, httpHeader(uint32(200+i)), 100) {
+			t.Fatal("inject of new flow failed mid-outage")
+		}
+	}
+	want := base.Delivered + cachedPkts + newFlows
+	waitMeasure(t, c, "mid-outage deliveries", func(m *core.Measurements) bool {
+		return m.Delivered >= want
+	})
+	m := c.Measurements()
+	if m.Drops.Hole != base.Drops.Hole || m.Drops.Unreachable != base.Drops.Unreachable ||
+		m.Drops.AuthorityQueue != base.Drops.AuthorityQueue {
+		t.Fatalf("packets lost during controller outage: %+v (baseline %+v)", m.Drops, base.Drops)
+	}
+	if m.ControllerOutages != 1 {
+		t.Fatalf("outages = %d, want 1", m.ControllerOutages)
+	}
+	waitMeasure(t, c, "install buffering", func(m *core.Measurements) bool {
+		return m.OutageBuffered >= 1
+	})
+	if c.CacheLen(1) != 0 {
+		t.Fatalf("cache installs must be held back during the outage, found %d", c.CacheLen(1))
+	}
+
+	if !c.RestoreController() {
+		t.Fatal("RestoreController failed")
+	}
+	if c.RestoreController() {
+		t.Fatal("second RestoreController must report false")
+	}
+	if got := c.Epoch(); got != epochBefore+1 {
+		t.Fatalf("restart epoch = %d, want %d (restarted controller must fence the old one)",
+			got, epochBefore+1)
+	}
+	// Heartbeats resume, the outboxes drain, and the buffered installs
+	// finally land at the ingress.
+	waitMeasure(t, c, "outbox drain", func(m *core.Measurements) bool {
+		return m.OutageDrained >= 1
+	})
+	awaitCache(t, c, 1)
+	if st := c.Status(); st.ControllerDown {
+		t.Fatal("status still reports the controller down after restore")
+	}
+}
+
+// TestStaleEpochInstallRejected: a FlowMod carrying an epoch older than
+// the switch's fence must be refused, counted, and answered with an
+// EpochReport — the invariant that keeps a zombie controller's stragglers
+// out of the tables.
+func TestStaleEpochInstallRejected(t *testing.T) {
+	c := newFailoverCluster(t)
+	if !c.SetEpoch(5) {
+		t.Fatal("SetEpoch(5) failed")
+	}
+	if c.SetEpoch(4) {
+		t.Fatal("lowering the epoch must be refused")
+	}
+	fresh := proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd,
+		Rule: flowspace.Rule{ID: 777, Priority: 99, Match: flowspace.MatchAll().WithExact(flowspace.FTPDst, 7777),
+			Action: flowspace.Action{Kind: flowspace.ActDrop}}}
+	if err := c.InstallRule(2, fresh); err != nil { // stamped with epoch 5
+		t.Fatal(err)
+	}
+	stale := proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Epoch: 3,
+		Rule: flowspace.Rule{ID: 778, Priority: 99, Match: flowspace.MatchAll().WithExact(flowspace.FTPDst, 7778),
+			Action: flowspace.Action{Kind: flowspace.ActDrop}}}
+	if err := c.InstallRule(2, stale); err != nil {
+		t.Fatal(err) // the write succeeds; the switch rejects on receipt
+	}
+	if err := c.Barrier(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if rep, err := c.Stats(2, 777, 2); err != nil || !rep.OK {
+		t.Fatalf("fenced install with current epoch missing: %v %+v", err, rep)
+	}
+	if rep, err := c.Stats(2, 778, 3); err != nil || rep.OK {
+		t.Fatalf("stale-epoch install must not land: %v %+v", err, rep)
+	}
+	waitMeasure(t, c, "stale-install rejection", func(m *core.Measurements) bool {
+		return m.StaleInstallsRejected == 1
+	})
+	// The EpochReport surfaces the switch's fence to the controller.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var got uint64
+		for _, ss := range c.Status().Switches {
+			if ss.ID == 2 {
+				got = ss.ReportedEpoch
+			}
+		}
+		if got == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch report never arrived (got %d)", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestMissStormShedding: with a redirect budget configured, a storm of
+// cache misses must be shed at the ingress (bounded authority queues, no
+// collapse) with every packet accounted for: injected = delivered +
+// policy-dropped + shed + other drops.
+func TestMissStormShedding(t *testing.T) {
+	cfg := reconnectCfg(false)
+	cfg.Overload = OverloadConfig{RedirectRate: 50, RedirectBurst: 4,
+		CacheInstallRate: 50, CacheInstallBurst: 4}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const storm = 300
+	injected := 0
+	for i := 0; i < storm; i++ {
+		// Distinct sources: every packet is a genuine miss (exact caching).
+		if c.Inject(0, httpHeader(uint32(1000+i)), 100) {
+			injected++
+		}
+	}
+	if injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	// Every injected packet must reach a terminal accounting point.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.completed.Load() < uint64(injected) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d packets completed", c.completed.Load(), injected)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := c.Measurements()
+	if m.Drops.RedirectShed == 0 {
+		t.Fatalf("a 300-flow storm against a 50/s budget must shed (drops %+v)", m.Drops)
+	}
+	total := m.Delivered + m.Drops.Policy + m.Drops.RedirectShed +
+		m.Drops.Hole + m.Drops.Unreachable + m.Drops.AuthorityQueue
+	if total != uint64(injected) {
+		t.Fatalf("accounting does not reconcile: %d injected, %d accounted (%+v, delivered %d)",
+			injected, total, m.Drops, m.Delivered)
+	}
+	if m.Delivered == 0 {
+		t.Fatal("shedding must not starve admitted traffic")
+	}
+	if pq := c.PeakQueueDepth(); pq <= 0 || pq > c.cfg.QueueDepth {
+		t.Fatalf("peak queue depth %d out of bounds (0, %d]", pq, c.cfg.QueueDepth)
+	}
+}
+
+// TestCacheInstallShedding: the authority-side token bucket suppresses
+// cache installs under a storm without hurting reachability.
+func TestCacheInstallShedding(t *testing.T) {
+	cfg := reconnectCfg(false)
+	cfg.Overload = OverloadConfig{CacheInstallRate: 10, CacheInstallBurst: 2}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	const flows = 50
+	for i := 0; i < flows; i++ {
+		if !c.Inject(0, httpHeader(uint32(3000+i)), 100) {
+			t.Fatal("inject failed")
+		}
+	}
+	waitMeasure(t, c, "storm deliveries", func(m *core.Measurements) bool {
+		return m.Delivered >= flows
+	})
+	m := c.Measurements()
+	if m.CacheInstallsShed == 0 {
+		t.Fatalf("install bucket never shed under %d rapid misses", flows)
+	}
+	if m.Drops.Hole != 0 || m.Drops.Unreachable != 0 {
+		t.Fatalf("install shedding must not lose packets: %+v", m.Drops)
+	}
+}
+
+// TestNoGoroutineLeaksFaultDuringClose interleaves fault hooks (including
+// a controller kill) with Close to check the shutdown path tolerates
+// faults firing mid-teardown without leaking goroutines.
+func TestNoGoroutineLeaksFaultDuringClose(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		useTCP bool
+	}{{"pipe", false}, {"tcp", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			c, err := NewCluster(reconnectCfg(tc.useTCP))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Inject(0, httpHeader(1), 100)
+			awaitDelivery(t, c)
+			// Race the fault hooks against Close.
+			done := make(chan struct{})
+			go func() {
+				c.KillSwitch(2)
+				c.PartitionControl(1)
+				c.KillController()
+				c.RestoreController()
+				c.KillSwitch(3)
+				close(done)
+			}()
+			if err := c.Close(); err != nil {
+				t.Fatal(err)
+			}
+			<-done
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				runtime.GC()
+				if runtime.NumGoroutine() <= before+2 {
+					return
+				}
+				if time.Now().After(deadline) {
+					buf := make([]byte, 1<<16)
+					n := runtime.Stack(buf, true)
+					t.Fatalf("goroutines: %d before, %d after close\n%s",
+						before, runtime.NumGoroutine(), buf[:n])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}

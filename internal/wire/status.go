@@ -19,14 +19,20 @@ type SwitchStatus struct {
 	PartitionHits  uint64 `json:"partition_hits"`
 	Misses         uint64 `json:"misses"`
 	QueueDepth     int    `json:"queue_depth"`
+	PeakQueueDepth int    `json:"peak_queue_depth"`
+	OutboxLen      int    `json:"outbox_len"`
+	Epoch          uint64 `json:"epoch"`
+	ReportedEpoch  uint64 `json:"reported_epoch,omitempty"`
 	Alive          bool   `json:"alive"`
 	Killed         bool   `json:"killed"`
 }
 
 // Status is the cluster-wide state report served at /status.
 type Status struct {
-	Switches []SwitchStatus `json:"switches"`
-	Dropped  uint64         `json:"dropped"`
+	Switches       []SwitchStatus `json:"switches"`
+	Dropped        uint64         `json:"dropped"`
+	Epoch          uint64         `json:"epoch"`
+	ControllerDown bool           `json:"controller_down,omitempty"`
 }
 
 // Status snapshots the cluster's state.
@@ -36,7 +42,11 @@ func (c *Cluster) Status() Status {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	st := Status{Dropped: c.dropped.Load()}
+	st := Status{
+		Dropped:        c.dropped.Load(),
+		Epoch:          c.epoch.Load(),
+		ControllerDown: c.ctrlDown.Load(),
+	}
 	for _, id := range ids {
 		n := c.switches[id]
 		n.mu.Lock()
@@ -50,6 +60,10 @@ func (c *Cluster) Status() Status {
 			PartitionHits:  n.sw.Stats.PartitionHits,
 			Misses:         n.sw.Stats.Misses,
 			QueueDepth:     len(n.data),
+			PeakQueueDepth: int(n.peakQueue.Load()),
+			OutboxLen:      len(n.outbox),
+			Epoch:          n.epoch.Load(),
+			ReportedEpoch:  n.reportedEpoch.Load(),
 			Alive:          n.alive.Load(),
 			Killed:         n.killed.Load(),
 		}

@@ -20,6 +20,7 @@ import (
 
 	"difane/internal/core"
 	"difane/internal/flowspace"
+	"difane/internal/metrics"
 	"difane/internal/packet"
 	"difane/internal/proto"
 	"difane/internal/switchsim"
@@ -65,6 +66,16 @@ type Cluster struct {
 	wg     sync.WaitGroup
 	trans  transport
 
+	// epoch is the controller's fencing token. Every FlowMod the
+	// controller sends is stamped with it; switches reject installs whose
+	// epoch is older than the highest they have accepted, so a dead
+	// controller's straggling writes cannot clobber its successor's.
+	epoch atomic.Uint64
+	// ctrlDown simulates a controller crash (KillController): switches
+	// keep serving from cached and authority rules, buffer
+	// controller-bound events, and drain them on RestoreController.
+	ctrlDown atomic.Bool
+
 	closed    atomic.Bool
 	closeOnce sync.Once
 }
@@ -104,6 +115,27 @@ type node struct {
 	ctrlDelay   atomic.Int64 // injected per-control-write delay, ns
 	lastBeat    atomic.Int64 // unix nanos of the last heartbeat echo
 	deadAt      atomic.Int64 // unix nanos of the last death, for holddown
+
+	// epoch is the switch's install fence: the highest epoch it has
+	// accepted a fenced FlowMod under. Epoch-0 FlowMods (data-plane cache
+	// installs) bypass the fence.
+	epoch atomic.Uint64
+	// reportedEpoch is the last fence this switch reported upstream in an
+	// EpochReport (after rejecting a stale install).
+	reportedEpoch atomic.Uint64
+	// lastProbe is when this switch last saw a controller heartbeat — its
+	// side of outage detection (the controller watches lastBeat instead).
+	lastProbe atomic.Int64
+	// peakQueue tracks the high-water mark of the data queue.
+	peakQueue atomic.Int64
+
+	// outbox buffers controller-bound events while the controller is
+	// unreachable; it drains when heartbeats resume.
+	outbox chan proto.Message
+
+	// redirectTB / installTB shed miss-storm overload (nil = unlimited).
+	redirectTB *metrics.TokenBucket
+	installTB  *metrics.TokenBucket
 }
 
 type dataFrame struct {
@@ -175,16 +207,21 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			sw: switchsim.New(id, switchsim.Config{
 				CacheCapacity: cfg.CacheCapacity,
 			}),
-			data:     make(chan dataFrame, cfg.QueueDepth),
-			ctrl:     swConn,
-			ctrlPeer: ctrlConn,
-			replies:  make(chan proto.Message, 16),
-			done:     make(chan struct{}),
+			data:       make(chan dataFrame, cfg.QueueDepth),
+			ctrl:       swConn,
+			ctrlPeer:   ctrlConn,
+			replies:    make(chan proto.Message, 16),
+			done:       make(chan struct{}),
+			outbox:     make(chan proto.Message, cfg.Overload.OutageBuffer),
+			redirectTB: metrics.NewTokenBucket(cfg.Overload.RedirectRate, cfg.Overload.RedirectBurst),
+			installTB:  metrics.NewTokenBucket(cfg.Overload.CacheInstallRate, cfg.Overload.CacheInstallBurst),
 		}
 		n.alive.Store(true)
 		n.lastBeat.Store(now.UnixNano())
+		n.lastProbe.Store(now.UnixNano())
 		c.switches[id] = n
 	}
+	c.epoch.Store(1)
 	if err := c.installAssignment(); err != nil {
 		cancel()
 		c.trans.close()
@@ -270,6 +307,7 @@ func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
 	select {
 	case n.data <- frame:
 		c.injected.Add(1)
+		n.noteQueueDepth(int64(len(n.data)))
 		return true
 	default:
 		return false
@@ -310,6 +348,16 @@ func (c *Cluster) drop(kind dropKind) {
 	default:
 		c.m.Drops.Unreachable++
 	}
+	c.mMu.Unlock()
+}
+
+// shedRedirect records a packet deliberately shed by the ingress redirect
+// token bucket under a miss storm.
+func (c *Cluster) shedRedirect() {
+	c.dropped.Add(1)
+	c.completed.Add(1)
+	c.mMu.Lock()
+	c.m.Drops.RedirectShed++
 	c.mMu.Unlock()
 }
 
@@ -372,6 +420,13 @@ func (c *Cluster) handlePacket(n *node, pkt *packet.Packet, frame dataFrame) {
 	case flowspace.ActForward:
 		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
 	case flowspace.ActRedirect:
+		// Miss-storm protection: an ingress over its redirect budget sheds
+		// the packet here, in its own data plane, instead of piling onto
+		// the authority switch's queue.
+		if !n.redirectTB.Allow() {
+			c.shedRedirect()
+			return
+		}
 		target := res.Rule.Action.Arg
 		if !c.nodeUsable(target) {
 			// The failure detector marked the target dead: fail over to
@@ -421,10 +476,19 @@ func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) 
 		return
 	}
 	if len(res.CacheMods) > 0 {
-		install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
-		// The authority switch writes on its switch end; the controller
-		// relay reads the other end and forwards to the ingress switch.
-		go func() { _ = c.writeToController(n, install) }()
+		// Control-plane half of miss-storm protection: an authority over
+		// its install budget suppresses the cache install. The packet still
+		// forwards below, so the cost is future redirects, not reachability.
+		if !n.installTB.Allow() {
+			c.mMu.Lock()
+			c.m.CacheInstallsShed++
+			c.mMu.Unlock()
+		} else {
+			install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
+			// The authority switch writes on its switch end; the controller
+			// relay reads the other end and forwards to the ingress switch.
+			go func() { _ = c.writeToController(n, install) }()
+		}
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
@@ -500,8 +564,19 @@ func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
 		injected: frame.injected, detour: frame.detour}
 	select {
 	case dst.data <- out:
+		dst.noteQueueDepth(int64(len(dst.data)))
 	default:
 		c.drop(dropQueue)
+	}
+}
+
+// noteQueueDepth records the data queue's high-water mark.
+func (n *node) noteQueueDepth(d int64) {
+	for {
+		cur := n.peakQueue.Load()
+		if d <= cur || n.peakQueue.CompareAndSwap(cur, d) {
+			return
+		}
 	}
 }
 
@@ -593,9 +668,10 @@ func (c *Cluster) reconnect(n *node) bool {
 		if c.ctx.Err() != nil || n.killed.Load() {
 			return false
 		}
-		if n.partitioned.Load() {
-			// A severed control link is not a dial failure: hold until the
-			// fault is healed, without burning retry attempts.
+		if n.partitioned.Load() || c.ctrlDown.Load() {
+			// A severed control link or a dead controller is not a dial
+			// failure: hold until the fault is healed, without burning
+			// retry attempts.
 			if !sleepCtx(c.ctx, c.cfg.Heartbeat.Interval) {
 				return false
 			}
@@ -633,6 +709,18 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 		}
 		switch m := msg.(type) {
 		case *proto.FlowMod:
+			// Epoch fencing: a fenced install (Epoch != 0) older than the
+			// highest epoch this switch has accepted is a straggler from a
+			// dead controller — reject it and report the current fence.
+			// Epoch-0 installs (data-plane origin) bypass the fence.
+			if m.Epoch != 0 && !n.raiseEpoch(m.Epoch) {
+				c.mMu.Lock()
+				c.m.StaleInstallsRejected++
+				c.mMu.Unlock()
+				rep := &proto.EpochReport{Node: n.id, Epoch: n.epoch.Load()}
+				go func() { _ = c.writeToController(n, rep) }()
+				continue
+			}
 			n.mu.Lock()
 			_ = n.sw.ApplyFlowMod(nowSec(), m)
 			n.mu.Unlock()
@@ -656,8 +744,29 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 			reply := &proto.StatsReply{XID: m.XID, Packets: pkts, Bytes: bytes, OK: ok}
 			go func() { _ = c.writeToController(n, reply) }()
 		case *proto.Heartbeat:
+			// A probe is the switch's evidence the controller is alive:
+			// stamp it, echo it, and flush anything buffered during an
+			// outage now that the path is confirmed.
+			n.lastProbe.Store(time.Now().UnixNano())
 			hb := m
 			go func() { _ = c.writeToController(n, hb) }()
+			if len(n.outbox) > 0 {
+				go c.drainOutbox(n)
+			}
+		}
+	}
+}
+
+// raiseEpoch accepts epoch e into the switch's fence if it is not stale,
+// monotonically raising the fence. Returns false for a stale epoch.
+func (n *node) raiseEpoch(e uint64) bool {
+	for {
+		cur := n.epoch.Load()
+		if e < cur {
+			return false
+		}
+		if e == cur || n.epoch.CompareAndSwap(cur, e) {
+			return true
 		}
 	}
 }
@@ -684,6 +793,10 @@ func (c *Cluster) relayRead(n *node, conn net.Conn) {
 			go func() { _ = c.writeToSwitch(dst, install) }()
 		case *proto.Heartbeat:
 			n.lastBeat.Store(time.Now().UnixNano())
+		case *proto.EpochReport:
+			// A switch rejected a stale install and is telling us its
+			// current fence — surfaced in Status for the operator.
+			n.reportedEpoch.Store(m.Epoch)
 		case *proto.BarrierReply, *proto.StatsReply:
 			select {
 			case n.replies <- m:
@@ -704,9 +817,69 @@ func (c *Cluster) writeToSwitch(n *node, msg proto.Message) error {
 }
 
 // writeToController writes a switch→controller control message, honouring
-// injected delay and partition faults.
+// injected delay and partition faults. While the controller is unreachable
+// (crashed, or silent past the heartbeat threshold) cache installs are
+// parked in the switch's bounded outbox instead of being lost; they drain
+// when heartbeats resume.
 func (c *Cluster) writeToController(n *node, msg proto.Message) error {
+	if _, ok := msg.(*proto.CacheInstall); ok && c.controllerUnreachable(n) {
+		c.bufferEvent(n, msg)
+		return nil
+	}
 	return c.writeControl(n, msg, true)
+}
+
+// controllerUnreachable is the switch-side outage verdict: either the
+// controller was explicitly killed, or its heartbeat probes have been
+// silent past the miss threshold.
+func (c *Cluster) controllerUnreachable(n *node) bool {
+	if c.ctrlDown.Load() {
+		return true
+	}
+	hb := c.cfg.Heartbeat
+	silence := time.Since(time.Unix(0, n.lastProbe.Load()))
+	return silence > time.Duration(hb.MissThreshold)*hb.Interval
+}
+
+// bufferEvent parks a controller-bound event in the switch's bounded
+// outbox, shedding (and counting) on overflow.
+func (c *Cluster) bufferEvent(n *node, msg proto.Message) {
+	select {
+	case n.outbox <- msg:
+		c.mMu.Lock()
+		c.m.OutageBuffered++
+		c.mMu.Unlock()
+	default:
+		c.mMu.Lock()
+		c.m.OutageDropped++
+		c.mMu.Unlock()
+	}
+}
+
+// drainOutbox replays a switch's buffered events toward the controller in
+// order, stopping at the first failure (the next heartbeat retriggers it).
+func (c *Cluster) drainOutbox(n *node) {
+	for {
+		select {
+		case msg := <-n.outbox:
+			if err := c.writeControl(n, msg, true); err != nil {
+				// Park it again without recounting it as newly buffered.
+				select {
+				case n.outbox <- msg:
+				default:
+					c.mMu.Lock()
+					c.m.OutageDropped++
+					c.mMu.Unlock()
+				}
+				return
+			}
+			c.mMu.Lock()
+			c.m.OutageDrained++
+			c.mMu.Unlock()
+		default:
+			return
+		}
+	}
 }
 
 func (c *Cluster) writeControl(n *node, msg proto.Message, switchSide bool) error {
@@ -730,7 +903,10 @@ func (c *Cluster) writeControl(n *node, msg proto.Message, switchSide bool) erro
 }
 
 // InstallRule sends a FlowMod to a switch over its control connection,
-// retrying per the cluster's RetryPolicy with exponential backoff.
+// retrying per the cluster's RetryPolicy with exponential backoff. The mod
+// is stamped with the controller's current fencing epoch unless the caller
+// set one explicitly (a stale explicit epoch is how tests provoke — and how
+// a zombie controller would suffer — fencing rejections).
 func (c *Cluster) InstallRule(sw uint32, mod proto.FlowMod) error {
 	n, ok := c.switches[sw]
 	if !ok {
@@ -740,6 +916,9 @@ func (c *Cluster) InstallRule(sw uint32, mod proto.FlowMod) error {
 }
 
 func (c *Cluster) installRule(n *node, mod *proto.FlowMod) error {
+	if mod.Epoch == 0 {
+		mod.Epoch = c.epoch.Load()
+	}
 	var err error
 	for attempt := 1; ; attempt++ {
 		err = c.writeToSwitch(n, mod)
