@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench fuzz-smoke
+.PHONY: verify fmt vet build test bench fuzz-smoke check soak regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -18,6 +18,22 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Quick differential sweep: seeded scenarios through all three deployments
+# (sim, baseline, wire), every packet verdict diffed against the oracle.
+check:
+	go test ./internal/scencheck -run TestDifferential -seeds 16
+
+# Long differential soak — not part of tier-1. Failing-seed reports land in
+# artifacts/ with a minimal shrunk repro each.
+SOAK_SEEDS ?= 256
+soak:
+	go test ./internal/scencheck -run TestDifferential -seeds $(SOAK_SEEDS) \
+		-artifacts artifacts -timeout 30m
+
+# Refresh the experiment golden outputs after an intentional change.
+regen-golden:
+	go test ./experiments -run TestGoldenOutputs -update-golden
 
 # Short fuzz runs over the decoders that face untrusted bytes: decode
 # must return an error, never panic or over-allocate.

@@ -63,6 +63,9 @@ type session struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		os.Exit(runCheck(os.Args[2:]))
+	}
 	mode := flag.String("mode", "sim", "backend: sim|baseline|wire")
 	network := flag.String("network", "campus", "canonical network: campus|vpn|iptv|isp")
 	k := flag.Int("authorities", 2, "number of authority switches")
@@ -499,4 +502,54 @@ func (s *session) runFlows(flows []difane.Flow) {
 	m := s.dep.Measurements()
 	fmt.Printf("t=%.2fs delivered=%d redirects=%d drops=%+v\n",
 		s.now, m.Delivered, m.Redirects, m.Drops)
+}
+
+// runCheck is the `difanectl check` subcommand: generate seeded scenarios,
+// replay them through the selected deployments, and diff every packet
+// verdict against the reference oracle. A failing seed is shrunk to a
+// minimal repro before printing. Exits 1 on any failure.
+func runCheck(args []string) int {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	seed := fs.Int64("seed", -1, "check a single seed (default: sweep 1..count)")
+	count := fs.Int("count", 16, "number of seeds to sweep when -seed is unset")
+	steps := fs.Int("steps", 16, "packet steps per scenario")
+	mode := fs.String("mode", "all", "deployments to check: sim|baseline|wire|all")
+	_ = fs.Parse(args)
+
+	opt := difane.CheckOptions{}
+	if *mode != "all" {
+		opt.Modes = []string{*mode}
+	}
+	cfg := difane.ScenarioConfig{Packets: *steps, Faults: true, Updates: true}
+	seeds := make([]int64, 0, *count)
+	if *seed >= 0 {
+		seeds = append(seeds, *seed)
+	} else {
+		for s := int64(1); s <= int64(*count); s++ {
+			seeds = append(seeds, s)
+		}
+	}
+	failed := 0
+	for _, s := range seeds {
+		res := difane.CheckSeed(s, cfg, opt)
+		if !res.Failed() {
+			fmt.Printf("seed %d: ok (%d packet checks)\n", s, res.PacketsChecked)
+			continue
+		}
+		failed++
+		fmt.Print(res.Report())
+		shrunk := difane.ShrinkScenario(res.Scenario, difane.CheckOptions{
+			Modes: []string{res.Failures[0].Mode}, MutatePolicy: opt.MutatePolicy})
+		small := difane.CheckScenario(shrunk, difane.CheckOptions{
+			Modes: []string{res.Failures[0].Mode}, MutatePolicy: opt.MutatePolicy})
+		if small.Failed() {
+			fmt.Printf("shrunk repro (%d steps, %d rules):\n%s", len(shrunk.Steps), len(shrunk.Policy), small.Report())
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d/%d seeds failed\n", failed, len(seeds))
+		return 1
+	}
+	fmt.Printf("all %d seeds ok\n", len(seeds))
+	return 0
 }

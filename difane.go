@@ -34,7 +34,9 @@ import (
 	"difane/internal/core"
 	"difane/internal/flowspace"
 	"difane/internal/journal"
+	"difane/internal/oracle"
 	"difane/internal/policyio"
+	"difane/internal/scencheck"
 	"difane/internal/topo"
 	"difane/internal/wire"
 	"difane/internal/workload"
@@ -367,3 +369,46 @@ func RunTrace(n Deployment, flows []Flow, horizon float64) {
 	}
 	n.Run(horizon)
 }
+
+// --- Differential verification -----------------------------------------------
+
+// Verdict is the reference oracle's authoritative answer for one packet:
+// evaluate the raw prioritized policy with a single linear scan, no DIFANE
+// machinery involved.
+type Verdict = oracle.Verdict
+
+// EvaluatePolicy runs the reference single-table semantics over a policy.
+func EvaluatePolicy(policy []Rule, k Key) Verdict { return oracle.Evaluate(policy, k) }
+
+// Scenario is a seeded, deterministic differential-test scenario: a
+// topology, a policy, and a schedule of packets, policy updates, and
+// faults.
+type Scenario = scencheck.Scenario
+
+// ScenarioConfig tunes scenario generation.
+type ScenarioConfig = scencheck.Config
+
+// CheckOptions selects which backends a differential check replays.
+type CheckOptions = scencheck.Options
+
+// CheckResult is the outcome of one differential check.
+type CheckResult = scencheck.Result
+
+// GenerateScenario derives a deterministic scenario from a seed.
+func GenerateScenario(seed int64, cfg ScenarioConfig) Scenario {
+	return scencheck.Generate(seed, cfg)
+}
+
+// CheckScenario replays a scenario through the selected deployments and
+// diffs every packet verdict against the reference oracle, plus the
+// accounting, epoch-fencing, cache-soundness, and convergence invariants.
+func CheckScenario(sc Scenario, opt CheckOptions) *CheckResult { return scencheck.Check(sc, opt) }
+
+// CheckSeed generates and checks one seed.
+func CheckSeed(seed int64, cfg ScenarioConfig, opt CheckOptions) *CheckResult {
+	return scencheck.CheckSeed(seed, cfg, opt)
+}
+
+// ShrinkScenario greedily minimizes a failing scenario while it keeps
+// failing, for compact bug repros.
+func ShrinkScenario(sc Scenario, opt CheckOptions) Scenario { return scencheck.Shrink(sc, opt) }

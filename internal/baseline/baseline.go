@@ -56,6 +56,18 @@ type Network struct {
 	M core.Measurements
 	// ControllerSetups counts setups the controller processed.
 	ControllerSetups uint64
+
+	// Observer, when non-nil, receives exactly one VerdictEvent per
+	// injected packet at its terminal outcome — the same contract as
+	// core.Network.Observer, so the differential checker drives both
+	// architectures through one code path.
+	Observer func(core.VerdictEvent)
+}
+
+func (n *Network) emit(kind core.VerdictKind, k flowspace.Key, seq uint64, egress uint32) {
+	if n.Observer != nil {
+		n.Observer(core.VerdictEvent{Key: k, Seq: seq, Kind: kind, Egress: egress})
+	}
 }
 
 // NewNetwork builds the baseline over the topology with the global policy.
@@ -91,11 +103,12 @@ func (n *Network) process(injected float64, ingress uint32, k flowspace.Key, siz
 	sw, ok := n.Switches[ingress]
 	if !ok || !n.Topo.NodeUp(topo.NodeID(ingress)) {
 		n.M.Drops.Unreachable++
+		n.emit(core.VerdictUnreachable, k, seq, 0)
 		return
 	}
 	sw.Advance(now)
 	if res := sw.Classify(now, k, size); res.OK {
-		n.applyAction(injected, ingress, res.Rule.Action, seq)
+		n.applyAction(injected, ingress, k, res.Rule.Action, seq)
 		return
 	}
 	// Miss: punt to the controller (packet-in), wait for service, then the
@@ -103,6 +116,7 @@ func (n *Network) process(injected float64, ingress uint32, k flowspace.Key, siz
 	dIC, ok := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(n.cfg.ControllerNode))
 	if !ok {
 		n.M.Drops.Unreachable++
+		n.emit(core.VerdictUnreachable, k, seq, 0)
 		return
 	}
 	n.Eng.At(now+dIC, func() {
@@ -111,6 +125,7 @@ func (n *Network) process(injected float64, ingress uint32, k flowspace.Key, siz
 		})
 		if !accepted {
 			n.M.Drops.AuthorityQueue++ // controller queue, same bucket
+			n.emit(core.VerdictQueueDrop, k, seq, 0)
 		}
 	})
 }
@@ -120,6 +135,7 @@ func (n *Network) controllerHandle(injected float64, ingress uint32, k flowspace
 	rule, ok := flowspace.EvalTable(n.policy, k)
 	if !ok {
 		n.M.Drops.Hole++
+		n.emit(core.VerdictHole, k, seq, 0)
 		return
 	}
 	// Exact-match microflow rule back to the ingress switch.
@@ -137,11 +153,11 @@ func (n *Network) controllerHandle(injected float64, ingress uint32, k flowspace
 			Idle: n.cfg.RuleIdle, Hard: n.cfg.RuleHard}
 		_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
 		// The buffered packet is released and follows the rule.
-		n.applyAction(injected, ingress, rule.Action, seq)
+		n.applyAction(injected, ingress, k, rule.Action, seq)
 	})
 }
 
-func (n *Network) applyAction(injected float64, ingress uint32, a flowspace.Action, seq uint64) {
+func (n *Network) applyAction(injected float64, ingress uint32, k flowspace.Key, a flowspace.Action, seq uint64) {
 	now := n.Eng.Now()
 	switch a.Kind {
 	case flowspace.ActDrop:
@@ -149,14 +165,17 @@ func (n *Network) applyAction(injected float64, ingress uint32, a flowspace.Acti
 		if seq == 0 {
 			n.M.SetupsCompleted++
 		}
+		n.emit(core.VerdictPolicyDrop, k, seq, 0)
 	case flowspace.ActForward, flowspace.ActCount:
 		d, ok := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(a.Arg))
 		if !ok {
 			n.M.Drops.Unreachable++
+			n.emit(core.VerdictUnreachable, k, seq, 0)
 			return
 		}
 		n.Eng.At(now+d, func() {
 			n.M.Delivered++
+			n.emit(core.VerdictDelivered, k, seq, a.Arg)
 			delay := n.Eng.Now() - injected
 			if seq == 0 {
 				n.M.FirstPacketDelay.Add(delay)
@@ -167,6 +186,7 @@ func (n *Network) applyAction(injected float64, ingress uint32, a flowspace.Acti
 		})
 	default:
 		n.M.Drops.Hole++
+		n.emit(core.VerdictHole, k, seq, 0)
 	}
 }
 

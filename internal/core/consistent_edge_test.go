@@ -83,7 +83,7 @@ func TestOverlappingConsistentUpdatesStageDisjointGenerations(t *testing.T) {
 		t.Fatal("authority table empty after overlapping updates")
 	}
 	for _, r := range rules {
-		if r.ID>>32 != 2 {
+		if AuthorityEntryRuleID(r.ID)>>32 != 2 {
 			t.Fatalf("stale generation survived: rule ID %#x", r.ID)
 		}
 	}

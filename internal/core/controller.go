@@ -134,7 +134,7 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 			for _, host := range staged.ReplicasFor(i) {
 				sw := n.Switches[host]
 				for _, r := range p.Rules {
-					mod := authorityAdd(r)
+					mod := authorityAdd(i, r)
 					_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
 					n.M.PolicyRuleInstalls++
 				}
@@ -167,7 +167,7 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 	n.Eng.At(cleanupAt, func() {
 		for _, sw := range n.Switches {
 			n.M.PolicyRuleDeletes += uint64(sw.Table(proto.TableAuthority).DeleteWhere(func(e tcam.Entry) bool {
-				return e.Rule.ID < generation
+				return AuthorityEntryRuleID(e.Rule.ID) < generation
 			}))
 		}
 	})

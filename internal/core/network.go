@@ -193,6 +193,12 @@ type Network struct {
 	// LinkLoads counts packets per directed link when cfg.HopByHop is set.
 	LinkLoads LinkLoads
 
+	// Observer, when non-nil, receives exactly one VerdictEvent per
+	// injected packet at its terminal outcome. The differential checker
+	// (internal/scencheck) uses it to compare per-packet behaviour against
+	// the reference oracle; nil costs nothing.
+	Observer func(VerdictEvent)
+
 	M Measurements
 }
 
@@ -251,12 +257,40 @@ func clearAuthorityTable(sw *switchsim.Switch) int {
 	return sw.Table(proto.TableAuthority).DeleteWhere(func(tcam.Entry) bool { return true })
 }
 
-func authorityAdd(r flowspace.Rule) proto.FlowMod {
+// authorityBandShift places the partition band of an authority-table entry
+// ID above both the 32-bit policy-rule ID and the generation band that
+// consistent updates OR in at bit 32.
+const authorityBandShift = 42
+
+// AuthorityEntryID returns the authority-TCAM entry ID for partition
+// part's clip of rule id. Two partitions hosted on the same switch can
+// both carry a clip of the same policy rule (the rule spans both regions);
+// banding the partition index in keeps the clips from replacing each other
+// in the shared table.
+func AuthorityEntryID(part int, id uint64) uint64 {
+	return uint64(part+1)<<authorityBandShift | id
+}
+
+// AuthorityEntryRuleID recovers the (possibly generation-banded) rule ID
+// embedded in an authority-TCAM entry ID.
+func AuthorityEntryRuleID(entry uint64) uint64 {
+	return entry & (1<<authorityBandShift - 1)
+}
+
+// authorityAdd builds the FlowMod installing partition part's clip r into
+// an authority TCAM, re-keyed so clips from different partitions coexist.
+func authorityAdd(part int, r flowspace.Rule) proto.FlowMod {
+	r.ID = AuthorityEntryID(part, r.ID)
 	return proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Rule: r}
 }
 
 // partitionIDBase offsets partition-rule IDs away from policy rule IDs.
 const partitionIDBase uint64 = 1 << 50
+
+// PartitionIDBase is the partition-rule ID offset, exported so harnesses
+// can map installed partition-table rules back to partition indices via
+// Assignment.PartitionOfRuleID.
+const PartitionIDBase = partitionIDBase
 
 // installPartitionRules (re)writes every switch's partition table from the
 // current assignment and topology: the high-priority rule targets the
@@ -266,6 +300,7 @@ const partitionIDBase uint64 = 1 << 50
 func (n *Network) installPartitionRules() {
 	now := n.Eng.Now()
 	for swID, sw := range n.Switches {
+		installed := make(map[uint64]bool, 2*len(n.Assignment.Partitions))
 		for i, p := range n.Assignment.Partitions {
 			hosts := n.Assignment.ReplicasFor(i)
 			var near, far uint32
@@ -282,6 +317,7 @@ func (n *Network) installPartitionRules() {
 					Action:   flowspace.Action{Kind: flowspace.ActRedirect, Arg: near},
 				}}
 			_ = sw.ApplyFlowMod(now, &mod)
+			installed[mod.Rule.ID] = true
 			if far != near {
 				mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd,
 					Rule: flowspace.Rule{
@@ -291,8 +327,16 @@ func (n *Network) installPartitionRules() {
 						Action:   flowspace.Action{Kind: flowspace.ActRedirect, Arg: far},
 					}}
 				_ = sw.ApplyFlowMod(now, &mod)
+				installed[mod.Rule.ID] = true
 			}
 		}
+		// Withdraw leftovers from a previous, larger assignment (or backup
+		// rules of partitions that collapsed to a single replica): a stale
+		// redirect sends packets to an authority that no longer hosts the
+		// region, which the authority can only drop as a hole.
+		sw.Table(proto.TablePartition).DeleteWhere(func(e tcam.Entry) bool {
+			return !installed[e.Rule.ID]
+		})
 	}
 }
 
@@ -359,6 +403,7 @@ func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace
 	sw, ok := n.Switches[ingress]
 	if !ok || !n.Topo.NodeUp(topo.NodeID(ingress)) {
 		n.M.Drops.Unreachable++
+		n.emit(VerdictUnreachable, k, seq, 0, false)
 		return
 	}
 	sw.Advance(now)
@@ -367,6 +412,7 @@ func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace
 		// No partition rule matched: with a full partition cover this only
 		// happens when partition rules were withdrawn (failover windows).
 		n.M.Drops.Unreachable++
+		n.emit(VerdictUnreachable, k, seq, 0, false)
 		return
 	}
 	switch res.Rule.Action.Kind {
@@ -375,23 +421,26 @@ func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace
 		if seq == 0 {
 			n.M.SetupsCompleted++
 		}
+		n.emit(VerdictPolicyDrop, k, seq, 0, false)
 	case flowspace.ActForward, flowspace.ActCount:
 		egress := res.Rule.Action.Arg
-		n.deliverDirect(injected, ingress, egress, seq)
+		n.deliverDirect(injected, ingress, egress, k, seq)
 	case flowspace.ActRedirect:
 		n.redirect(injected, ingress, res.Rule.Action.Arg, k, size, seq)
 	case flowspace.ActController:
 		// DIFANE networks never punt to the controller; treat as a hole.
 		n.M.Drops.Hole++
+		n.emit(VerdictHole, k, seq, 0, false)
 	}
 }
 
-func (n *Network) deliverDirect(injected float64, ingress, egress uint32, seq uint64) {
+func (n *Network) deliverDirect(injected float64, ingress, egress uint32, k flowspace.Key, seq uint64) {
 	ok := n.sendAlong(ingress, egress, func() {
-		n.recordDelivery(injected, seq, 0) // no detour: no stretch sample
+		n.recordDelivery(injected, k, egress, seq, 0) // no detour: no stretch sample
 	})
 	if !ok {
 		n.M.Drops.Unreachable++
+		n.emit(VerdictUnreachable, k, seq, 0, false)
 	}
 }
 
@@ -400,12 +449,14 @@ func (n *Network) redirect(injected float64, ingress, authority uint32, k flowsp
 	dIA, okDist := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(authority))
 	if !okDist {
 		n.M.Drops.Unreachable++
+		n.emit(VerdictUnreachable, k, seq, 0, false)
 		return
 	}
 	sent := n.sendAlong(ingress, authority, func() {
 		st := n.authSt[authority]
 		if st == nil {
 			n.M.Drops.Unreachable++
+			n.emit(VerdictUnreachable, k, seq, 0, false)
 			return
 		}
 		ok := st.Submit(func(done float64) {
@@ -413,10 +464,12 @@ func (n *Network) redirect(injected float64, ingress, authority uint32, k flowsp
 		})
 		if !ok {
 			n.M.Drops.AuthorityQueue++
+			n.emit(VerdictQueueDrop, k, seq, 0, false)
 		}
 	})
 	if !sent {
 		n.M.Drops.Unreachable++
+		n.emit(VerdictUnreachable, k, seq, 0, false)
 	}
 }
 
@@ -425,11 +478,13 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 	auth := n.authorityFor(authority, k)
 	if auth == nil {
 		n.M.Drops.Hole++
+		n.emit(VerdictHole, k, seq, 0, false)
 		return
 	}
 	res := auth.HandleMiss(k)
 	if !res.OK {
 		n.M.Drops.Hole++
+		n.emit(VerdictHole, k, seq, 0, false)
 		return
 	}
 	// Register the hit on the authority switch's TCAM so its counters
@@ -459,11 +514,13 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 		if seq == 0 {
 			n.M.SetupsCompleted++
 		}
+		n.emit(VerdictPolicyDrop, k, seq, 0, false)
 	case flowspace.ActForward, flowspace.ActCount:
 		egress := res.Rule.Action.Arg
 		dAE, ok := n.Topo.Dist(topo.NodeID(authority), topo.NodeID(egress))
 		if !ok {
 			n.M.Drops.Unreachable++
+			n.emit(VerdictUnreachable, k, seq, 0, false)
 			return
 		}
 		stretch := 1.0
@@ -471,19 +528,22 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 			stretch = (dIA + dAE) / direct
 		}
 		sent := n.sendAlong(authority, egress, func() {
-			n.recordDelivery(injected, seq, stretch)
+			n.recordDelivery(injected, k, egress, seq, stretch)
 		})
 		if !sent {
 			n.M.Drops.Unreachable++
+			n.emit(VerdictUnreachable, k, seq, 0, false)
 		}
 	default:
 		n.M.Drops.Hole++
+		n.emit(VerdictHole, k, seq, 0, false)
 	}
 }
 
-func (n *Network) recordDelivery(injected float64, seq uint64, stretch float64) {
+func (n *Network) recordDelivery(injected float64, k flowspace.Key, egress uint32, seq uint64, stretch float64) {
 	now := n.Eng.Now()
 	n.M.Delivered++
+	n.emit(VerdictDelivered, k, seq, egress, stretch > 0)
 	delay := now - injected
 	if seq == 0 {
 		n.M.FirstPacketDelay.Add(delay)

@@ -168,7 +168,7 @@ func (n *Network) applyAssignment(assign Assignment) {
 			n.authorityAt[host] = append(n.authorityAt[host], auth)
 			sw := n.Switches[host]
 			for _, r := range p.Rules {
-				mod := authorityAdd(r)
+				mod := authorityAdd(i, r)
 				_ = sw.ApplyFlowMod(now, &mod)
 				n.M.PolicyRuleInstalls++
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"difane/internal/flowspace"
 	"difane/internal/journal"
@@ -200,7 +201,9 @@ func NewControllerFromJournal(n *Network, dir string) (*Controller, RecoveryRepo
 func (c *Controller) Reconcile() (installed, deleted int) {
 	n := c.net
 	now := n.Eng.Now()
-	// Desired authority rules per host, keyed by rule ID.
+	// Desired authority rules per host, keyed by banded entry ID (the ID
+	// they carry once installed) so clips of one rule from two partitions
+	// hosted on the same switch stay distinct.
 	want := make(map[uint32]map[uint64]flowspace.Rule)
 	for i, p := range n.Assignment.Partitions {
 		for _, host := range n.Assignment.ReplicasFor(i) {
@@ -210,6 +213,7 @@ func (c *Controller) Reconcile() (installed, deleted int) {
 				want[host] = m
 			}
 			for _, r := range p.Rules {
+				r.ID = AuthorityEntryID(i, r.ID)
 				m[r.ID] = r
 			}
 		}
@@ -217,18 +221,35 @@ func (c *Controller) Reconcile() (installed, deleted int) {
 	// Partition rules use fixed per-partition IDs; anything beyond the
 	// current partition count is a leftover from a larger old assignment.
 	maxPartID := partitionIDBase + uint64(2*len(n.Assignment.Partitions))
-	for id, sw := range n.Switches {
+	// Iterate switches and desired rules in sorted order: with a
+	// capacity-bounded authority table, install order decides which rules
+	// land before ErrFull, so map-ordered iteration would make recovery
+	// nondeterministic across runs of the same seed.
+	swIDs := make([]uint32, 0, len(n.Switches))
+	for id := range n.Switches {
+		swIDs = append(swIDs, id)
+	}
+	sortU32(swIDs)
+	for _, id := range swIDs {
+		sw := n.Switches[id]
 		desired := want[id]
 		tb := sw.Table(proto.TableAuthority)
 		deleted += tb.DeleteWhere(func(e tcam.Entry) bool {
 			r, ok := desired[e.Rule.ID]
 			return !ok || r != e.Rule
 		})
-		for _, r := range desired {
+		ruleIDs := make([]uint64, 0, len(desired))
+		for rid := range desired {
+			ruleIDs = append(ruleIDs, rid)
+		}
+		sort.Slice(ruleIDs, func(i, j int) bool { return ruleIDs[i] < ruleIDs[j] })
+		for _, rid := range ruleIDs {
+			r := desired[rid]
 			if _, _, ok := tb.Counters(r.ID); ok {
 				continue // already installed and identical: keep counters
 			}
-			mod := authorityAdd(r)
+			// r.ID already carries the partition band, so install directly.
+			mod := proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Rule: r}
 			if sw.ApplyFlowMod(now, &mod) == nil {
 				installed++
 			}

@@ -6,6 +6,7 @@ import (
 
 	"difane/internal/flowspace"
 	"difane/internal/proto"
+	"difane/internal/testutil"
 )
 
 // recoveredPolicy is a second policy distinct from testNet's, so recovery
@@ -30,6 +31,10 @@ func authorityRuleIDs(n *Network, sw uint32) map[uint64]bool {
 }
 
 func TestRecoveryConvergesWithoutChurn(t *testing.T) {
+	// The sim is single-threaded, but journaling opens files and the
+	// engine may hold stations; guard the whole recovery path against
+	// accidentally spawned goroutines.
+	defer testutil.CheckGoroutineLeaks(t, 2)()
 	dir := t.TempDir()
 	n := testNet(t, NetworkConfig{})
 	c1, err := NewControllerWithJournal(n, dir)
@@ -105,7 +110,13 @@ func TestRecoveryRepairsDivergedSwitch(t *testing.T) {
 	// Diverge the authority switch behind the controller's back: drop one
 	// real rule, add one rule the controller never installed.
 	tb := n.Switches[2].Table(proto.TableAuthority)
-	tb.Delete(1)
+	var victim uint64
+	for id := range want {
+		if victim == 0 || id < victim {
+			victim = id
+		}
+	}
+	tb.Delete(victim)
 	bogus := flowspace.Rule{ID: 999, Priority: 5, Match: flowspace.MatchAll(),
 		Action: flowspace.Action{Kind: flowspace.ActDrop}}
 	if err := tb.Insert(0, bogus, 0, 0); err != nil {

@@ -68,7 +68,7 @@ func (n *Network) PolicyCounters() []RuleCounters {
 			if e.Packets == 0 && e.Bytes == 0 {
 				continue
 			}
-			add(e.Rule.ID, e.Packets, e.Bytes)
+			add(AuthorityEntryRuleID(e.Rule.ID), e.Packets, e.Bytes)
 		}
 	}
 	out := make([]RuleCounters, 0, len(agg))

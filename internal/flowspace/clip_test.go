@@ -1,0 +1,224 @@
+package flowspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Table-driven edge cases for the clipping/overlap machinery the partition
+// builder and authority cover generation lean on: adjacent (touching but
+// disjoint) ranges, zero-width regions, and full-wildcard interactions.
+
+func TestAdjacentPrefixesDisjoint(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Match
+	}{
+		{"sibling /25s",
+			MatchAll().WithPrefix(FIPDst, 0x0A000000, 25),
+			MatchAll().WithPrefix(FIPDst, 0x0A000080, 25)},
+		{"sibling /1s",
+			MatchAll().WithPrefix(FIPSrc, 0, 1),
+			MatchAll().WithPrefix(FIPSrc, 0x80000000, 1)},
+		{"adjacent exact ports",
+			MatchAll().WithExact(FTPDst, 79),
+			MatchAll().WithExact(FTPDst, 80)},
+		{"last of low /24, first of high /24",
+			MatchAll().WithExact(FIPDst, 0x0A0000FF),
+			MatchAll().WithExact(FIPDst, 0x0A000100)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.a.Overlaps(tc.b) || tc.b.Overlaps(tc.a) {
+				t.Fatalf("%v and %v are adjacent, not overlapping", tc.a, tc.b)
+			}
+			if _, ok := tc.a.Intersect(tc.b); ok {
+				t.Fatalf("intersection of adjacent regions %v ∩ %v must be empty", tc.a, tc.b)
+			}
+			if tc.a.Contains(tc.b) || tc.b.Contains(tc.a) {
+				t.Fatal("adjacent regions must not contain each other")
+			}
+			// Subtracting an adjacent region is a no-op cover-wise: every key
+			// of a stays covered by the difference.
+			rng := rand.New(rand.NewSource(1))
+			diff := tc.a.Subtract(tc.b)
+			for i := 0; i < 50; i++ {
+				k := randKeyIn(rng, tc.a)
+				hit := false
+				for _, d := range diff {
+					if d.Matches(k) {
+						hit = true
+					}
+				}
+				if !hit {
+					t.Fatalf("key %v of %v lost by subtracting adjacent %v", k, tc.a, tc.b)
+				}
+			}
+		})
+	}
+}
+
+// A zero-width region — every relevant field pinned exactly — behaves as a
+// single point: it contains nothing but itself and intersecting it with
+// anything that matches the point returns the point back.
+func TestZeroWidthRegion(t *testing.T) {
+	point := MatchAll().
+		WithExact(FIPSrc, 0x0A000001).
+		WithExact(FIPDst, 0x0A000002).
+		WithExact(FTPDst, 443)
+	wider := MatchAll().WithPrefix(FIPSrc, 0x0A000000, 24)
+
+	got, ok := point.Intersect(wider)
+	if !ok {
+		t.Fatal("a containing region must intersect the point")
+	}
+	if got != point {
+		t.Fatalf("point ∩ wider = %v, want the point %v back", got, point)
+	}
+	if !wider.Contains(point) || point.Contains(wider) {
+		t.Fatal("containment between point and wider region inverted")
+	}
+	// Subtracting the point from itself leaves nothing.
+	if diff := point.Subtract(point); len(diff) != 0 {
+		t.Fatalf("point \\ point = %v, want empty", diff)
+	}
+	// Subtracting the point from the wider region must keep every key of
+	// the region except the point itself.
+	rng := rand.New(rand.NewSource(2))
+	diff := wider.Subtract(point)
+	var pk Key
+	pk[FIPSrc], pk[FIPDst], pk[FTPDst] = 0x0A000001, 0x0A000002, 443
+	for _, d := range diff {
+		if d.Matches(pk) {
+			t.Fatalf("difference piece %v still matches the subtracted point", d)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := randKeyIn(rng, wider)
+		if k == pk {
+			continue
+		}
+		hit := false
+		for _, d := range diff {
+			if d.Matches(k) {
+				hit = true
+			}
+		}
+		if !hit && !point.Matches(k) {
+			t.Fatalf("key %v lost subtracting a point from %v", k, wider)
+		}
+	}
+}
+
+func TestFullWildcardEdges(t *testing.T) {
+	all := MatchAll()
+	narrow := MatchAll().WithExact(FTPDst, 80)
+
+	if got := all.Subtract(all); len(got) != 0 {
+		t.Fatalf("* \\ * = %v, want empty", got)
+	}
+	if got := narrow.Subtract(all); len(got) != 0 {
+		t.Fatalf("narrow \\ * = %v, want empty", got)
+	}
+	// * minus a narrow region: disjoint pieces that jointly cover
+	// everything except the region.
+	diff := all.Subtract(narrow)
+	if len(diff) == 0 {
+		t.Fatal("* \\ narrow must be non-empty")
+	}
+	for i := range diff {
+		if diff[i].Overlaps(narrow) {
+			t.Fatalf("difference piece %v overlaps the subtracted region", diff[i])
+		}
+		for j := i + 1; j < len(diff); j++ {
+			if diff[i].Overlaps(diff[j]) {
+				t.Fatalf("difference pieces %v and %v overlap", diff[i], diff[j])
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		k := randKey(rng)
+		inDiff := false
+		for _, d := range diff {
+			if d.Matches(k) {
+				inDiff = true
+			}
+		}
+		if inDiff == narrow.Matches(k) {
+			t.Fatalf("key %v: in-difference=%v must be the complement of in-region=%v",
+				k, inDiff, narrow.Matches(k))
+		}
+	}
+	// Intersect with * is identity in both directions.
+	if got, ok := all.Intersect(narrow); !ok || got != narrow {
+		t.Fatalf("* ∩ narrow = %v ok=%v, want %v", got, ok, narrow)
+	}
+	if got, ok := narrow.Intersect(all); !ok || got != narrow {
+		t.Fatalf("narrow ∩ * = %v ok=%v, want %v", got, ok, narrow)
+	}
+}
+
+// CoverFor at region boundaries: a cover clipped to a partition region must
+// never leak across an adjacent sibling region, even when the winning rule
+// spans both.
+func TestCoverForStaysInsideAdjacentRegions(t *testing.T) {
+	// One rule spanning 10.0.0.0/24, partitioned into sibling /25 regions.
+	rs := []Rule{
+		aclRule(1, 10, MatchAll().WithPrefix(FIPDst, 0x0A000000, 24), ActForward),
+		aclRule(2, 0, MatchAll(), ActDrop),
+	}
+	SortRules(rs)
+	low := MatchAll().WithPrefix(FIPDst, 0x0A000000, 25)
+	high := MatchAll().WithPrefix(FIPDst, 0x0A000080, 25)
+
+	var k Key
+	k[FIPDst] = 0x0A000001 // inside low, outside high
+	cover, ok := CoverFor(rs, 0, low, k)
+	if !ok {
+		t.Fatal("cover inside the low region must exist")
+	}
+	if !cover.Matches(k) {
+		t.Fatalf("cover %v must match the triggering key", cover)
+	}
+	if cover.Overlaps(high) {
+		t.Fatalf("cover %v leaks into the adjacent region %v", cover, high)
+	}
+	if !low.Contains(cover) {
+		t.Fatalf("cover %v not contained in its region %v", cover, low)
+	}
+
+	// Same key against the wrong (adjacent) region: no cover.
+	if _, ok := CoverFor(rs, 0, high, k); ok {
+		t.Fatal("a key outside the clip region must produce no cover")
+	}
+}
+
+// CoverFor with a zero-width region degenerates to a single-key microflow
+// rule — the smallest cache entry the authority can hand out.
+func TestCoverForZeroWidthRegion(t *testing.T) {
+	rs := []Rule{
+		aclRule(1, 10, MatchAll().WithExact(FTPDst, 443), ActForward),
+		aclRule(2, 0, MatchAll(), ActDrop),
+	}
+	SortRules(rs)
+	var k Key
+	k[FIPSrc], k[FIPDst], k[FTPDst] = 7, 9, 443
+	region := MatchAll().
+		WithExact(FIPSrc, 7).
+		WithExact(FIPDst, 9).
+		WithExact(FTPDst, 443)
+	cover, ok := CoverFor(rs, 0, region, k)
+	if !ok {
+		t.Fatal("point region containing the key must yield a cover")
+	}
+	if cover != region {
+		t.Fatalf("cover of a point region = %v, want the point %v", cover, region)
+	}
+	// And a point region the key misses yields nothing.
+	var miss Key
+	miss[FIPSrc], miss[FIPDst], miss[FTPDst] = 8, 9, 443
+	if _, ok := CoverFor(rs, 0, region, miss); ok {
+		t.Fatal("key outside a point region must produce no cover")
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"difane/internal/testutil"
 )
 
 type fakeState struct {
@@ -41,6 +43,7 @@ func replayStates(t *testing.T, j *Journal) (snap fakeState, recs []fakeState, h
 }
 
 func TestAppendReplayRoundTrip(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t, 2)()
 	dir := t.TempDir()
 	j, err := Open(dir)
 	if err != nil {

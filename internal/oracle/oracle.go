@@ -1,0 +1,132 @@
+// Package oracle is the reference semantics every DIFANE deployment is
+// differentially tested against: it evaluates the operator's prioritized
+// wildcard policy directly — one linear priority scan over the raw rule
+// list, no partitioning, no authority switches, no caching — and returns
+// the authoritative verdict for a packet. DIFANE's core correctness claim
+// (PAPER.md §1) is that the distributed machinery is observationally
+// equivalent to this single-point evaluation; internal/scencheck replays
+// seeded scenarios through the simulator, the reactive baseline, and the
+// wire prototype and asserts each packet's outcome against this oracle.
+//
+// The implementation deliberately repeats the priority/tie-break logic
+// instead of delegating to flowspace.EvalTable, so a bug in the shared
+// table semantics cannot hide by infecting both sides of the comparison.
+package oracle
+
+import (
+	"fmt"
+
+	"difane/internal/flowspace"
+)
+
+// VerdictKind classifies what the policy says happens to a packet.
+type VerdictKind uint8
+
+const (
+	// Deliver means the packet is forwarded to Verdict.Egress.
+	Deliver VerdictKind = iota
+	// Drop means the packet matched a deny rule — an intentional drop.
+	Drop
+	// Hole means no rule matched (or the matched action is not a
+	// data-plane action): the packet falls into a policy hole.
+	Hole
+)
+
+func (k VerdictKind) String() string {
+	switch k {
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	case Hole:
+		return "hole"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(k))
+	}
+}
+
+// Verdict is the oracle's authoritative answer for one packet.
+type Verdict struct {
+	Kind VerdictKind
+	// Egress is the destination switch when Kind == Deliver.
+	Egress uint32
+	// RuleID identifies the winning rule (0 when Kind == Hole and no rule
+	// matched).
+	RuleID uint64
+}
+
+func (v Verdict) String() string {
+	switch v.Kind {
+	case Deliver:
+		return fmt.Sprintf("deliver(%d) via rule %d", v.Egress, v.RuleID)
+	case Drop:
+		return fmt.Sprintf("drop via rule %d", v.RuleID)
+	default:
+		return "hole"
+	}
+}
+
+// Evaluate runs the reference single-table semantics: scan every rule,
+// keep the one with the highest priority (ties break toward the lower
+// ID), and map its action to a verdict. Rules may be in any order.
+func Evaluate(policy []flowspace.Rule, k flowspace.Key) Verdict {
+	best := -1
+	for i := range policy {
+		if !policy[i].Match.Matches(k) {
+			continue
+		}
+		if best < 0 ||
+			policy[i].Priority > policy[best].Priority ||
+			(policy[i].Priority == policy[best].Priority && policy[i].ID < policy[best].ID) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Verdict{Kind: Hole}
+	}
+	r := policy[best]
+	switch r.Action.Kind {
+	case flowspace.ActForward, flowspace.ActCount:
+		return Verdict{Kind: Deliver, Egress: r.Action.Arg, RuleID: r.ID}
+	case flowspace.ActDrop:
+		return Verdict{Kind: Drop, RuleID: r.ID}
+	default:
+		// Redirect/controller actions are implementation artifacts, not
+		// operator policy; a policy containing them has a semantic hole.
+		return Verdict{Kind: Hole, RuleID: r.ID}
+	}
+}
+
+// CacheRuleSound reports whether a cached ingress rule is semantically
+// justified by a set of clipped authority rule lists: some authority rule
+// must cover the cached rule's entire region with the same action. Every
+// cache-generation strategy (cover, dependent, exact) produces rules that
+// are subsets of the clipped rule they stand for, so an unsound cache
+// rule means the caching machinery invented semantics the policy never
+// had. Rule IDs are compared modulo the consistent-update generation band
+// (the low 32 bits), since staged generations re-key IDs.
+func CacheRuleSound(cached flowspace.Rule, partitions [][]flowspace.Rule) bool {
+	for _, rules := range partitions {
+		for _, r := range rules {
+			if r.Action == cached.Action && r.Match.Contains(cached.Match) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExactKey reconstructs the concrete key of an exact-match rule (every
+// field fully pinned), reporting false if any field has wildcard bits.
+// The baseline's microflow cache rules are validated by evaluating the
+// oracle at this key.
+func ExactKey(m flowspace.Match) (flowspace.Key, bool) {
+	var k flowspace.Key
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		if !m.Fields[f].IsExact(f.Width()) {
+			return flowspace.Key{}, false
+		}
+		k[f] = m.Fields[f].Value
+	}
+	return k, true
+}

@@ -1,0 +1,144 @@
+package oracle
+
+import (
+	"math/rand"
+	"testing"
+
+	"difane/internal/flowspace"
+)
+
+func rule(id uint64, prio int32, m flowspace.Match, a flowspace.Action) flowspace.Rule {
+	return flowspace.Rule{ID: id, Priority: prio, Match: m, Action: a}
+}
+
+func fwd(arg uint32) flowspace.Action {
+	return flowspace.Action{Kind: flowspace.ActForward, Arg: arg}
+}
+
+var drop = flowspace.Action{Kind: flowspace.ActDrop}
+
+func TestEvaluateBasics(t *testing.T) {
+	policy := []flowspace.Rule{
+		rule(1, 10, flowspace.MatchAll().WithExact(flowspace.FTPDst, 80), fwd(3)),
+		rule(2, 5, flowspace.MatchAll().WithPrefix(flowspace.FIPDst, 0x0A000000, 8), drop),
+	}
+	var k flowspace.Key
+	k[flowspace.FTPDst] = 80
+	if v := Evaluate(policy, k); v.Kind != Deliver || v.Egress != 3 || v.RuleID != 1 {
+		t.Fatalf("http: %v", v)
+	}
+	k[flowspace.FTPDst] = 81
+	k[flowspace.FIPDst] = 0x0A000001
+	if v := Evaluate(policy, k); v.Kind != Drop || v.RuleID != 2 {
+		t.Fatalf("deny: %v", v)
+	}
+	k[flowspace.FIPDst] = 0x0B000001
+	if v := Evaluate(policy, k); v.Kind != Hole {
+		t.Fatalf("uncovered key must be a hole: %v", v)
+	}
+	if v := Evaluate(nil, k); v.Kind != Hole {
+		t.Fatalf("empty policy must be a hole: %v", v)
+	}
+}
+
+func TestEvaluateTieBreaksTowardLowerID(t *testing.T) {
+	policy := []flowspace.Rule{
+		rule(9, 10, flowspace.MatchAll(), fwd(1)),
+		rule(2, 10, flowspace.MatchAll(), fwd(2)),
+	}
+	if v := Evaluate(policy, flowspace.Key{}); v.RuleID != 2 || v.Egress != 2 {
+		t.Fatalf("equal priority must break toward the lower ID: %v", v)
+	}
+}
+
+func TestEvaluateRedirectActionIsHole(t *testing.T) {
+	policy := []flowspace.Rule{
+		rule(1, 10, flowspace.MatchAll(),
+			flowspace.Action{Kind: flowspace.ActRedirect, Arg: 2}),
+	}
+	if v := Evaluate(policy, flowspace.Key{}); v.Kind != Hole || v.RuleID != 1 {
+		t.Fatalf("redirect is not operator policy: %v", v)
+	}
+}
+
+// The oracle deliberately re-implements priority semantics rather than
+// calling flowspace.EvalTable; this property test pins the two independent
+// implementations to each other over random tables and keys, so a drift in
+// either is caught here instead of surfacing as a confusing differential
+// failure.
+func TestEvaluateAgreesWithEvalTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		var policy []flowspace.Rule
+		nRules := 1 + rng.Intn(12)
+		for i := 0; i < nRules; i++ {
+			m := flowspace.MatchAll()
+			if rng.Intn(2) == 0 {
+				m = m.WithPrefix(flowspace.FIPDst, rng.Uint64(), uint(rng.Intn(33)))
+			}
+			if rng.Intn(3) == 0 {
+				m = m.WithExact(flowspace.FTPDst, uint64(rng.Intn(4)))
+			}
+			act := fwd(uint32(rng.Intn(4)))
+			if rng.Intn(3) == 0 {
+				act = drop
+			}
+			policy = append(policy, rule(uint64(i+1), int32(rng.Intn(4)), m, act))
+		}
+		for p := 0; p < 20; p++ {
+			var k flowspace.Key
+			k[flowspace.FIPDst] = rng.Uint64() & 0xFFFFFFFF
+			k[flowspace.FTPDst] = uint64(rng.Intn(4))
+			v := Evaluate(policy, k)
+			win, ok := flowspace.EvalTable(policy, k)
+			if !ok {
+				if v.Kind != Hole {
+					t.Fatalf("EvalTable misses but oracle says %v", v)
+				}
+				continue
+			}
+			if v.RuleID != win.ID {
+				t.Fatalf("winner disagrees: oracle rule %d, EvalTable rule %d (key %v)",
+					v.RuleID, win.ID, k)
+			}
+		}
+	}
+}
+
+func TestCacheRuleSound(t *testing.T) {
+	parts := [][]flowspace.Rule{{
+		rule(1, 10, flowspace.MatchAll().WithPrefix(flowspace.FIPDst, 0x0A000000, 24), fwd(3)),
+	}}
+	sound := rule(100, 10, flowspace.MatchAll().WithExact(flowspace.FIPDst, 0x0A000001), fwd(3))
+	if !CacheRuleSound(sound, parts) {
+		t.Fatal("subset with same action must be sound")
+	}
+	wrongAction := sound
+	wrongAction.Action = drop
+	if CacheRuleSound(wrongAction, parts) {
+		t.Fatal("same region, different action must be unsound")
+	}
+	outside := rule(101, 10, flowspace.MatchAll().WithExact(flowspace.FIPDst, 0x0B000001), fwd(3))
+	if CacheRuleSound(outside, parts) {
+		t.Fatal("region outside every authority rule must be unsound")
+	}
+}
+
+func TestExactKey(t *testing.T) {
+	m := flowspace.MatchAll()
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		m = m.WithExact(f, 1)
+	}
+	k, ok := ExactKey(m)
+	if !ok {
+		t.Fatal("fully pinned match must yield a key")
+	}
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		if k[f] != 1 {
+			t.Fatalf("field %v = %d, want 1", f, k[f])
+		}
+	}
+	if _, ok := ExactKey(flowspace.MatchAll()); ok {
+		t.Fatal("wildcard match has no exact key")
+	}
+}

@@ -87,6 +87,19 @@ const (
 	TablePartition
 )
 
+func (t Table) String() string {
+	switch t {
+	case TableCache:
+		return "cache"
+	case TableAuthority:
+		return "authority"
+	case TablePartition:
+		return "partition"
+	default:
+		return fmt.Sprintf("table(%d)", uint8(t))
+	}
+}
+
 // FlowModOp says whether a FlowMod adds or deletes.
 type FlowModOp uint8
 
@@ -94,6 +107,17 @@ const (
 	OpAdd FlowModOp = iota + 1
 	OpDelete
 )
+
+func (o FlowModOp) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
 
 // Message is any control message.
 type Message interface {

@@ -1,0 +1,354 @@
+// Package scencheck is the differential correctness harness: it derives a
+// random scenario — policy, topology, workload, policy updates, and fault
+// schedule — from a single int64 seed, replays it through every deployment
+// (the discrete-event simulator, the reactive baseline, and the wire-mode
+// prototype), and asserts that each packet's fate matches the reference
+// oracle (internal/oracle) plus the global invariants the architecture
+// promises: the accounting identity, epoch monotonicity across controller
+// restarts, cache-rule soundness, and post-convergence table equality with
+// a freshly computed assignment. Failures shrink to a minimal repro.
+//
+// Everything about a scenario is a pure function of the seed: generation
+// uses only the seeded PRNG, never the wall clock, so a reported seed
+// reproduces the exact policy, packets, and fault schedule anywhere.
+package scencheck
+
+import (
+	"math/rand"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+)
+
+// StepKind discriminates the events of a scenario's schedule.
+type StepKind uint8
+
+// Scenario step kinds.
+const (
+	// StepPacket injects one packet and checks its verdict.
+	StepPacket StepKind = iota
+	// StepUpdatePolicy replaces the operator policy (consistently in the
+	// simulator; by redeployment in the baseline and wire modes).
+	StepUpdatePolicy
+	// StepKillSwitch fails a switch (sim: node down + controller failover;
+	// wire: KillSwitch — permanent; baseline: ignored).
+	StepKillSwitch
+	// StepHealSwitch revives a previously killed switch (sim only; wire
+	// switch deaths are permanent, matching its crash model).
+	StepHealSwitch
+	// StepKillController crashes the controller.
+	StepKillController
+	// StepRestoreController restarts the controller (sim: journal
+	// recovery; wire: RestoreController). The restarted controller must
+	// run under a strictly higher epoch.
+	StepRestoreController
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepPacket:
+		return "packet"
+	case StepUpdatePolicy:
+		return "update-policy"
+	case StepKillSwitch:
+		return "kill-switch"
+	case StepHealSwitch:
+		return "heal-switch"
+	case StepKillController:
+		return "kill-controller"
+	case StepRestoreController:
+		return "restore-controller"
+	default:
+		return "step(?)"
+	}
+}
+
+// Step is one event in a scenario's schedule. Which fields are meaningful
+// depends on Kind.
+type Step struct {
+	Kind    StepKind
+	Ingress uint32           // StepPacket
+	Key     flowspace.Key    // StepPacket
+	Policy  []flowspace.Rule // StepUpdatePolicy
+	Switch  uint32           // StepKillSwitch / StepHealSwitch
+}
+
+// Link is one undirected edge of the scenario topology.
+type Link struct {
+	A, B    uint32
+	Latency float64
+}
+
+// Scenario is a fully explicit test case: everything the checker needs to
+// replay it is in the value itself (the seed is carried for reporting
+// only), which is what makes shrinking by structural deletion possible.
+type Scenario struct {
+	Seed        int64
+	Switches    []uint32
+	Links       []Link
+	Authorities []uint32
+	Strategy    core.CacheStrategy
+	Policy      []flowspace.Rule
+	Steps       []Step
+}
+
+// Packets counts the packet steps in the schedule.
+func (sc Scenario) Packets() int {
+	n := 0
+	for _, st := range sc.Steps {
+		if st.Kind == StepPacket {
+			n++
+		}
+	}
+	return n
+}
+
+// Config tunes scenario generation.
+type Config struct {
+	// Packets is the number of packet steps to generate (default 16).
+	Packets int
+	// Faults enables switch/controller fault steps.
+	Faults bool
+	// Updates enables policy-update steps.
+	Updates bool
+}
+
+// DefaultConfig generates scenarios exercising everything.
+func DefaultConfig() Config { return Config{Packets: 16, Faults: true, Updates: true} }
+
+func (c *Config) defaults() {
+	if c.Packets <= 0 {
+		c.Packets = 16
+	}
+}
+
+// Generate derives a scenario from the seed: a 2-connected ring-plus-chords
+// topology (so one dead switch never partitions it), two authority
+// switches, an overlapping prioritized policy over a small address pool
+// (overlap is where caching strategies disagree), and a schedule
+// interleaving packets with policy updates and faults. Deterministic: same
+// seed, same scenario.
+func Generate(seed int64, cfg Config) Scenario {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	nsw := 4 + rng.Intn(5) // 4..8 switches
+	sc := Scenario{Seed: seed, Strategy: core.CacheStrategy(rng.Intn(3))}
+	for i := 0; i < nsw; i++ {
+		sc.Switches = append(sc.Switches, uint32(i))
+	}
+	// Ring: removing any single node leaves the rest connected.
+	for i := 0; i < nsw; i++ {
+		sc.Links = append(sc.Links, Link{
+			A: uint32(i), B: uint32((i + 1) % nsw),
+			Latency: 0.001 + 0.001*rng.Float64(),
+		})
+	}
+	// A couple of random chords for path diversity.
+	for c := 0; c < rng.Intn(3); c++ {
+		a := uint32(rng.Intn(nsw))
+		b := uint32(rng.Intn(nsw))
+		if a != b {
+			sc.Links = append(sc.Links, Link{A: a, B: b, Latency: 0.001 + 0.002*rng.Float64()})
+		}
+	}
+	// Two distinct authorities, so replication 2 always has a live replica
+	// while at most one switch is down.
+	a1 := uint32(rng.Intn(nsw))
+	a2 := uint32(rng.Intn(nsw - 1))
+	if a2 >= a1 {
+		a2++
+	}
+	sc.Authorities = []uint32{a1, a2}
+
+	sc.Policy = genPolicy(rng, nsw)
+
+	// Schedule. The generator tracks controller and switch liveness so it
+	// never emits a step the scenario semantics cannot honor (no updates or
+	// kills while the controller is down, at most one switch dead, one kill
+	// per scenario so the wire mode's permanent deaths stay survivable).
+	ctlDown := false
+	deadSwitch := int64(-1)
+	killsLeft := 1
+	curPolicy := sc.Policy
+	for p := 0; p < cfg.Packets; {
+		roll := rng.Float64()
+		switch {
+		case cfg.Updates && !ctlDown && roll < 0.07:
+			curPolicy = mutatePolicy(rng, curPolicy, nsw)
+			sc.Steps = append(sc.Steps, Step{Kind: StepUpdatePolicy, Policy: curPolicy})
+		case cfg.Faults && !ctlDown && deadSwitch < 0 && killsLeft > 0 && roll < 0.14:
+			victim := uint32(rng.Intn(nsw))
+			killsLeft--
+			deadSwitch = int64(victim)
+			sc.Steps = append(sc.Steps, Step{Kind: StepKillSwitch, Switch: victim})
+		case cfg.Faults && !ctlDown && deadSwitch >= 0 && roll < 0.30:
+			sc.Steps = append(sc.Steps, Step{Kind: StepHealSwitch, Switch: uint32(deadSwitch)})
+			deadSwitch = -1
+		case cfg.Faults && !ctlDown && roll < 0.36:
+			ctlDown = true
+			sc.Steps = append(sc.Steps, Step{Kind: StepKillController})
+		case ctlDown && roll < 0.60:
+			ctlDown = false
+			sc.Steps = append(sc.Steps, Step{Kind: StepRestoreController})
+		default:
+			sc.Steps = append(sc.Steps, Step{
+				Kind:    StepPacket,
+				Ingress: uint32(rng.Intn(nsw)),
+				Key:     genKey(rng, curPolicy),
+			})
+			p++
+		}
+	}
+	// End live and converged, so the end-of-scenario convergence audit
+	// (fresh-controller table equality) runs against a healthy network.
+	if ctlDown {
+		sc.Steps = append(sc.Steps, Step{Kind: StepRestoreController})
+	}
+	if deadSwitch >= 0 {
+		sc.Steps = append(sc.Steps, Step{Kind: StepHealSwitch, Switch: uint32(deadSwitch)})
+	}
+	return sc
+}
+
+// The address pool: a handful of /24s under 10.0.0.0/16 plus a few hosts
+// in each. Small on purpose — overlap between rules, and between packets
+// and rules, is where the interesting disagreements live.
+func poolIP(rng *rand.Rand) (value uint64, plen uint) {
+	subnet := uint64(0x0A000000 | rng.Intn(8)<<8)
+	switch rng.Intn(4) {
+	case 0:
+		return 0x0A000000, 16 // the whole pool
+	case 1, 2:
+		return subnet, 24
+	default:
+		return subnet | uint64(rng.Intn(4)), 32
+	}
+}
+
+var poolPorts = []uint64{80, 443, 8080}
+
+// genPolicy builds 4–12 overlapping prioritized rules over the pool, with
+// deliberate priority ties (tie-break bugs hide there), plus a catch-all
+// so the generated policy has no holes (holes appear during shrinking when
+// rules are removed, and the oracle models them too).
+func genPolicy(rng *rand.Rand, nsw int) []flowspace.Rule {
+	n := 4 + rng.Intn(9)
+	rules := make([]flowspace.Rule, 0, n+1)
+	for i := 0; i < n; i++ {
+		m := flowspace.MatchAll()
+		if rng.Float64() < 0.8 {
+			v, plen := poolIP(rng)
+			m = m.WithPrefix(flowspace.FIPSrc, v, plen)
+		}
+		if rng.Float64() < 0.8 {
+			v, plen := poolIP(rng)
+			m = m.WithPrefix(flowspace.FIPDst, v, plen)
+		}
+		if rng.Float64() < 0.5 {
+			m = m.WithExact(flowspace.FTPDst, poolPorts[rng.Intn(len(poolPorts))])
+		}
+		act := flowspace.Action{Kind: flowspace.ActDrop}
+		if rng.Float64() < 0.6 {
+			act = flowspace.Action{Kind: flowspace.ActForward, Arg: uint32(rng.Intn(nsw))}
+		}
+		rules = append(rules, flowspace.Rule{
+			ID:       uint64(i + 1),
+			Priority: int32(1 + rng.Intn(5)),
+			Match:    m,
+			Action:   act,
+		})
+	}
+	// Catch-all default at priority 0.
+	def := flowspace.Action{Kind: flowspace.ActDrop}
+	if rng.Float64() < 0.5 {
+		def = flowspace.Action{Kind: flowspace.ActForward, Arg: uint32(rng.Intn(nsw))}
+	}
+	rules = append(rules, flowspace.Rule{
+		ID: uint64(n + 1), Priority: 0, Match: flowspace.MatchAll(), Action: def,
+	})
+	return rules
+}
+
+// genKey picks a packet: usually inside a random rule's region (so rule
+// semantics actually get exercised), sometimes from the raw pool.
+func genKey(rng *rand.Rand, policy []flowspace.Rule) flowspace.Key {
+	var fill [flowspace.NumFields]uint64
+	for i := range fill {
+		fill[i] = rng.Uint64()
+	}
+	if len(policy) > 0 && rng.Float64() < 0.7 {
+		m := policy[rng.Intn(len(policy))].Match
+		k := m.RandomKeyIn(fill)
+		// Pull the wildcarded IP/port fields back into the pool so the key
+		// still collides with other rules.
+		if m.Fields[flowspace.FIPSrc].IsWildcard() {
+			k[flowspace.FIPSrc] = pooledIP(rng)
+		}
+		if m.Fields[flowspace.FIPDst].IsWildcard() {
+			k[flowspace.FIPDst] = pooledIP(rng)
+		}
+		if m.Fields[flowspace.FTPDst].IsWildcard() {
+			k[flowspace.FTPDst] = poolPorts[rng.Intn(len(poolPorts))]
+		}
+		return k
+	}
+	k := flowspace.MatchAll().RandomKeyIn(fill)
+	k[flowspace.FIPSrc] = pooledIP(rng)
+	k[flowspace.FIPDst] = pooledIP(rng)
+	k[flowspace.FTPDst] = poolPorts[rng.Intn(len(poolPorts))]
+	return k
+}
+
+func pooledIP(rng *rand.Rand) uint64 {
+	return uint64(0x0A000000 | rng.Intn(8)<<8 | rng.Intn(4))
+}
+
+// mutatePolicy derives the next policy version: swap two priorities,
+// retarget an action, add a rule, or remove one. The catch-all (last rule)
+// is never removed and rule IDs stay within 32 bits, respecting the
+// consistent-update generation banding.
+func mutatePolicy(rng *rand.Rand, policy []flowspace.Rule, nsw int) []flowspace.Rule {
+	out := append([]flowspace.Rule(nil), policy...)
+	switch rng.Intn(4) {
+	case 0: // swap priorities
+		if len(out) >= 2 {
+			i, j := rng.Intn(len(out)-1), rng.Intn(len(out)-1)
+			out[i].Priority, out[j].Priority = out[j].Priority, out[i].Priority
+		}
+	case 1: // retarget or flip an action
+		i := rng.Intn(len(out))
+		if out[i].Action.Kind == flowspace.ActForward && rng.Float64() < 0.5 {
+			out[i].Action = flowspace.Action{Kind: flowspace.ActDrop}
+		} else {
+			out[i].Action = flowspace.Action{Kind: flowspace.ActForward, Arg: uint32(rng.Intn(nsw))}
+		}
+	case 2: // add a rule
+		maxID := uint64(0)
+		for _, r := range out {
+			if r.ID > maxID {
+				maxID = r.ID
+			}
+		}
+		m := flowspace.MatchAll()
+		v, plen := poolIP(rng)
+		m = m.WithPrefix(flowspace.FIPSrc, v, plen)
+		if rng.Float64() < 0.5 {
+			v, plen = poolIP(rng)
+			m = m.WithPrefix(flowspace.FIPDst, v, plen)
+		}
+		act := flowspace.Action{Kind: flowspace.ActDrop}
+		if rng.Float64() < 0.6 {
+			act = flowspace.Action{Kind: flowspace.ActForward, Arg: uint32(rng.Intn(nsw))}
+		}
+		out = append(out, flowspace.Rule{
+			ID: maxID + 1, Priority: int32(1 + rng.Intn(5)), Match: m, Action: act,
+		})
+	default: // remove a non-catch-all rule
+		if len(out) > 2 {
+			i := rng.Intn(len(out) - 1)
+			out = append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package scencheck
+
+import "difane/internal/flowspace"
+
+// Shrink greedily minimizes a failing scenario: it repeatedly tries
+// deleting steps (end first, so teardown noise goes before the trigger)
+// and policy rules — from the base policy and from every update step —
+// keeping any candidate that still fails and is strictly smaller. The
+// fixed point is a locally-minimal repro; Report() on its Check result
+// prints the replay commands.
+//
+// Shrinking replays the scenario once per candidate, so callers usually
+// restrict opt.Modes to the mode that failed.
+func Shrink(sc Scenario, opt Options) Scenario {
+	fails := func(c Scenario) bool { return Check(c, opt).Failed() }
+	cur := normalize(sc)
+	if !fails(cur) {
+		return cur
+	}
+	for round := 0; round < 16; round++ {
+		changed := false
+		// Steps, end first.
+		for i := len(cur.Steps) - 1; i >= 0; i-- {
+			cand := cur
+			cand.Steps = dropStep(cur.Steps, i)
+			cand = normalize(cand)
+			if size(cand) < size(cur) && fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		// Base policy rules (never below one rule).
+		for i := len(cur.Policy) - 1; i >= 0 && len(cur.Policy) > 1; i-- {
+			cand := cur
+			cand.Policy = dropRule(cur.Policy, i)
+			if fails(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		// Update-step policies.
+		for si := range cur.Steps {
+			if cur.Steps[si].Kind != StepUpdatePolicy {
+				continue
+			}
+			for i := len(cur.Steps[si].Policy) - 1; i >= 0 && len(cur.Steps[si].Policy) > 1; i-- {
+				cand := cur
+				cand.Steps = append([]Step(nil), cur.Steps...)
+				st := cand.Steps[si]
+				st.Policy = dropRule(st.Policy, i)
+				cand.Steps[si] = st
+				if fails(cand) {
+					cur = cand
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+func dropStep(steps []Step, i int) []Step {
+	out := make([]Step, 0, len(steps)-1)
+	out = append(out, steps[:i]...)
+	return append(out, steps[i+1:]...)
+}
+
+func dropRule(rules []flowspace.Rule, i int) []flowspace.Rule {
+	out := make([]flowspace.Rule, 0, len(rules)-1)
+	out = append(out, rules[:i]...)
+	return append(out, rules[i+1:]...)
+}
+
+// size orders candidates: fewer steps and rules is strictly smaller.
+func size(sc Scenario) int {
+	n := len(sc.Steps) + len(sc.Policy)
+	for _, st := range sc.Steps {
+		n += len(st.Policy)
+	}
+	return n
+}

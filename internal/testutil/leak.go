@@ -1,0 +1,38 @@
+// Package testutil holds helpers shared across the repo's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeaks snapshots the goroutine count and returns a function
+// to defer (or call after cleanup): it polls — giving lingering goroutines
+// time to observe closed channels and exit — until the count returns to
+// within slack of the baseline, and fails the test with a full stack dump
+// if it has not after five seconds. A slack of 2 absorbs the runtime's own
+// transient goroutines (GC workers, test timers).
+//
+//	defer testutil.CheckGoroutineLeaks(t, 2)()
+func CheckGoroutineLeaks(t *testing.T, slack int) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

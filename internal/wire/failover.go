@@ -98,12 +98,47 @@ func (c *Cluster) markDead(n *node) {
 	}()
 }
 
-// markAlive reinstates a recovered switch.
+// markAlive reinstates a recovered switch: besides flipping the verdict it
+// restores the partition rules promoteBackups withdrew (and any that
+// failoverLocal re-pointed), so a flapping authority degrades service only
+// while it is actually down. Without the reinstall, a switch that was ever
+// suspected — even spuriously — would serve no redirects again, and a
+// partition whose replicas were each suspected once would black-hole its
+// whole region permanently.
 func (c *Cluster) markAlive(n *node) {
 	if !n.alive.CompareAndSwap(false, true) {
 		return
 	}
 	n.lastBeat.Store(time.Now().UnixNano())
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.restoreRules(n.id)
+	}()
+}
+
+// restoreRules re-pushes the revived switch's partition rules to every
+// live switch — the inverse of promoteBackups. OpAdd replaces in place, so
+// rules failoverLocal re-pointed at another replica snap back too.
+func (c *Cluster) restoreRules(revived uint32) {
+	var mods []proto.FlowMod
+	for _, r := range c.assign.PartitionRules(partitionRuleBase) {
+		if r.Action.Arg != revived {
+			continue
+		}
+		mods = append(mods, proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd, Rule: r})
+	}
+	if len(mods) == 0 {
+		return
+	}
+	for _, n := range c.switches {
+		if n.killed.Load() {
+			continue
+		}
+		for i := range mods {
+			_ = c.installRule(n, &mods[i])
+		}
+	}
 }
 
 // promoteBackups is the controller-driven half of failover: it withdraws

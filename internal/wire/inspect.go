@@ -1,0 +1,35 @@
+package wire
+
+import (
+	"sort"
+
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+)
+
+// TableRules returns a snapshot of one switch's rules in the given table,
+// sorted by rule ID. It exists for the differential checker
+// (internal/scencheck), which audits cached ingress rules against the
+// authority rules they claim to stand for; it is safe to call while the
+// cluster is running.
+func (c *Cluster) TableRules(sw uint32, t proto.Table) []flowspace.Rule {
+	n, ok := c.switches[sw]
+	if !ok {
+		return nil
+	}
+	n.mu.Lock()
+	rules := n.sw.Table(t).Rules()
+	n.mu.Unlock()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	return rules
+}
+
+// SwitchIDs returns every switch ID in the cluster, sorted.
+func (c *Cluster) SwitchIDs() []uint32 {
+	out := make([]uint32, 0, len(c.switches))
+	for id := range c.switches {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,13 +1,13 @@
 package wire
 
 import (
-	"runtime"
 	"testing"
 	"time"
 
 	"difane/internal/core"
 	"difane/internal/flowspace"
 	"difane/internal/proto"
+	"difane/internal/testutil"
 )
 
 // waitMeasure polls the cluster's measurements until cond passes.
@@ -248,7 +248,7 @@ func TestNoGoroutineLeaksFaultDuringClose(t *testing.T) {
 		useTCP bool
 	}{{"pipe", false}, {"tcp", true}} {
 		t.Run(tc.name, func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			check := testutil.CheckGoroutineLeaks(t, 2)
 			c, err := NewCluster(reconnectCfg(tc.useTCP))
 			if err != nil {
 				t.Fatal(err)
@@ -269,20 +269,7 @@ func TestNoGoroutineLeaksFaultDuringClose(t *testing.T) {
 				t.Fatal(err)
 			}
 			<-done
-			deadline := time.Now().Add(5 * time.Second)
-			for {
-				runtime.GC()
-				if runtime.NumGoroutine() <= before+2 {
-					return
-				}
-				if time.Now().After(deadline) {
-					buf := make([]byte, 1<<16)
-					n := runtime.Stack(buf, true)
-					t.Fatalf("goroutines: %d before, %d after close\n%s",
-						before, runtime.NumGoroutine(), buf[:n])
-				}
-				time.Sleep(10 * time.Millisecond)
-			}
+			check()
 		})
 	}
 }

@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"net"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"difane/internal/core"
+	"difane/internal/testutil"
 )
 
 func reconnectCfg(useTCP bool) ClusterConfig {
@@ -253,7 +253,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 		useTCP bool
 	}{{"pipe", false}, {"tcp", true}} {
 		t.Run(tc.name, func(t *testing.T) {
-			before := runtime.NumGoroutine()
+			check := testutil.CheckGoroutineLeaks(t, 2)
 			c, err := NewCluster(reconnectCfg(tc.useTCP))
 			if err != nil {
 				t.Fatal(err)
@@ -266,20 +266,7 @@ func TestNoGoroutineLeaks(t *testing.T) {
 			if err := c.Close(); err != nil {
 				t.Fatal(err)
 			}
-			deadline := time.Now().Add(5 * time.Second)
-			for {
-				runtime.GC()
-				if runtime.NumGoroutine() <= before+2 {
-					return
-				}
-				if time.Now().After(deadline) {
-					buf := make([]byte, 1<<16)
-					n := runtime.Stack(buf, true)
-					t.Fatalf("goroutines: %d before, %d after close\n%s",
-						before, runtime.NumGoroutine(), buf[:n])
-				}
-				time.Sleep(10 * time.Millisecond)
-			}
+			check()
 		})
 	}
 }

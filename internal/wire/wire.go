@@ -264,6 +264,10 @@ func (c *Cluster) installAssignment() error {
 			}
 			n.auths = append(n.auths, core.NewAuthority(h, p, c.cfg.Strategy))
 			for _, r := range p.Rules {
+				// Band the partition index into the entry ID so clips of
+				// the same policy rule from two partitions hosted here
+				// don't replace each other (matches the simulator).
+				r.ID = core.AuthorityEntryID(i, r.ID)
 				mod := proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpAdd, Rule: r}
 				if err := n.sw.ApplyFlowMod(now, &mod); err != nil {
 					return err
@@ -336,9 +340,14 @@ const (
 )
 
 // drop records a terminal packet loss.
+//
+// All terminal paths record their Measurements counter BEFORE bumping
+// completed: Deployment.Run returns the moment completed catches up with
+// injected, and a caller reading Measurements right after must see the
+// packet's counter — otherwise the accounting identity (injected =
+// delivered + drops) transiently under-counts.
 func (c *Cluster) drop(kind dropKind) {
 	c.dropped.Add(1)
-	c.completed.Add(1)
 	c.mMu.Lock()
 	switch kind {
 	case dropHole:
@@ -349,29 +358,30 @@ func (c *Cluster) drop(kind dropKind) {
 		c.m.Drops.Unreachable++
 	}
 	c.mMu.Unlock()
+	c.completed.Add(1)
 }
 
 // shedRedirect records a packet deliberately shed by the ingress redirect
 // token bucket under a miss storm.
 func (c *Cluster) shedRedirect() {
 	c.dropped.Add(1)
-	c.completed.Add(1)
 	c.mMu.Lock()
 	c.m.Drops.RedirectShed++
 	c.mMu.Unlock()
+	c.completed.Add(1)
 }
 
 // policyDrop records an intentional drop (the packet matched a drop rule);
 // it is not counted as a loss. firstPacket marks a flow-setup decision
 // made at an authority switch.
 func (c *Cluster) policyDrop(firstPacket bool) {
-	c.completed.Add(1)
 	c.mMu.Lock()
 	c.m.Drops.Policy++
 	if firstPacket {
 		c.m.SetupsCompleted++
 	}
 	c.mMu.Unlock()
+	c.completed.Add(1)
 }
 
 // dataLoop is a switch's data plane: decode, classify, act.
@@ -560,6 +570,16 @@ func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
 		c.drop(dropUnreachable)
 		return
 	}
+	if dst.killed.Load() {
+		// A killed switch's buffered channel would happily accept the frame,
+		// but its pump goroutine is gone: the packet would sit there forever,
+		// uncounted — breaking the accounting identity (injected = delivered
+		// + drops) and wedging Deployment.Run's completion wait. Account it
+		// as unreachable instead, exactly like the simulator's dead-egress
+		// path.
+		c.drop(dropUnreachable)
+		return
+	}
 	out := dataFrame{buf: pkt.AppendWire(nil), size: frame.size,
 		injected: frame.injected, detour: frame.detour}
 	select {
@@ -582,7 +602,6 @@ func (n *node) noteQueueDepth(d int64) {
 
 func (c *Cluster) deliver(at uint32, pkt *packet.Packet, frame dataFrame) {
 	lat := time.Since(frame.injected)
-	c.completed.Add(1)
 	c.mMu.Lock()
 	c.m.Delivered++
 	if frame.detour {
@@ -603,6 +622,10 @@ func (c *Cluster) deliver(at uint32, pkt *packet.Packet, frame dataFrame) {
 	default:
 		// Receiver not draining: drop the notification, not the packet.
 	}
+	// completed last: once Deployment.Run observes completed == injected,
+	// both the Measurements counter and the Delivery notification for this
+	// packet are already visible.
+	c.completed.Add(1)
 }
 
 // conns returns the node's current control-connection pair.
@@ -740,6 +763,18 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 		case *proto.StatsReq:
 			n.mu.Lock()
 			pkts, bytes, ok := n.sw.Counters(m.RuleID)
+			if !ok {
+				// A policy-rule query: aggregate the banded per-partition
+				// clips of that rule across the authority table, keeping
+				// rule counters transparent to the controller.
+				for _, e := range n.sw.Table(proto.TableAuthority).Entries() {
+					if core.AuthorityEntryRuleID(e.Rule.ID) == m.RuleID {
+						pkts += e.Packets
+						bytes += e.Bytes
+						ok = true
+					}
+				}
+			}
 			n.mu.Unlock()
 			reply := &proto.StatsReply{XID: m.XID, Packets: pkts, Bytes: bytes, OK: ok}
 			go func() { _ = c.writeToController(n, reply) }()
