@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench fuzz-smoke check soak regen-golden
+.PHONY: verify fmt vet build test bench perf-smoke fuzz-smoke check soak regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -18,6 +18,12 @@ test:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Quick wire-mode perf sweep gated against the committed baseline — the
+# same command CI's perf-smoke job runs (>15% regression fails).
+perf-smoke:
+	go run ./cmd/difane-bench -wire -quick \
+		-out BENCH_wire.json -compare BENCH_wire.baseline.json
 
 # Quick differential sweep: seeded scenarios through all three deployments
 # (sim, baseline, wire), every packet verdict diffed against the oracle.

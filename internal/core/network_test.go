@@ -70,8 +70,8 @@ func TestSecondPacketHitsCache(t *testing.T) {
 		t.Fatalf("later packet delay = %v", d)
 	}
 	sw := n.Switches[0]
-	if sw.Stats.CacheHits != 1 {
-		t.Fatalf("cache hits = %d", sw.Stats.CacheHits)
+	if sw.Stats.CacheHits.Load() != 1 {
+		t.Fatalf("cache hits = %d", sw.Stats.CacheHits.Load())
 	}
 }
 
@@ -177,7 +177,7 @@ func TestFailoverToBackupAuthority(t *testing.T) {
 	}
 	// After convergence, redirects land on the survivor: its authority
 	// table must have seen traffic.
-	if n.Switches[survivor].Stats.AuthorityHits == 0 {
+	if n.Switches[survivor].Stats.AuthorityHits.Load() == 0 {
 		t.Fatal("surviving authority must have served the post-failover flow")
 	}
 }

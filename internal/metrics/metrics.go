@@ -42,6 +42,18 @@ func (d *Dist) Clone() Dist {
 // Sum returns the sum of all samples.
 func (d *Dist) Sum() float64 { return d.sum }
 
+// Merge appends all of o's samples into d. The caller must ensure o is not
+// concurrently mutated (clone it under its writer's lock first, or merge
+// shards that have quiesced).
+func (d *Dist) Merge(o *Dist) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	d.samples = append(d.samples, o.samples...)
+	d.sorted = false
+	d.sum += o.sum
+}
+
 // Mean returns the sample mean (0 with no samples).
 func (d *Dist) Mean() float64 {
 	if len(d.samples) == 0 {

@@ -1,0 +1,186 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+const reportVersion = 1
+
+// Result is one (workload, backend) measurement.
+type Result struct {
+	Workload string `json:"workload"`
+	Backend  string `json:"backend"`
+	// Packets is how many packets the trace injected.
+	Packets int `json:"packets"`
+	// WallSeconds is the real time the inject+run window took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// PktsPerSec is Packets / WallSeconds — wall-clock processing
+	// throughput for every backend (the simulated backends burn wall time
+	// executing events, wire mode forwarding real frames).
+	PktsPerSec float64 `json:"pkts_per_sec"`
+	// P50FirstMs / P99FirstMs are first-packet latency percentiles in
+	// milliseconds — virtual time for sim/baseline, real time for wire.
+	P50FirstMs float64 `json:"p50_first_ms"`
+	P99FirstMs float64 `json:"p99_first_ms"`
+	// AllocsPerOp is heap allocations per injected packet across the
+	// window (machine-independent, the steadiest regression signal).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Goroutines is the live goroutine count at the end of the run,
+	// before Close — a leak detector.
+	Goroutines int    `json:"goroutines"`
+	Delivered  uint64 `json:"delivered"`
+	Drops      uint64 `json:"drops"`
+	// NoisePkts / NoiseAllocs record the cell's observed rep-to-rep
+	// spread ((max-min)/max for throughput, (max-min)/min for allocs).
+	// Compare widens its tolerance to at least the spread either side
+	// measured, so cells this machine cannot time tightly don't produce
+	// spurious gate failures while tightly measurable cells stay gated at
+	// the configured tolerance.
+	NoisePkts   float64 `json:"noise_pkts"`
+	NoiseAllocs float64 `json:"noise_allocs"`
+}
+
+// Report is the BENCH_wire.json payload.
+type Report struct {
+	Version    int      `json:"version"`
+	Quick      bool     `json:"quick"`
+	Seed       int64    `json:"seed"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Results    []Result `json:"results"`
+}
+
+// WriteFile stores the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	sortResults(r.Results)
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a report written by WriteFile.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Render prints the report as a text table.
+func (r *Report) Render() string {
+	sortResults(r.Results)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-9s %9s %12s %10s %10s %9s %6s\n",
+		"workload", "backend", "packets", "pkts/s", "p50 ms", "p99 ms", "allocs/op", "gor")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10s %-9s %9d %12.0f %10.3f %10.3f %9.1f %6d\n",
+			res.Workload, res.Backend, res.Packets, res.PktsPerSec,
+			res.P50FirstMs, res.P99FirstMs, res.AllocsPerOp, res.Goroutines)
+	}
+	return b.String()
+}
+
+// Tolerance bounds how much worse the current report may be than the
+// baseline before Compare flags a regression.
+type Tolerance struct {
+	// Throughput is the allowed fractional drop in pkts/s (default 0.15).
+	Throughput float64
+	// Allocs is the allowed fractional growth in allocs/op (default 0.15).
+	Allocs float64
+	// LatencyP99 is the allowed fractional growth in p99 first-packet
+	// latency. Wall-clock latency on shared CI hardware is far noisier
+	// than throughput or allocation counts, so the default is loose (1.0,
+	// i.e. 2×).
+	LatencyP99 float64
+	// GoroutineSlack is the allowed absolute goroutine-count growth
+	// (default 64) — a gross-leak gate. Wire clusters legitimately run a
+	// few goroutines per switch plus transient async control writers, so
+	// the slack must absorb scheduling noise.
+	GoroutineSlack int
+}
+
+// DefaultTolerance is the 15% regression gate the CI perf-smoke job uses.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Throughput: 0.15, Allocs: 0.15, LatencyP99: 1.0, GoroutineSlack: 64}
+}
+
+// Compare diffs cur against base and returns one message per regression;
+// an empty slice means the gate passes. Rows present in only one report
+// are reported (shape drift is itself a finding, not silently ignored).
+func Compare(base, cur *Report, tol Tolerance) []string {
+	if tol.Throughput <= 0 {
+		tol.Throughput = 0.15
+	}
+	if tol.Allocs <= 0 {
+		tol.Allocs = 0.15
+	}
+	if tol.LatencyP99 <= 0 {
+		tol.LatencyP99 = 1.0
+	}
+	if tol.GoroutineSlack <= 0 {
+		tol.GoroutineSlack = 64
+	}
+	key := func(r Result) string { return r.Workload + "/" + r.Backend }
+	baseBy := map[string]Result{}
+	for _, r := range base.Results {
+		baseBy[key(r)] = r
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range cur.Results {
+		k := key(c)
+		seen[k] = true
+		b, ok := baseBy[k]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: no baseline row (new result)", k))
+			continue
+		}
+		thrTol := maxf3(tol.Throughput, b.NoisePkts, c.NoisePkts)
+		if b.PktsPerSec > 0 && c.PktsPerSec < b.PktsPerSec*(1-thrTol) {
+			out = append(out, fmt.Sprintf(
+				"%s: throughput regressed %.0f → %.0f pkts/s (>%.0f%% drop)",
+				k, b.PktsPerSec, c.PktsPerSec, thrTol*100))
+		}
+		allocTol := maxf3(tol.Allocs, b.NoiseAllocs, c.NoiseAllocs)
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > b.AllocsPerOp*(1+allocTol) {
+			out = append(out, fmt.Sprintf(
+				"%s: allocs/op regressed %.1f → %.1f (>%.0f%% growth)",
+				k, b.AllocsPerOp, c.AllocsPerOp, allocTol*100))
+		}
+		if b.P99FirstMs > 0 && c.P99FirstMs > b.P99FirstMs*(1+tol.LatencyP99) {
+			out = append(out, fmt.Sprintf(
+				"%s: p99 first-packet latency regressed %.3f → %.3f ms (>%.0f%% growth)",
+				k, b.P99FirstMs, c.P99FirstMs, tol.LatencyP99*100))
+		}
+		if c.Goroutines > b.Goroutines+tol.GoroutineSlack {
+			out = append(out, fmt.Sprintf(
+				"%s: goroutines grew %d → %d (slack %d)",
+				k, b.Goroutines, c.Goroutines, tol.GoroutineSlack))
+		}
+	}
+	for _, b := range base.Results {
+		if !seen[key(b)] {
+			out = append(out, fmt.Sprintf("%s: baseline row missing from current run", key(b)))
+		}
+	}
+	return out
+}
+
+func maxf3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func row(wl, backend string, pps, allocs float64) Result {
+	return Result{
+		Workload: wl, Backend: backend, Packets: 1000,
+		PktsPerSec: pps, AllocsPerOp: allocs,
+		P50FirstMs: 1, P99FirstMs: 5, Goroutines: 100,
+	}
+}
+
+func report(rs ...Result) *Report {
+	return &Report{Version: reportVersion, Seed: 42, Results: rs}
+}
+
+func TestCompareCatchesRealRegression(t *testing.T) {
+	base := report(row("cache-hit", "wire", 100000, 20))
+	cur := report(row("cache-hit", "wire", 40000, 20)) // 2.5× slower
+	regs := Compare(base, cur, DefaultTolerance())
+	if len(regs) != 1 || !strings.Contains(regs[0], "throughput") {
+		t.Fatalf("want one throughput regression, got %v", regs)
+	}
+
+	cur = report(row("cache-hit", "wire", 100000, 60)) // 3× the allocs
+	regs = Compare(base, cur, DefaultTolerance())
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs") {
+		t.Fatalf("want one allocs regression, got %v", regs)
+	}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	base := report(row("cache-hit", "wire", 100000, 20))
+	cur := report(row("cache-hit", "wire", 90000, 22)) // 10% off on both
+	if regs := Compare(base, cur, DefaultTolerance()); len(regs) != 0 {
+		t.Fatalf("10%% drift must pass the 15%% gate, got %v", regs)
+	}
+}
+
+func TestCompareWidensToRecordedNoise(t *testing.T) {
+	b := row("miss-storm", "wire-tcp", 100000, 20)
+	b.NoisePkts = 0.40 // this machine can't time the cell tighter
+	base := report(b)
+	cur := report(row("miss-storm", "wire-tcp", 65000, 20)) // 35% drop
+	if regs := Compare(base, cur, DefaultTolerance()); len(regs) != 0 {
+		t.Fatalf("drop within recorded noise must pass, got %v", regs)
+	}
+	cur = report(row("miss-storm", "wire-tcp", 50000, 20)) // 50% drop
+	if regs := Compare(base, cur, DefaultTolerance()); len(regs) != 1 {
+		t.Fatalf("drop past recorded noise must fail, got %v", regs)
+	}
+}
+
+func TestCompareFlagsShapeDrift(t *testing.T) {
+	base := report(row("cache-hit", "wire", 100000, 20),
+		row("miss-storm", "wire", 50000, 25))
+	cur := report(row("cache-hit", "wire", 100000, 20),
+		row("failover", "wire", 70000, 18))
+	regs := Compare(base, cur, DefaultTolerance())
+	if len(regs) != 2 {
+		t.Fatalf("want missing-row and new-row findings, got %v", regs)
+	}
+}
+
+func TestCompareGoroutineLeakGate(t *testing.T) {
+	base := report(row("cache-hit", "wire", 100000, 20))
+	leaky := row("cache-hit", "wire", 100000, 20)
+	leaky.Goroutines = 100 + 65
+	regs := Compare(base, report(leaky), DefaultTolerance())
+	if len(regs) != 1 || !strings.Contains(regs[0], "goroutines") {
+		t.Fatalf("want goroutine leak finding, got %v", regs)
+	}
+}
+
+func TestMergeBestKeepsFastestAndWidensNoise(t *testing.T) {
+	a := report(row("cache-hit", "wire", 80000, 30))
+	b := report(row("cache-hit", "wire", 100000, 25))
+	m := MergeBest(a, b)
+	if len(m.Results) != 1 {
+		t.Fatalf("want 1 merged row, got %d", len(m.Results))
+	}
+	r := m.Results[0]
+	if r.PktsPerSec != 100000 {
+		t.Fatalf("merged throughput = %v, want the faster attempt's", r.PktsPerSec)
+	}
+	if r.AllocsPerOp != 25 {
+		t.Fatalf("merged allocs = %v, want the lower attempt's", r.AllocsPerOp)
+	}
+	// 80k vs 100k is 20% drift; the merged noise must cover it.
+	if r.NoisePkts < 0.19 {
+		t.Fatalf("merged noise %v does not cover the observed 20%% drift", r.NoisePkts)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := report(row("cache-hit", "wire", 100000, 20), row("failover", "sim", 500000, 6))
+	in.Quick = true
+	if err := in.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || !out.Quick || out.Seed != 42 {
+		t.Fatalf("round trip mangled report: %+v", out)
+	}
+	if regs := Compare(in, out, DefaultTolerance()); len(regs) != 0 {
+		t.Fatalf("report must compare clean against itself, got %v", regs)
+	}
+}
+
+// TestHarnessSmoke runs a miniature end-to-end matrix: every backend,
+// every workload, tiny trace — asserting each produced row did real work.
+func TestHarnessSmoke(t *testing.T) {
+	cfg := Config{
+		Seed: 7, Switches: 4, Rules: 16, Flows: 60, Horizon: 10, Reps: 1,
+		Backends:  AllBackends(),
+		Workloads: AllWorkloads(),
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// failover is skipped on the baseline (no authorities to kill).
+	want := len(cfg.Backends)*len(cfg.Workloads) - 1
+	if len(rep.Results) != want {
+		t.Fatalf("got %d rows, want %d: %s", len(rep.Results), want, rep.Render())
+	}
+	for _, r := range rep.Results {
+		if r.Packets == 0 || r.PktsPerSec <= 0 {
+			t.Fatalf("%s/%s did no work: %+v", r.Workload, r.Backend, r)
+		}
+		if r.Delivered == 0 {
+			t.Fatalf("%s/%s delivered nothing", r.Workload, r.Backend)
+		}
+	}
+}

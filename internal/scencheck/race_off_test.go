@@ -1,0 +1,5 @@
+//go:build !race
+
+package scencheck
+
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package scencheck
+
+// raceEnabled steers test defaults: the race detector slows the
+// differential sweep ~10×, so TestDifferential trims its default seed
+// count to stay inside go test's per-package timeout. An explicit
+// -seeds flag still wins (CI's differential job runs -race -seeds 32
+// -timeout 20m).
+const raceEnabled = true

@@ -12,10 +12,20 @@ import (
 )
 
 var (
-	seedCount = flag.Int("seeds", 64, "number of scenario seeds TestDifferential sweeps")
+	seedCount = flag.Int("seeds", defaultSeedCount(), "number of scenario seeds TestDifferential sweeps")
 	oneSeed   = flag.Int64("seed", -1, "replay a single scenario seed (repro mode)")
 	artifacts = flag.String("artifacts", "", "directory to write failing-seed reports into")
 )
+
+// defaultSeedCount trims the sweep under the race detector (~10× slower
+// per seed) so a plain `go test -race ./...` fits the per-package
+// timeout; pass -seeds explicitly for bigger race sweeps.
+func defaultSeedCount() int {
+	if raceEnabled {
+		return 16
+	}
+	return 64
+}
 
 // TestDifferential sweeps seeded scenarios through all three deployments
 // and diffs every packet verdict against the reference oracle, plus the
@@ -113,6 +123,34 @@ func TestReplayDeterministic(t *testing.T) {
 		if !reflect.DeepEqual(r1.SimMeasurements, r2.SimMeasurements) {
 			t.Fatalf("seed %d: sim measurements differ between runs", seed)
 		}
+	}
+}
+
+// TestParallelSeedDeterminism re-runs seeds concurrently (t.Parallel())
+// and requires each seed's traces and terminal accounting to be identical
+// across the two runs. TestReplayDeterministic already pins this serially;
+// running the seeds in parallel additionally proves the harness carries no
+// shared mutable state between concurrent replays — a leak would show up
+// as cross-seed nondeterminism here long before it corrupted a real sweep.
+func TestParallelSeedDeterminism(t *testing.T) {
+	opt := Options{Modes: []string{ModeSim, ModeBaseline}}
+	for _, seed := range []int64{2, 5, 9, 13, 17, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r1 := CheckSeed(seed, DefaultConfig(), opt)
+			r2 := CheckSeed(seed, DefaultConfig(), opt)
+			if r1.Failed() || r2.Failed() {
+				t.Fatalf("seed %d failed outright:\n%s%s", seed, r1.Report(), r2.Report())
+			}
+			if !reflect.DeepEqual(r1.Traces, r2.Traces) {
+				t.Fatalf("seed %d: traces differ under parallel replay", seed)
+			}
+			if !reflect.DeepEqual(r1.Finals, r2.Finals) {
+				t.Fatalf("seed %d: final accounting differs under parallel replay: %+v vs %+v",
+					seed, r1.Finals, r2.Finals)
+			}
+		})
 	}
 }
 

@@ -8,21 +8,44 @@ package switchsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"difane/internal/flowspace"
 	"difane/internal/proto"
 	"difane/internal/tcam"
 )
 
-// Stats aggregates a switch's data-plane counters.
+// Stats aggregates a switch's data-plane counters. The fields are atomics
+// so wire mode's concurrent data planes can bump them from the lock-free
+// classification path; single-threaded users (the simulator) pay only an
+// uncontended atomic add.
 type Stats struct {
 	// CacheHits/AuthorityHits/PartitionHits count which table terminated
 	// classification.
+	CacheHits     atomic.Uint64
+	AuthorityHits atomic.Uint64
+	PartitionHits atomic.Uint64
+	// Misses counts packets matching no table (policy holes).
+	Misses atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
 	CacheHits     uint64
 	AuthorityHits uint64
 	PartitionHits uint64
-	// Misses counts packets matching no table (policy holes).
-	Misses uint64
+	Misses        uint64
+}
+
+// Snapshot returns a consistent-enough point-in-time copy (each counter is
+// loaded atomically; the set is not a single linearized cut).
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		CacheHits:     s.CacheHits.Load(),
+		AuthorityHits: s.AuthorityHits.Load(),
+		PartitionHits: s.PartitionHits.Load(),
+		Misses:        s.Misses.Load(),
+	}
 }
 
 // Switch is one switch's rule state.
@@ -79,20 +102,23 @@ type Result struct {
 
 // Classify runs the pipeline: cache, then authority, then partition. The
 // matching table's counters are updated; earlier tables record misses.
+// Classify is safe for concurrent use with rule installs: each table
+// lookup walks an atomically published snapshot (see internal/tcam), so a
+// concurrent FlowMod is observed either fully applied or not at all.
 func (s *Switch) Classify(now float64, k flowspace.Key, size int) Result {
 	if r, ok := s.cache.Lookup(now, k, size); ok {
-		s.Stats.CacheHits++
+		s.Stats.CacheHits.Add(1)
 		return Result{Rule: r, Table: proto.TableCache, OK: true}
 	}
 	if r, ok := s.authority.Lookup(now, k, size); ok {
-		s.Stats.AuthorityHits++
+		s.Stats.AuthorityHits.Add(1)
 		return Result{Rule: r, Table: proto.TableAuthority, OK: true}
 	}
 	if r, ok := s.partition.Lookup(now, k, size); ok {
-		s.Stats.PartitionHits++
+		s.Stats.PartitionHits.Add(1)
 		return Result{Rule: r, Table: proto.TablePartition, OK: true}
 	}
-	s.Stats.Misses++
+	s.Stats.Misses.Add(1)
 	return Result{}
 }
 

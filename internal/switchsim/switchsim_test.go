@@ -46,8 +46,8 @@ func TestPipelineOrder(t *testing.T) {
 	if !res.OK || res.Table != proto.TablePartition || res.Rule.ID != 1 {
 		t.Fatalf("res = %+v", res)
 	}
-	if s.Stats.CacheHits != 1 || s.Stats.PartitionHits != 1 {
-		t.Fatalf("stats = %+v", s.Stats)
+	if s.Stats.CacheHits.Load() != 1 || s.Stats.PartitionHits.Load() != 1 {
+		t.Fatalf("stats = %+v", s.Stats.Snapshot())
 	}
 }
 
@@ -57,8 +57,8 @@ func TestClassifyMiss(t *testing.T) {
 	if res.OK {
 		t.Fatal("empty switch must miss")
 	}
-	if s.Stats.Misses != 1 {
-		t.Fatalf("stats = %+v", s.Stats)
+	if s.Stats.Misses.Load() != 1 {
+		t.Fatalf("stats = %+v", s.Stats.Snapshot())
 	}
 }
 
@@ -69,7 +69,7 @@ func TestPeekDoesNotCount(t *testing.T) {
 	if !res.OK || res.Table != proto.TableAuthority {
 		t.Fatalf("res = %+v", res)
 	}
-	if s.Stats.AuthorityHits != 0 {
+	if s.Stats.AuthorityHits.Load() != 0 {
 		t.Fatal("peek must not count hits")
 	}
 	if !s.Peek(keyPort(80)).OK {

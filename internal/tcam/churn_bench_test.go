@@ -1,0 +1,42 @@
+package tcam
+
+import (
+	"testing"
+
+	"difane/internal/flowspace"
+)
+
+// BenchmarkChurnInterleaved models the reactive-baseline miss storm: every
+// packet installs one rule and then looks up a key, so reads race right
+// behind mutations on a large table. This is the worst case for a
+// copy-on-write snapshot (each op pays a rebuild) and pins the cost of
+// keeping that path acceptable.
+func BenchmarkChurnInterleaved(b *testing.B) {
+	const n = 4096
+	t := New("churn", 0, EvictNone)
+	for i := 0; i < n; i++ {
+		r := flowspace.Rule{
+			ID: uint64(i + 1), Priority: 5,
+			Match:  flowspace.MatchAll().WithExact(flowspace.FIPSrc, uint64(i)),
+			Action: flowspace.Action{Kind: flowspace.ActForward},
+		}
+		if err := t.Insert(0, r, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var k flowspace.Key
+	k[flowspace.FIPSrc] = uint64(n + 1) // always a miss: full-table scan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := flowspace.Rule{
+			ID: uint64(i%n + 1), Priority: 5,
+			Match:  flowspace.MatchAll().WithExact(flowspace.FIPSrc, uint64(i%n)),
+			Action: flowspace.Action{Kind: flowspace.ActForward},
+		}
+		if err := t.Insert(0, r, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		t.Lookup(0, k, 100)
+	}
+}

@@ -5,13 +5,33 @@
 // Time is explicit (float64 seconds) rather than wall clock so the table is
 // deterministic under the discrete-event simulator; the wire-mode prototype
 // feeds it monotonic time converted to seconds.
+//
+// Concurrency: the table is safe for concurrent use with a read-mostly
+// design. Lookups (Lookup, Peek, Len, Entries, Rules, NextExpiry) walk an
+// immutable snapshot published through an atomic pointer and update
+// per-entry counters with atomics, so the data-plane hot path never takes
+// a lock and never contends with rule installs. Mutations (Insert, Delete,
+// DeleteWhere, Advance) serialize on an internal mutex and mark the
+// snapshot dirty. Republishing is adaptive: while mutations keep landing
+// (a bulk policy install, a miss storm churning an exact-match cache),
+// reads scan the live table under the mutex — an O(n) walk either way —
+// instead of paying an O(n) snapshot copy per mutation; once the table
+// quiesces (a dirty read observes no mutation since the previous one),
+// the snapshot is rebuilt, published atomically, and reads go lock-free
+// again. Either way a lookup observes either the complete old table or
+// the complete new one, never a half-applied mutation — the linearization
+// point is the mutex acquisition (churning) or the snapshot publish
+// (quiesced).
 package tcam
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"difane/internal/flowspace"
 )
@@ -20,7 +40,9 @@ import (
 // eviction candidate exists.
 var ErrFull = errors.New("tcam: table full")
 
-// Entry is one installed rule plus its runtime state.
+// Entry is a point-in-time view of one installed rule plus its runtime
+// state, as returned by Entries and passed to OnExpire and DeleteWhere
+// predicates.
 type Entry struct {
 	Rule flowspace.Rule
 
@@ -38,15 +60,45 @@ type Entry struct {
 	lastHit   float64
 }
 
+// entry is the live representation: immutable rule and timeouts, atomic
+// counters so lock-free lookups can update them concurrently.
+type entry struct {
+	rule flowspace.Rule
+
+	idleTimeout float64
+	hardTimeout float64
+	installed   float64
+
+	packets     atomic.Uint64
+	bytes       atomic.Uint64
+	lastHitBits atomic.Uint64 // math.Float64bits of the last-hit time
+}
+
+func (e *entry) lastHit() float64      { return math.Float64frombits(e.lastHitBits.Load()) }
+func (e *entry) setLastHit(at float64) { e.lastHitBits.Store(math.Float64bits(at)) }
+
+// snapshot converts the live entry to its exported point-in-time view.
+func (e *entry) snapshot() Entry {
+	return Entry{
+		Rule:        e.rule,
+		Packets:     e.packets.Load(),
+		Bytes:       e.bytes.Load(),
+		IdleTimeout: e.idleTimeout,
+		HardTimeout: e.hardTimeout,
+		installed:   e.installed,
+		lastHit:     e.lastHit(),
+	}
+}
+
 // expiresAt returns the earliest time the entry can expire, or +inf-ish.
-func (e *Entry) expiresAt() float64 {
+func (e *entry) expiresAt() float64 {
 	const never = 1e30
 	t := never
-	if e.IdleTimeout > 0 && e.lastHit+e.IdleTimeout < t {
-		t = e.lastHit + e.IdleTimeout
+	if e.idleTimeout > 0 && e.lastHit()+e.idleTimeout < t {
+		t = e.lastHit() + e.idleTimeout
 	}
-	if e.HardTimeout > 0 && e.installed+e.HardTimeout < t {
-		t = e.installed + e.HardTimeout
+	if e.hardTimeout > 0 && e.installed+e.hardTimeout < t {
+		t = e.installed + e.hardTimeout
 	}
 	return t
 }
@@ -63,42 +115,125 @@ const (
 	EvictLFU
 )
 
-// Table is a TCAM-semantics rule table. It is not safe for concurrent use;
-// callers in the wire prototype serialize access per switch.
+// Table is a TCAM-semantics rule table with a lock-free lookup path and
+// mutex-serialized mutations (see the package comment for the model).
 type Table struct {
 	name     string
 	capacity int // 0 = unlimited
 	policy   EvictionPolicy
 
-	entries []*Entry // kept in TCAM order: highest priority first
-	byID    map[uint64]*Entry
+	// mu serializes mutations. entries and byID are owned by mu; view is
+	// the immutable snapshot the lock-free read path walks. Mutations set
+	// dirty instead of rebuilding the snapshot inline, so bulk installs
+	// stay O(1) per rule; reads that land while dirty scan entries under
+	// mu, and the snapshot republishes only once mutations quiesce
+	// (maybeRepublishLocked) — version counts mutations and lastDirtyRead
+	// remembers the version the previous dirty read saw, both owned by mu.
+	mu            sync.Mutex
+	entries       []*entry // kept in TCAM order: highest priority first
+	byID          map[uint64]*entry
+	version       uint64
+	lastDirtyRead uint64
+	view          atomic.Pointer[[]viewEntry]
+	dirty         atomic.Bool
 
 	// OnExpire, if non-nil, is invoked for each entry removed by Advance.
+	// Set it before the table is shared across goroutines.
 	OnExpire func(Entry)
 
 	// Misses counts lookups that matched no entry.
-	Misses uint64
+	Misses atomic.Uint64
 	// Hits counts lookups that matched an entry.
-	Hits uint64
+	Hits atomic.Uint64
 	// Evictions counts capacity evictions.
-	Evictions uint64
+	Evictions atomic.Uint64
 }
 
 // New returns an empty table. capacity 0 means unlimited.
 func New(name string, capacity int, policy EvictionPolicy) *Table {
-	return &Table{
+	t := &Table{
 		name:     name,
 		capacity: capacity,
 		policy:   policy,
-		byID:     make(map[uint64]*Entry),
+		byID:     make(map[uint64]*entry),
 	}
+	t.publishLocked()
+	return t
+}
+
+// viewEntry is one slot of the published read snapshot: the match is
+// inlined so a lookup scans contiguous memory instead of chasing an entry
+// pointer per rule — a miss walks the whole table, so scan locality sets
+// the miss path's cost — and the entry pointer is touched only on a hit.
+type viewEntry struct {
+	match flowspace.Match
+	e     *entry
+}
+
+// publishLocked rebuilds the read snapshot from entries. Callers hold mu
+// (or, in New, exclusive ownership).
+func (t *Table) publishLocked() {
+	v := make([]viewEntry, len(t.entries))
+	for i, e := range t.entries {
+		v[i] = viewEntry{match: e.rule.Match, e: e}
+	}
+	t.view.Store(&v)
+	t.dirty.Store(false)
+}
+
+// markDirtyLocked records one mutation: the published snapshot is stale
+// and the quiescence clock restarts. Callers hold mu.
+func (t *Table) markDirtyLocked() {
+	t.version++
+	t.dirty.Store(true)
+}
+
+// maybeRepublishLocked decides, on a read that found the snapshot dirty,
+// whether the table has quiesced. It republishes (and reports true) only
+// when no mutation has landed since the previous dirty read — rebuilding
+// mid-churn would pay an O(n) snapshot copy per mutation, which is what
+// this scheme exists to avoid. Reporting false means the caller should
+// scan t.entries under mu instead. Callers hold mu.
+func (t *Table) maybeRepublishLocked() bool {
+	if !t.dirty.Load() {
+		return true // raced with another reader's republish
+	}
+	if t.version == t.lastDirtyRead {
+		t.publishLocked()
+		return true
+	}
+	t.lastDirtyRead = t.version
+	return false
+}
+
+// loadView returns the current immutable snapshot, or nil when the table
+// is churning — mutations are still landing, so the caller must scan
+// t.entries under mu (loadView leaves mu held in that case; it returns
+// with mu released otherwise). The dirty fast path keeps steady-state
+// reads lock-free: the mutex is touched only by reads racing a mutation.
+func (t *Table) loadView() ([]viewEntry, bool) {
+	if !t.dirty.Load() {
+		return *t.view.Load(), true
+	}
+	t.mu.Lock()
+	if t.maybeRepublishLocked() {
+		t.mu.Unlock()
+		return *t.view.Load(), true
+	}
+	return nil, false
 }
 
 // Name returns the table's diagnostic name.
 func (t *Table) Name() string { return t.name }
 
 // Len returns the number of installed entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int {
+	if view, ok := t.loadView(); ok {
+		return len(view)
+	}
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
 
 // Capacity returns the entry limit (0 = unlimited).
 func (t *Table) Capacity() int { return t.capacity }
@@ -108,65 +243,78 @@ func (t *Table) Capacity() int { return t.capacity }
 // the table is full the eviction policy picks a victim; with EvictNone the
 // insert fails with ErrFull.
 func (t *Table) Insert(now float64, r flowspace.Rule, idle, hard float64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if old, ok := t.byID[r.ID]; ok {
-		t.removeEntry(old)
+		t.removeEntryLocked(old)
 	}
 	if t.capacity > 0 && len(t.entries) >= t.capacity {
 		if t.policy == EvictNone {
+			t.markDirtyLocked()
 			return ErrFull
 		}
-		victim := t.pickVictim()
+		victim := t.pickVictimLocked()
 		if victim == nil {
+			t.markDirtyLocked()
 			return ErrFull
 		}
-		t.removeEntry(victim)
-		t.Evictions++
+		t.removeEntryLocked(victim)
+		t.Evictions.Add(1)
 	}
-	e := &Entry{
-		Rule:        r,
-		IdleTimeout: idle,
-		HardTimeout: hard,
+	e := &entry{
+		rule:        r,
+		idleTimeout: idle,
+		hardTimeout: hard,
 		installed:   now,
-		lastHit:     now,
 	}
+	e.setLastHit(now)
 	// Insert preserving TCAM order.
 	i := sort.Search(len(t.entries), func(i int) bool {
-		return !t.entries[i].Rule.Before(r)
+		return !t.entries[i].rule.Before(r)
 	})
 	t.entries = append(t.entries, nil)
 	copy(t.entries[i+1:], t.entries[i:])
 	t.entries[i] = e
 	t.byID[r.ID] = e
+	t.markDirtyLocked()
 	return nil
 }
 
 // Delete removes the rule with the given ID, reporting whether it existed.
 func (t *Table) Delete(id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	e, ok := t.byID[id]
 	if !ok {
 		return false
 	}
-	t.removeEntry(e)
+	t.removeEntryLocked(e)
+	t.markDirtyLocked()
 	return true
 }
 
 // DeleteWhere removes all entries for which pred returns true and returns
 // how many were removed.
 func (t *Table) DeleteWhere(pred func(Entry) bool) int {
-	var victims []*Entry
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var victims []*entry
 	for _, e := range t.entries {
-		if pred(*e) {
+		if pred(e.snapshot()) {
 			victims = append(victims, e)
 		}
 	}
 	for _, e := range victims {
-		t.removeEntry(e)
+		t.removeEntryLocked(e)
+	}
+	if len(victims) > 0 {
+		t.markDirtyLocked()
 	}
 	return len(victims)
 }
 
-func (t *Table) removeEntry(e *Entry) {
-	delete(t.byID, e.Rule.ID)
+func (t *Table) removeEntryLocked(e *entry) {
+	delete(t.byID, e.rule.ID)
 	for i, x := range t.entries {
 		if x == e {
 			t.entries = append(t.entries[:i], t.entries[i+1:]...)
@@ -175,29 +323,29 @@ func (t *Table) removeEntry(e *Entry) {
 	}
 }
 
-// pickVictim returns the entry to evict under a total order, so eviction
-// is deterministic: LRU orders by (lastHit, packets, ID) ascending, LFU by
-// (packets, lastHit, ID) ascending.
-func (t *Table) pickVictim() *Entry {
-	var victim *Entry
-	better := func(a, b *Entry) bool {
+// pickVictimLocked returns the entry to evict under a total order, so
+// eviction is deterministic: LRU orders by (lastHit, packets, ID)
+// ascending, LFU by (packets, lastHit, ID) ascending.
+func (t *Table) pickVictimLocked() *entry {
+	var victim *entry
+	better := func(a, b *entry) bool {
 		switch t.policy {
 		case EvictLRU:
-			if a.lastHit != b.lastHit {
-				return a.lastHit < b.lastHit
+			if ah, bh := a.lastHit(), b.lastHit(); ah != bh {
+				return ah < bh
 			}
-			if a.Packets != b.Packets {
-				return a.Packets < b.Packets
+			if ap, bp := a.packets.Load(), b.packets.Load(); ap != bp {
+				return ap < bp
 			}
 		case EvictLFU:
-			if a.Packets != b.Packets {
-				return a.Packets < b.Packets
+			if ap, bp := a.packets.Load(), b.packets.Load(); ap != bp {
+				return ap < bp
 			}
-			if a.lastHit != b.lastHit {
-				return a.lastHit < b.lastHit
+			if ah, bh := a.lastHit(), b.lastHit(); ah != bh {
+				return ah < bh
 			}
 		}
-		return a.Rule.ID < b.Rule.ID
+		return a.rule.ID < b.rule.ID
 	}
 	for _, e := range t.entries {
 		if victim == nil || better(e, victim) {
@@ -208,26 +356,54 @@ func (t *Table) pickVictim() *Entry {
 }
 
 // Lookup returns the highest-priority entry matching k, updating counters
-// with the packet's size, and false on a miss.
+// with the packet's size, and false on a miss. In steady state it is
+// lock-free: it walks the published snapshot and touches only atomic
+// counters, so it never contends with concurrent installs. While installs
+// are churning it scans the live table under the mutex instead (see the
+// package comment).
 func (t *Table) Lookup(now float64, k flowspace.Key, size int) (flowspace.Rule, bool) {
+	if view, ok := t.loadView(); ok {
+		for i := range view {
+			if view[i].match.Matches(k) {
+				return t.hit(view[i].e, now, size), true
+			}
+		}
+		t.Misses.Add(1)
+		return flowspace.Rule{}, false
+	}
+	defer t.mu.Unlock()
 	for _, e := range t.entries {
-		if e.Rule.Match.Matches(k) {
-			e.Packets++
-			e.Bytes += uint64(size)
-			e.lastHit = now
-			t.Hits++
-			return e.Rule, true
+		if e.rule.Match.Matches(k) {
+			return t.hit(e, now, size), true
 		}
 	}
-	t.Misses++
+	t.Misses.Add(1)
 	return flowspace.Rule{}, false
+}
+
+// hit applies a matched entry's counter updates.
+func (t *Table) hit(e *entry, now float64, size int) flowspace.Rule {
+	e.packets.Add(1)
+	e.bytes.Add(uint64(size))
+	e.setLastHit(now)
+	t.Hits.Add(1)
+	return e.rule
 }
 
 // Peek is Lookup without counter updates — for analysis passes.
 func (t *Table) Peek(k flowspace.Key) (flowspace.Rule, bool) {
+	if view, ok := t.loadView(); ok {
+		for i := range view {
+			if view[i].match.Matches(k) {
+				return view[i].e.rule, true
+			}
+		}
+		return flowspace.Rule{}, false
+	}
+	defer t.mu.Unlock()
 	for _, e := range t.entries {
-		if e.Rule.Match.Matches(k) {
-			return e.Rule, true
+		if e.rule.Match.Matches(k) {
+			return e.rule, true
 		}
 	}
 	return flowspace.Rule{}, false
@@ -236,16 +412,23 @@ func (t *Table) Peek(k flowspace.Key) (flowspace.Rule, bool) {
 // Advance expires entries whose idle or hard timeout has passed by time
 // now, invoking OnExpire for each.
 func (t *Table) Advance(now float64) {
-	var expired []*Entry
+	t.mu.Lock()
+	var expired []*entry
 	for _, e := range t.entries {
 		if e.expiresAt() <= now {
 			expired = append(expired, e)
 		}
 	}
 	for _, e := range expired {
-		t.removeEntry(e)
-		if t.OnExpire != nil {
-			t.OnExpire(*e)
+		t.removeEntryLocked(e)
+	}
+	if len(expired) > 0 {
+		t.markDirtyLocked()
+	}
+	t.mu.Unlock()
+	if t.OnExpire != nil {
+		for _, e := range expired {
+			t.OnExpire(e.snapshot())
 		}
 	}
 }
@@ -255,7 +438,7 @@ func (t *Table) Advance(now float64) {
 func (t *Table) NextExpiry() (float64, bool) {
 	const never = 1e30
 	best := never
-	for _, e := range t.entries {
+	for _, e := range t.liveEntries() {
 		if at := e.expiresAt(); at < best {
 			best = at
 		}
@@ -263,40 +446,62 @@ func (t *Table) NextExpiry() (float64, bool) {
 	return best, best < never
 }
 
+// liveEntries returns the current entry set for a cold-path read: the
+// published snapshot's entries when clean, or a copy taken under mu while
+// churning (a copy, so the caller can iterate without holding the lock).
+func (t *Table) liveEntries() []*entry {
+	if view, ok := t.loadView(); ok {
+		out := make([]*entry, len(view))
+		for i := range view {
+			out[i] = view[i].e
+		}
+		return out
+	}
+	out := make([]*entry, len(t.entries))
+	copy(out, t.entries)
+	t.mu.Unlock()
+	return out
+}
+
 // Entries returns a snapshot of the entries in TCAM order.
 func (t *Table) Entries() []Entry {
-	out := make([]Entry, len(t.entries))
-	for i, e := range t.entries {
-		out[i] = *e
+	live := t.liveEntries()
+	out := make([]Entry, len(live))
+	for i, e := range live {
+		out[i] = e.snapshot()
 	}
 	return out
 }
 
 // Counters returns the packet/byte counters for rule id.
 func (t *Table) Counters(id uint64) (packets, bytes uint64, ok bool) {
+	t.mu.Lock()
 	e, found := t.byID[id]
+	t.mu.Unlock()
 	if !found {
 		return 0, 0, false
 	}
-	return e.Packets, e.Bytes, true
+	return e.packets.Load(), e.bytes.Load(), true
 }
 
 // Rules returns the installed rules in TCAM order.
 func (t *Table) Rules() []flowspace.Rule {
-	out := make([]flowspace.Rule, len(t.entries))
-	for i, e := range t.entries {
-		out[i] = e.Rule
+	live := t.liveEntries()
+	out := make([]flowspace.Rule, len(live))
+	for i, e := range live {
+		out[i] = e.rule
 	}
 	return out
 }
 
 // String renders a small diagnostic dump.
 func (t *Table) String() string {
+	live := t.liveEntries()
 	var b strings.Builder
 	fmt.Fprintf(&b, "table %s (%d/%d entries, %d hits, %d misses)\n",
-		t.name, len(t.entries), t.capacity, t.Hits, t.Misses)
-	for _, e := range t.entries {
-		fmt.Fprintf(&b, "  %v pkts=%d\n", e.Rule, e.Packets)
+		t.name, len(live), t.capacity, t.Hits.Load(), t.Misses.Load())
+	for _, e := range live {
+		fmt.Fprintf(&b, "  %v pkts=%d\n", e.rule, e.packets.Load())
 	}
 	return b.String()
 }

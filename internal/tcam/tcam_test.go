@@ -36,8 +36,8 @@ func TestInsertLookupPriority(t *testing.T) {
 	if !ok || got.ID != 2 {
 		t.Fatalf("fallthrough lookup: got %v ok=%v", got, ok)
 	}
-	if tb.Hits != 2 || tb.Misses != 0 {
-		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	if tb.Hits.Load() != 2 || tb.Misses.Load() != 0 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits.Load(), tb.Misses.Load())
 	}
 }
 
@@ -54,8 +54,8 @@ func TestLookupMissCounts(t *testing.T) {
 	if _, ok := tb.Lookup(0, keyPort(22), 64); ok {
 		t.Fatal("lookup must miss")
 	}
-	if tb.Misses != 1 {
-		t.Fatalf("misses = %d", tb.Misses)
+	if tb.Misses.Load() != 1 {
+		t.Fatalf("misses = %d", tb.Misses.Load())
 	}
 }
 
@@ -137,8 +137,8 @@ func TestCapacityEvictLRU(t *testing.T) {
 	if _, _, ok := tb.Counters(1); !ok {
 		t.Fatal("rule 1 must survive")
 	}
-	if tb.Evictions != 1 {
-		t.Fatalf("evictions = %d", tb.Evictions)
+	if tb.Evictions.Load() != 1 {
+		t.Fatalf("evictions = %d", tb.Evictions.Load())
 	}
 }
 
@@ -212,7 +212,7 @@ func TestPeekDoesNotTouchCounters(t *testing.T) {
 		t.Fatal("peek must find the rule")
 	}
 	pkts, _, _ := tb.Counters(1)
-	if pkts != 0 || tb.Hits != 0 {
+	if pkts != 0 || tb.Hits.Load() != 0 {
 		t.Fatal("peek must not update counters")
 	}
 }

@@ -26,6 +26,8 @@ type ClusterConfig struct {
 	// UseTCP runs the control plane over loopback TCP sockets instead of
 	// in-process pipes, exercising real kernel socket framing.
 	UseTCP bool
+	// Data tunes the data-plane fabric carrying frames between switches.
+	Data DataFabricConfig
 	// Heartbeat tunes the controller↔switch failure detector.
 	Heartbeat HeartbeatConfig
 	// Retry bounds control-plane retries: reconnect backoff and FlowMod
@@ -39,6 +41,34 @@ type ClusterConfig struct {
 
 	// trans overrides the control transport (tests only).
 	trans transport
+}
+
+// DataFabricConfig selects how data frames travel between switches.
+// The default is direct in-process queue handoff; UseTCP switches to real
+// loopback-TCP connections with write batching, so redirects and tunneled
+// deliveries amortize syscalls instead of paying one write per frame.
+type DataFabricConfig struct {
+	// UseTCP carries inter-switch data frames over per-pair loopback TCP
+	// connections with a batching writer: the first frame of a batch wakes
+	// the connection's writer immediately, and frames arriving while a
+	// write is in flight coalesce into the next batch.
+	UseTCP bool
+	// FlushInterval is the safety-net flush period bounding how long a
+	// batched frame can wait if a wakeup is lost (default 200µs).
+	FlushInterval time.Duration
+	// FlushBytes sizes each connection's retained batch buffer; larger
+	// batches still go out whole, but their buffers are released afterward
+	// instead of pinning the burst's high-water mark (default 16 KiB).
+	FlushBytes int
+}
+
+func (d *DataFabricConfig) applyDefaults() {
+	if d.FlushInterval <= 0 {
+		d.FlushInterval = 200 * time.Microsecond
+	}
+	if d.FlushBytes <= 0 {
+		d.FlushBytes = 16 << 10
+	}
 }
 
 // HeartbeatConfig tunes the heartbeat-based failure detector between the
@@ -188,5 +218,6 @@ func (cfg *ClusterConfig) Validate() error {
 	cfg.Heartbeat.applyDefaults()
 	cfg.Retry.applyDefaults()
 	cfg.Overload.applyDefaults()
+	cfg.Data.applyDefaults()
 	return nil
 }

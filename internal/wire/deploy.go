@@ -40,6 +40,12 @@ const injectDeadline = time.Second
 // packets toward killed switches or past the deadline are recorded lost.
 func (d *Deployment) InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
 	h := packet.HeaderFromKey(k)
+	// Fast path first: the deadline clock read is paid only under
+	// backpressure.
+	if d.C.tryInject(ingress, h, size) {
+		d.injected.Add(1)
+		return
+	}
 	deadline := time.Now().Add(injectDeadline)
 	for {
 		if d.C.tryInject(ingress, h, size) {
@@ -48,7 +54,7 @@ func (d *Deployment) InjectPacket(at float64, ingress uint32, k flowspace.Key, s
 		}
 		n, ok := d.C.switches[ingress]
 		if !ok || n.killed.Load() || d.C.closed.Load() || time.Now().After(deadline) {
-			d.C.drop(dropUnreachable)
+			d.C.drop(d.C.ext, dropUnreachable)
 			d.injected.Add(1)
 			return
 		}

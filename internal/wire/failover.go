@@ -88,9 +88,7 @@ func (c *Cluster) markDead(n *node) {
 	}
 	n.deadAt.Store(time.Now().UnixNano())
 	c.clearPending(n.id)
-	c.mMu.Lock()
-	c.m.AuthorityDeaths++
-	c.mMu.Unlock()
+	c.cold.authorityDeaths.Add(1)
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -169,9 +167,7 @@ func (c *Cluster) promoteBackups(dead uint32) {
 		}
 	}
 	if promoted {
-		c.mMu.Lock()
-		c.m.FailoversPromoted += uint64(len(mods))
-		c.mMu.Unlock()
+		c.cold.failoversPromoted.Add(uint64(len(mods)))
 	}
 }
 

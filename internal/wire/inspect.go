@@ -17,9 +17,7 @@ func (c *Cluster) TableRules(sw uint32, t proto.Table) []flowspace.Rule {
 	if !ok {
 		return nil
 	}
-	n.mu.Lock()
 	rules := n.sw.Table(t).Rules()
-	n.mu.Unlock()
 	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
 	return rules
 }

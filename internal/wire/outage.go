@@ -18,9 +18,7 @@ func (c *Cluster) KillController() bool {
 	if !c.ctrlDown.CompareAndSwap(false, true) {
 		return false
 	}
-	c.mMu.Lock()
-	c.m.ControllerOutages++
-	c.mMu.Unlock()
+	c.cold.controllerOutages.Add(1)
 	for _, n := range c.switches {
 		n.closeConns()
 	}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"difane/internal/core"
+	"difane/internal/metrics"
+)
+
+// Measurement sharding: the wire data plane used to funnel every delivery
+// and drop through one cluster-wide mutex, serializing all switches'
+// packet handling on a single lock. Instead, each node now owns a
+// nodeStats shard (plus one extra shard for injection-path accounting
+// outside any node goroutine): the hot path touches only its own shard's
+// atomics, and Measurements() merges the shards into one
+// core.Measurements snapshot on read. The latency distributions need a
+// slice append, so they sit behind a per-shard mutex — effectively
+// single-writer, since a node's deliveries all happen on its own data
+// goroutine.
+
+// nodeStats is one shard of the cluster's hot-path measurement state.
+// Each shard is separately heap-allocated so different nodes' counters
+// do not share cache lines.
+type nodeStats struct {
+	delivered         atomic.Uint64
+	setupsCompleted   atomic.Uint64
+	dropPolicy        atomic.Uint64
+	dropHole          atomic.Uint64
+	dropQueue         atomic.Uint64
+	dropUnreachable   atomic.Uint64
+	dropRedirectShed  atomic.Uint64
+	cacheInstallsShed atomic.Uint64
+	failoversLocal    atomic.Uint64
+
+	// latMu guards the latency distributions (slice appends). Uncontended
+	// in steady state: only the owning node's data goroutine records
+	// deliveries, and readers clone under the lock.
+	latMu      sync.Mutex
+	firstDelay metrics.Dist
+	laterDelay metrics.Dist
+}
+
+// recordDelivery records one delivered packet's latency (seconds).
+func (s *nodeStats) recordDelivery(latSec float64, detour bool) {
+	s.latMu.Lock()
+	if detour {
+		s.firstDelay.Add(latSec)
+	} else {
+		s.laterDelay.Add(latSec)
+	}
+	s.latMu.Unlock()
+	if detour {
+		s.setupsCompleted.Add(1)
+	}
+	s.delivered.Add(1)
+}
+
+// mergeInto folds the shard into a cluster-wide snapshot.
+func (s *nodeStats) mergeInto(m *core.Measurements) {
+	m.Delivered += s.delivered.Load()
+	m.SetupsCompleted += s.setupsCompleted.Load()
+	m.Drops.Policy += s.dropPolicy.Load()
+	m.Drops.Hole += s.dropHole.Load()
+	m.Drops.AuthorityQueue += s.dropQueue.Load()
+	m.Drops.Unreachable += s.dropUnreachable.Load()
+	m.Drops.RedirectShed += s.dropRedirectShed.Load()
+	m.CacheInstallsShed += s.cacheInstallsShed.Load()
+	m.FailoversLocal += s.failoversLocal.Load()
+
+	s.latMu.Lock()
+	first := s.firstDelay.Clone()
+	later := s.laterDelay.Clone()
+	s.latMu.Unlock()
+	m.FirstPacketDelay.Merge(&first)
+	m.LaterPacketDelay.Merge(&later)
+}
+
+// coldStats holds the control-plane counters: rare events (deaths,
+// reconnects, outages) that never sit on the packet path, kept as plain
+// cluster-wide atomics.
+type coldStats struct {
+	authorityDeaths       atomic.Uint64
+	failoversPromoted     atomic.Uint64
+	controlReconnects     atomic.Uint64
+	controllerOutages     atomic.Uint64
+	outageBuffered        atomic.Uint64
+	outageDrained         atomic.Uint64
+	outageDropped         atomic.Uint64
+	staleInstallsRejected atomic.Uint64
+}
+
+// mergeInto folds the cold counters into a snapshot.
+func (s *coldStats) mergeInto(m *core.Measurements) {
+	m.AuthorityDeaths += s.authorityDeaths.Load()
+	m.FailoversPromoted += s.failoversPromoted.Load()
+	m.ControlReconnects += s.controlReconnects.Load()
+	m.ControllerOutages += s.controllerOutages.Load()
+	m.OutageBuffered += s.outageBuffered.Load()
+	m.OutageDrained += s.outageDrained.Load()
+	m.OutageDropped += s.outageDropped.Load()
+	m.StaleInstallsRejected += s.staleInstallsRejected.Load()
+}

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+)
+
+// TestMeasurementsMergeIdentity floods an 8-switch cluster from concurrent
+// injectors on every ingress while readers snapshot Measurements() mid-run,
+// then checks the merged shards against the scencheck accounting identity:
+// every injected packet is accounted exactly once across delivered and the
+// drop buckets, and the latency distributions carry exactly one sample per
+// delivered packet. A lost or double-counted update in the per-node shard
+// merge would break the identity.
+func TestMeasurementsMergeIdentity(t *testing.T) {
+	const (
+		injectors = 8
+		perInj    = 500
+	)
+	c, err := NewCluster(ClusterConfig{
+		Switches:    []uint32{0, 1, 2, 3, 4, 5, 6, 7},
+		Authorities: []uint32{2, 5},
+		Policy:      testPolicy(),
+		Strategy:    core.StrategyExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	d := Deploy(c)
+
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() { // concurrent snapshot readers: merge must be safe and monotone
+			defer readers.Done()
+			var lastDelivered uint64
+			for !stop.Load() {
+				m := d.Measurements()
+				if m.Delivered < lastDelivered {
+					t.Error("Delivered went backwards across snapshots")
+					return
+				}
+				lastDelivered = m.Delivered
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < injectors; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ports := [3]uint64{80, 22, 443} // forward, policy-drop, catch-all
+			for i := 0; i < perInj; i++ {
+				var k flowspace.Key
+				k[flowspace.FIPSrc] = uint64(g)<<16 | uint64(i%37)
+				k[flowspace.FTPDst] = ports[i%len(ports)]
+				d.InjectPacket(0, uint32(g), k, 100, 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.Run(30)
+	stop.Store(true)
+	readers.Wait()
+
+	m := d.Measurements()
+	accounted := m.Delivered + m.Drops.Policy + m.Drops.Hole +
+		m.Drops.AuthorityQueue + m.Drops.RedirectShed + m.Drops.Unreachable
+	if want := uint64(injectors * perInj); accounted != want {
+		t.Fatalf("accounting identity broken: injected %d, accounted %d (%+v)",
+			want, accounted, m.Drops)
+	}
+	if samples := uint64(m.FirstPacketDelay.N() + m.LaterPacketDelay.N()); samples != m.Delivered {
+		t.Fatalf("latency samples = %d, delivered = %d: shard merge lost or duplicated samples",
+			samples, m.Delivered)
+	}
+}

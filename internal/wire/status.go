@@ -49,16 +49,16 @@ func (c *Cluster) Status() Status {
 	}
 	for _, id := range ids {
 		n := c.switches[id]
-		n.mu.Lock()
+		stats := n.sw.Stats.Snapshot()
 		ss := SwitchStatus{
 			ID:             id,
 			CacheEntries:   n.sw.Table(proto.TableCache).Len(),
 			AuthorityRules: n.sw.Table(proto.TableAuthority).Len(),
 			PartitionRules: n.sw.Table(proto.TablePartition).Len(),
-			CacheHits:      n.sw.Stats.CacheHits,
-			AuthorityHits:  n.sw.Stats.AuthorityHits,
-			PartitionHits:  n.sw.Stats.PartitionHits,
-			Misses:         n.sw.Stats.Misses,
+			CacheHits:      stats.CacheHits,
+			AuthorityHits:  stats.AuthorityHits,
+			PartitionHits:  stats.PartitionHits,
+			Misses:         stats.Misses,
 			QueueDepth:     len(n.data),
 			PeakQueueDepth: int(n.peakQueue.Load()),
 			OutboxLen:      len(n.outbox),
@@ -67,7 +67,6 @@ func (c *Cluster) Status() Status {
 			Alive:          n.alive.Load(),
 			Killed:         n.killed.Load(),
 		}
-		n.mu.Unlock()
 		st.Switches = append(st.Switches, ss)
 	}
 	return st

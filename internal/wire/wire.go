@@ -50,8 +50,13 @@ type Cluster struct {
 	injected  atomic.Uint64
 	completed atomic.Uint64
 
-	mMu sync.Mutex
-	m   core.Measurements
+	// ext is the measurement shard for accounting that happens outside
+	// any node's data goroutine (injection-path drops); every node carries
+	// its own shard (node.stats). cold holds the rare control-plane
+	// counters. Measurements() merges all of them — the data plane never
+	// takes a cluster-wide lock.
+	ext  *nodeStats
+	cold coldStats
 
 	// pendMu guards pending: per authority switch, the send time of the
 	// oldest redirect its data plane has not yet acknowledged (by
@@ -65,6 +70,10 @@ type Cluster struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	trans  transport
+	// fabric, when non-nil, carries inter-switch data frames over batched
+	// loopback-TCP connections (cfg.Data.UseTCP) instead of direct queue
+	// handoff.
+	fabric *tcpFabric
 
 	// epoch is the controller's fencing token. Every FlowMod the
 	// controller sends is stamped with it; switches reject installs whose
@@ -84,10 +93,18 @@ type Cluster struct {
 // connection.
 type node struct {
 	id uint32
+	// mu serializes the node's authority-side miss handling (HandleMiss
+	// mutates Authority state). The switch tables themselves are
+	// concurrency-safe (internal/tcam publishes copy-on-write snapshots),
+	// so classification and FlowMod installs take no node lock at all.
 	mu sync.Mutex
 	sw *switchsim.Switch
 
 	auths []*core.Authority
+
+	// stats is this node's measurement shard; the hot path records
+	// deliveries and drops here without touching any other node's state.
+	stats *nodeStats
 
 	data chan dataFrame
 
@@ -129,6 +146,12 @@ type node struct {
 	// peakQueue tracks the high-water mark of the data queue.
 	peakQueue atomic.Int64
 
+	// installQ feeds the node's install writer: cache installs queued by
+	// the authority data plane, written toward the controller by one
+	// dedicated goroutine instead of a spawn per miss. Overflow sheds the
+	// install (counted), never the packet.
+	installQ chan proto.Message
+
 	// outbox buffers controller-bound events while the controller is
 	// unreachable; it drains when heartbeats resume.
 	outbox chan proto.Message
@@ -138,10 +161,22 @@ type node struct {
 	installTB  *metrics.TokenBucket
 }
 
+// dataFrame is one packet in flight between switches. In-process handoff
+// carries the parsed packet by value — a switch parses a packet once at a
+// real network boundary (injection, or the TCP data fabric's receive side)
+// and forwards the parsed form, the way a software switch carries parsed
+// metadata through its pipeline instead of re-serializing per hop. Wire
+// encoding happens only where bytes genuinely cross a transport: the
+// batched TCP data fabric. Each hop owns its copy of the frame, so
+// handling may mutate pkt freely (encapsulate/decapsulate) without
+// cloning; the Encap pointee is never mutated after a frame is sent.
 type dataFrame struct {
-	buf      []byte
-	size     int
-	injected time.Time
+	pkt packet.Packet
+	// injected is monotonic nanoseconds since the package time base
+	// (start) — cheaper to stamp and to diff than a wall-clock time.Time,
+	// and the hot path reads the clock exactly twice per packet: here and
+	// at delivery.
+	injected int64
 	detour   bool
 }
 
@@ -171,6 +206,7 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		switches:   make(map[uint32]*node),
 		Deliveries: make(chan Delivery, cfg.QueueDepth),
 		pending:    make(map[uint32]time.Time),
+		ext:        &nodeStats{},
 		ctx:        cctx,
 		cancel:     cancel,
 	}
@@ -207,11 +243,13 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			sw: switchsim.New(id, switchsim.Config{
 				CacheCapacity: cfg.CacheCapacity,
 			}),
+			stats:      &nodeStats{},
 			data:       make(chan dataFrame, cfg.QueueDepth),
 			ctrl:       swConn,
 			ctrlPeer:   ctrlConn,
 			replies:    make(chan proto.Message, 16),
 			done:       make(chan struct{}),
+			installQ:   make(chan proto.Message, 256),
 			outbox:     make(chan proto.Message, cfg.Overload.OutageBuffer),
 			redirectTB: metrics.NewTokenBucket(cfg.Overload.RedirectRate, cfg.Overload.RedirectBurst),
 			installTB:  metrics.NewTokenBucket(cfg.Overload.CacheInstallRate, cfg.Overload.CacheInstallBurst),
@@ -231,10 +269,24 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		}
 		return nil, err
 	}
+	if cfg.Data.UseTCP {
+		fab, err := newTCPFabric(c, cfg.Data)
+		if err != nil {
+			cancel()
+			c.trans.close()
+			for _, n := range c.switches {
+				n.ctrl.Close()
+				n.ctrlPeer.Close()
+			}
+			return nil, err
+		}
+		c.fabric = fab
+	}
 	for _, n := range c.switches {
-		c.wg.Add(2)
+		c.wg.Add(3)
 		go c.dataLoop(n)
 		go c.ctrlManager(n)
+		go c.installWriter(n)
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()
@@ -306,8 +358,10 @@ func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
 	if !ok || n.killed.Load() {
 		return false
 	}
-	p := packet.Packet{Header: h, Size: size}
-	frame := dataFrame{buf: p.AppendWire(nil), size: size, injected: time.Now()}
+	frame := dataFrame{
+		pkt:      packet.Packet{Header: h, Size: size},
+		injected: nowNS(),
+	}
 	select {
 	case n.data <- frame:
 		c.injected.Add(1)
@@ -321,13 +375,18 @@ func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
 // Dropped returns packets shed by full queues or failed paths.
 func (c *Cluster) Dropped() uint64 { return c.dropped.Load() }
 
-// Measurements returns a consistent snapshot of the cluster's recorded
-// statistics (latency distributions, delivery and drop counts, failover
-// counters). Safe to call while the cluster runs.
+// Measurements returns a snapshot of the cluster's recorded statistics
+// (latency distributions, delivery and drop counts, failover counters),
+// merged from the per-node measurement shards. Safe to call while the
+// cluster runs; it never blocks the data plane.
 func (c *Cluster) Measurements() *core.Measurements {
-	c.mMu.Lock()
-	defer c.mMu.Unlock()
-	return c.m.Snapshot()
+	m := &core.Measurements{}
+	c.ext.mergeInto(m)
+	for _, n := range c.switches {
+		n.stats.mergeInto(m)
+	}
+	c.cold.mergeInto(m)
+	return m
 }
 
 // dropKind classifies a terminal packet loss for Measurements.
@@ -339,55 +398,52 @@ const (
 	dropQueue
 )
 
-// drop records a terminal packet loss.
+// drop records a terminal packet loss against the given measurement shard
+// (the handling node's, or c.ext on the injection path).
 //
 // All terminal paths record their Measurements counter BEFORE bumping
 // completed: Deployment.Run returns the moment completed catches up with
 // injected, and a caller reading Measurements right after must see the
 // packet's counter — otherwise the accounting identity (injected =
 // delivered + drops) transiently under-counts.
-func (c *Cluster) drop(kind dropKind) {
+func (c *Cluster) drop(s *nodeStats, kind dropKind) {
 	c.dropped.Add(1)
-	c.mMu.Lock()
 	switch kind {
 	case dropHole:
-		c.m.Drops.Hole++
+		s.dropHole.Add(1)
 	case dropQueue:
-		c.m.Drops.AuthorityQueue++
+		s.dropQueue.Add(1)
 	default:
-		c.m.Drops.Unreachable++
+		s.dropUnreachable.Add(1)
 	}
-	c.mMu.Unlock()
 	c.completed.Add(1)
 }
 
 // shedRedirect records a packet deliberately shed by the ingress redirect
 // token bucket under a miss storm.
-func (c *Cluster) shedRedirect() {
+func (c *Cluster) shedRedirect(s *nodeStats) {
 	c.dropped.Add(1)
-	c.mMu.Lock()
-	c.m.Drops.RedirectShed++
-	c.mMu.Unlock()
+	s.dropRedirectShed.Add(1)
 	c.completed.Add(1)
 }
 
 // policyDrop records an intentional drop (the packet matched a drop rule);
 // it is not counted as a loss. firstPacket marks a flow-setup decision
 // made at an authority switch.
-func (c *Cluster) policyDrop(firstPacket bool) {
-	c.mMu.Lock()
-	c.m.Drops.Policy++
+func (c *Cluster) policyDrop(s *nodeStats, firstPacket bool) {
+	s.dropPolicy.Add(1)
 	if firstPacket {
-		c.m.SetupsCompleted++
+		s.setupsCompleted.Add(1)
 	}
-	c.mMu.Unlock()
 	c.completed.Add(1)
 }
 
-// dataLoop is a switch's data plane: decode, classify, act.
+// dataLoop is a switch's data plane: classify and act on each frame. After
+// a blocking receive it greedily drains a bounded burst of backlog with
+// non-blocking receives — under load most frames skip the full select
+// path, while the bound keeps shutdown signals responsive.
 func (c *Cluster) dataLoop(n *node) {
 	defer c.wg.Done()
-	var pkt packet.Packet
 	for {
 		select {
 		case <-c.ctx.Done():
@@ -395,46 +451,55 @@ func (c *Cluster) dataLoop(n *node) {
 		case <-n.done:
 			return
 		case frame := <-n.data:
-			if _, err := pkt.DecodeWire(frame.buf); err != nil {
-				c.drop(dropUnreachable)
-				continue
+			c.handlePacket(n, &frame)
+		drain:
+			for i := 0; i < 128; i++ {
+				select {
+				case frame = <-n.data:
+					c.handlePacket(n, &frame)
+				default:
+					break drain
+				}
 			}
-			c.handlePacket(n, &pkt, frame)
 		}
 	}
 }
 
-func (c *Cluster) handlePacket(n *node, pkt *packet.Packet, frame dataFrame) {
+func (c *Cluster) handlePacket(n *node, frame *dataFrame) {
+	pkt := &frame.pkt
 	// Tunnel termination: a packet encapsulated to this switch is delivered.
 	if e := pkt.Encap; e != nil && e.Reason == packet.EncapTunnel && e.Target == n.id {
-		c.deliver(n.id, pkt, frame)
+		c.deliver(n, frame)
 		return
 	}
 	// Redirected packet arriving at an authority switch.
 	if e := pkt.Encap; e != nil && e.Reason == packet.EncapRedirect && e.Target == n.id {
-		c.authorityHandle(n, pkt, frame)
+		c.authorityHandle(n, frame)
 		return
 	}
 	k := pkt.Header.Key()
-	n.mu.Lock()
-	res := n.sw.Classify(nowSec(), k, frame.size)
-	n.mu.Unlock()
+	// Lock-free: the tables publish copy-on-write snapshots, so this never
+	// contends with concurrent FlowMod installs. The frame's inject stamp
+	// stands in for "now" — at most a queueing delay stale, far inside the
+	// TCAM's seconds-granularity timeout model — saving a clock read per
+	// hop.
+	res := n.sw.Classify(frameSec(frame), k, pkt.Size)
 	if !res.OK {
-		c.drop(dropHole)
+		c.drop(n.stats, dropHole)
 		return
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
 		// Policy drop at the ingress (cached decision): intentional.
-		c.policyDrop(false)
+		c.policyDrop(n.stats, false)
 	case flowspace.ActForward:
-		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
+		c.tunnelTo(n, res.Rule.Action.Arg, frame)
 	case flowspace.ActRedirect:
 		// Miss-storm protection: an ingress over its redirect budget sheds
 		// the packet here, in its own data plane, instead of piling onto
 		// the authority switch's queue.
 		if !n.redirectTB.Allow() {
-			c.shedRedirect()
+			c.shedRedirect(n.stats)
 			return
 		}
 		target := res.Rule.Action.Arg
@@ -444,25 +509,25 @@ func (c *Cluster) handlePacket(n *node, pkt *packet.Packet, frame dataFrame) {
 			// round trip.
 			next, ok := c.failoverLocal(n, res.Rule, target)
 			if !ok {
-				c.drop(dropUnreachable)
+				c.drop(n.stats, dropUnreachable)
 				return
 			}
 			target = next
 		}
 		frame.detour = true
-		q := pkt.Clone()
-		q.Encapsulate(packet.EncapRedirect, n.id, target)
+		pkt.Encapsulate(packet.EncapRedirect, n.id, target)
 		c.notePending(target)
-		c.forwardFrame(target, q, frame)
+		c.forwardFrame(n, target, frame)
 	default:
-		c.drop(dropHole)
+		c.drop(n.stats, dropHole)
 	}
 }
 
 // authorityHandle runs the partition logic for a redirected packet and
 // sends the cache install back to the ingress switch over its control
 // connection.
-func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) {
+func (c *Cluster) authorityHandle(n *node, frame *dataFrame) {
+	pkt := &frame.pkt
 	// Processing a redirected packet is the data-plane liveness signal the
 	// redirect-timeout detector watches for.
 	c.clearPending(n.id)
@@ -482,7 +547,7 @@ func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) 
 	}
 	n.mu.Unlock()
 	if auth == nil || !res.OK {
-		c.drop(dropHole)
+		c.drop(n.stats, dropHole)
 		return
 	}
 	if len(res.CacheMods) > 0 {
@@ -490,24 +555,47 @@ func (c *Cluster) authorityHandle(n *node, pkt *packet.Packet, frame dataFrame) 
 		// its install budget suppresses the cache install. The packet still
 		// forwards below, so the cost is future redirects, not reachability.
 		if !n.installTB.Allow() {
-			c.mMu.Lock()
-			c.m.CacheInstallsShed++
-			c.mMu.Unlock()
+			n.stats.cacheInstallsShed.Add(1)
 		} else {
 			install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
 			// The authority switch writes on its switch end; the controller
 			// relay reads the other end and forwards to the ingress switch.
-			go func() { _ = c.writeToController(n, install) }()
+			// Hand the write to the node's dedicated install writer instead
+			// of spawning a goroutine per miss — under a storm, unbounded
+			// spawns cost more than the installs; overflow degrades to a
+			// shed install (the packet still forwards below, so the cost is
+			// future redirects, not reachability).
+			select {
+			case n.installQ <- install:
+			default:
+				n.stats.cacheInstallsShed.Add(1)
+			}
 		}
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
 		// Policy drop at the authority: a completed (negative) flow setup.
-		c.policyDrop(true)
+		c.policyDrop(n.stats, true)
 	case flowspace.ActForward:
-		c.tunnelTo(res.Rule.Action.Arg, n.id, pkt, frame)
+		c.tunnelTo(n, res.Rule.Action.Arg, frame)
 	default:
-		c.drop(dropHole)
+		c.drop(n.stats, dropHole)
+	}
+}
+
+// installWriter serializes one switch's cache-install writes toward the
+// controller, replacing a goroutine spawn per cache miss.
+func (c *Cluster) installWriter(n *node) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-n.done:
+			return
+		case msg := <-n.installQ:
+			_ = c.writeToController(n, msg)
+		}
 	}
 }
 
@@ -534,12 +622,8 @@ func (c *Cluster) failoverLocal(n *node, r flowspace.Rule, dead uint32) (uint32,
 	nr := r
 	nr.Action = flowspace.Action{Kind: flowspace.ActRedirect, Arg: next}
 	mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd, Rule: nr}
-	n.mu.Lock()
 	_ = n.sw.ApplyFlowMod(nowSec(), &mod)
-	n.mu.Unlock()
-	c.mMu.Lock()
-	c.m.FailoversLocal++
-	c.mMu.Unlock()
+	n.stats.failoversLocal.Add(1)
 	return next, true
 }
 
@@ -553,21 +637,24 @@ func (c *Cluster) nodeUsable(id uint32) bool {
 // NodeAlive reports the failure detector's verdict for a switch.
 func (c *Cluster) NodeAlive(id uint32) bool { return c.nodeUsable(id) }
 
-// tunnelTo encapsulates the packet toward its egress and forwards it.
-func (c *Cluster) tunnelTo(egress, from uint32, pkt *packet.Packet, frame dataFrame) {
-	if egress == from {
-		c.deliver(from, pkt, frame)
+// tunnelTo encapsulates the packet toward its egress and forwards it. n is
+// the node doing the forwarding (its shard takes the accounting).
+func (c *Cluster) tunnelTo(n *node, egress uint32, frame *dataFrame) {
+	if egress == n.id {
+		c.deliver(n, frame)
 		return
 	}
-	q := pkt.Clone()
-	q.Encapsulate(packet.EncapTunnel, from, egress)
-	c.forwardFrame(egress, q, frame)
+	frame.pkt.Encapsulate(packet.EncapTunnel, n.id, egress)
+	c.forwardFrame(n, egress, frame)
 }
 
-func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
+// forwardFrame hands the packet to switch `to`, either by direct queue
+// handoff of the parsed frame or over the batched TCP data fabric (which
+// serializes it). src's shard records drops.
+func (c *Cluster) forwardFrame(src *node, to uint32, frame *dataFrame) {
 	dst, ok := c.switches[to]
 	if !ok {
-		c.drop(dropUnreachable)
+		c.drop(src.stats, dropUnreachable)
 		return
 	}
 	if dst.killed.Load() {
@@ -577,16 +664,18 @@ func (c *Cluster) forwardFrame(to uint32, pkt *packet.Packet, frame dataFrame) {
 		// + drops) and wedging Deployment.Run's completion wait. Account it
 		// as unreachable instead, exactly like the simulator's dead-egress
 		// path.
-		c.drop(dropUnreachable)
+		c.drop(src.stats, dropUnreachable)
 		return
 	}
-	out := dataFrame{buf: pkt.AppendWire(nil), size: frame.size,
-		injected: frame.injected, detour: frame.detour}
+	if c.fabric != nil {
+		c.fabric.send(src, dst, frame)
+		return
+	}
 	select {
-	case dst.data <- out:
+	case dst.data <- *frame:
 		dst.noteQueueDepth(int64(len(dst.data)))
 	default:
-		c.drop(dropQueue)
+		c.drop(src.stats, dropQueue)
 	}
 }
 
@@ -600,27 +689,27 @@ func (n *node) noteQueueDepth(d int64) {
 	}
 }
 
-func (c *Cluster) deliver(at uint32, pkt *packet.Packet, frame dataFrame) {
-	lat := time.Since(frame.injected)
-	c.mMu.Lock()
-	c.m.Delivered++
-	if frame.detour {
-		c.m.FirstPacketDelay.Add(lat.Seconds())
-		c.m.SetupsCompleted++
-	} else {
-		c.m.LaterPacketDelay.Add(lat.Seconds())
-	}
-	c.mMu.Unlock()
-	d := Delivery{
-		Egress:  at,
-		Header:  pkt.Header,
-		Detour:  frame.detour,
-		Latency: lat,
-	}
-	select {
-	case c.Deliveries <- d:
-	default:
-		// Receiver not draining: drop the notification, not the packet.
+// deliver records a packet reaching its egress at node n, against n's own
+// measurement shard — deliveries on different switches touch disjoint
+// state.
+func (c *Cluster) deliver(n *node, frame *dataFrame) {
+	lat := time.Duration(nowNS() - frame.injected)
+	n.stats.recordDelivery(lat.Seconds(), frame.detour)
+	// The length pre-check keeps egress loops from serializing on the
+	// shared channel's lock when nobody is draining notifications; the
+	// select still sheds racy fill-ups. Either way the notification is
+	// dropped, never the packet.
+	if len(c.Deliveries) < cap(c.Deliveries) {
+		d := Delivery{
+			Egress:  n.id,
+			Header:  frame.pkt.Header,
+			Detour:  frame.detour,
+			Latency: lat,
+		}
+		select {
+		case c.Deliveries <- d:
+		default:
+		}
 	}
 	// completed last: once Deployment.Run observes completed == injected,
 	// both the Measurements counter and the Delivery notification for this
@@ -705,9 +794,7 @@ func (c *Cluster) reconnect(n *node) bool {
 			n.connMu.Lock()
 			n.ctrl, n.ctrlPeer = sw, peer
 			n.connMu.Unlock()
-			c.mMu.Lock()
-			c.m.ControlReconnects++
-			c.mMu.Unlock()
+			c.cold.controlReconnects.Add(1)
 			return true
 		}
 		attempt++
@@ -737,23 +824,19 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 			// dead controller — reject it and report the current fence.
 			// Epoch-0 installs (data-plane origin) bypass the fence.
 			if m.Epoch != 0 && !n.raiseEpoch(m.Epoch) {
-				c.mMu.Lock()
-				c.m.StaleInstallsRejected++
-				c.mMu.Unlock()
+				c.cold.staleInstallsRejected.Add(1)
 				rep := &proto.EpochReport{Node: n.id, Epoch: n.epoch.Load()}
 				go func() { _ = c.writeToController(n, rep) }()
 				continue
 			}
-			n.mu.Lock()
+			// No node lock: the tables serialize writers internally and
+			// publish snapshots, so installs never stall the data plane.
 			_ = n.sw.ApplyFlowMod(nowSec(), m)
-			n.mu.Unlock()
 		case *proto.CacheInstall:
 			// Relayed from an authority switch via the controller.
-			n.mu.Lock()
 			for i := range m.Rules {
 				_ = n.sw.ApplyFlowMod(nowSec(), &m.Rules[i])
 			}
-			n.mu.Unlock()
 		case *proto.BarrierReq:
 			// Replies are written asynchronously: net.Pipe writes block
 			// until read, and a reply written inline from this loop could
@@ -761,7 +844,6 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 			reply := &proto.BarrierReply{XID: m.XID}
 			go func() { _ = c.writeToController(n, reply) }()
 		case *proto.StatsReq:
-			n.mu.Lock()
 			pkts, bytes, ok := n.sw.Counters(m.RuleID)
 			if !ok {
 				// A policy-rule query: aggregate the banded per-partition
@@ -775,7 +857,6 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 					}
 				}
 			}
-			n.mu.Unlock()
 			reply := &proto.StatsReply{XID: m.XID, Packets: pkts, Bytes: bytes, OK: ok}
 			go func() { _ = c.writeToController(n, reply) }()
 		case *proto.Heartbeat:
@@ -881,13 +962,9 @@ func (c *Cluster) controllerUnreachable(n *node) bool {
 func (c *Cluster) bufferEvent(n *node, msg proto.Message) {
 	select {
 	case n.outbox <- msg:
-		c.mMu.Lock()
-		c.m.OutageBuffered++
-		c.mMu.Unlock()
+		c.cold.outageBuffered.Add(1)
 	default:
-		c.mMu.Lock()
-		c.m.OutageDropped++
-		c.mMu.Unlock()
+		c.cold.outageDropped.Add(1)
 	}
 }
 
@@ -902,15 +979,11 @@ func (c *Cluster) drainOutbox(n *node) {
 				select {
 				case n.outbox <- msg:
 				default:
-					c.mMu.Lock()
-					c.m.OutageDropped++
-					c.mMu.Unlock()
+					c.cold.outageDropped.Add(1)
 				}
 				return
 			}
-			c.mMu.Lock()
-			c.m.OutageDrained++
-			c.mMu.Unlock()
+			c.cold.outageDrained.Add(1)
 		default:
 			return
 		}
@@ -1021,8 +1094,6 @@ func (c *Cluster) CacheLen(sw uint32) int {
 	if !ok {
 		return 0
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.sw.Table(proto.TableCache).Len()
 }
 
@@ -1040,6 +1111,9 @@ func (c *Cluster) Close() error {
 		for time.Now().Before(deadline) && !c.drained() {
 			time.Sleep(time.Millisecond)
 		}
+		if c.fabric != nil {
+			c.fabric.close()
+		}
 		c.cancel()
 		c.trans.close()
 		for _, n := range c.switches {
@@ -1050,8 +1124,12 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
-// drained reports whether every live switch's data queue is empty.
+// drained reports whether every live switch's data queue is empty and no
+// frame is in flight inside the data fabric.
 func (c *Cluster) drained() bool {
+	if c.fabric != nil && c.fabric.pending() > 0 {
+		return false
+	}
 	for _, n := range c.switches {
 		if n.killed.Load() {
 			continue
@@ -1083,3 +1161,10 @@ var start = time.Now()
 // nowSec is monotonic seconds since cluster package init, the time base
 // the TCAM tables use in wire mode.
 func nowSec() float64 { return time.Since(start).Seconds() }
+
+// nowNS is monotonic nanoseconds since start — the hot path's clock.
+func nowNS() int64 { return int64(time.Since(start)) }
+
+// frameSec maps a frame's inject stamp onto the nowSec time base without
+// another clock read.
+func frameSec(f *dataFrame) float64 { return float64(f.injected) / 1e9 }
