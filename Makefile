@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench perf-smoke fuzz-smoke check soak regen-golden
+.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke trace-demo fuzz-smoke check soak regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -20,10 +20,29 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Quick wire-mode perf sweep gated against the committed baseline — the
-# same command CI's perf-smoke job runs (>15% regression fails).
+# same command CI's perf-smoke job runs (>15% regression fails). The
+# report lands in gitignored bench-out/; refreshing the committed baseline
+# is an explicit act: difane-bench -wire -out BENCH_wire.baseline.json.
 perf-smoke:
-	go run ./cmd/difane-bench -wire -quick \
-		-out BENCH_wire.json -compare BENCH_wire.baseline.json
+	go run ./cmd/difane-bench -wire -quick -compare BENCH_wire.baseline.json
+
+# Price the telemetry layer: the cache-hit/wire cell with tracing off and
+# on. Tracing-off must stay within 2% of the committed baseline — the
+# flight recorder is one atomic load when disabled.
+telemetry-smoke:
+	go run ./cmd/difane-bench -telemetry-smoke -quick \
+		-compare BENCH_wire.baseline.json
+
+# Boot an 8-switch wire cluster with the telemetry endpoint live, scrape
+# it, and shut down — the quickest look at the ops surface.
+trace-demo:
+	@go run ./cmd/difanectl serve -telemetry 127.0.0.1:9090 -duration 8s & \
+	sleep 4; \
+	echo "--- /metrics (excerpt) ---"; \
+	curl -s http://127.0.0.1:9090/metrics | grep -E '^difane_(delivered|dropped|trace)' ; \
+	echo "--- /trace (last 8 events) ---"; \
+	curl -s 'http://127.0.0.1:9090/trace?limit=8'; \
+	wait
 
 # Quick differential sweep: seeded scenarios through all three deployments
 # (sim, baseline, wire), every packet verdict diffed against the oracle.

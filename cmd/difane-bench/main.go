@@ -9,21 +9,33 @@
 // With -wire it instead runs the reproducible data-plane benchmark suite
 // (fixed-seed cache-hit / miss-storm / failover workloads against the
 // simulator, the reactive baseline, and both wire-mode fabrics), writes
-// the report to -out, and — when -compare names a baseline report — exits
-// nonzero on regression past the gate (15% throughput/allocs by default):
+// the report to -out (bench-out/ is gitignored scratch; refreshing the
+// committed baseline takes an explicit -out BENCH_wire.baseline.json),
+// and — when -compare names a baseline report — exits nonzero on
+// regression past the gate (15% throughput/allocs by default):
 //
-//	difane-bench -wire [-quick] [-seed N] [-out BENCH_wire.json] [-compare BENCH_wire.baseline.json]
+//	difane-bench -wire [-quick] [-seed N] [-out FILE] [-compare BENCH_wire.baseline.json]
+//
+// With -telemetry-smoke it prices the observability layer instead: the
+// cache-hit/wire cell runs with tracing off and again with tracing on,
+// the overhead is printed, and the tracing-off run is gated at 2%
+// against the committed baseline — the flight recorder must cost nothing
+// measurable when it is disabled:
+//
+//	difane-bench -telemetry-smoke [-quick] [-seed N] [-compare BENCH_wire.baseline.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"difane/experiments"
 	"difane/internal/perf"
+	"difane/internal/wire"
 )
 
 type renderer interface{ Render() string }
@@ -33,10 +45,14 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs to run (default all)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	wireBench := flag.Bool("wire", false, "run the data-plane benchmark suite instead of the paper figures")
-	out := flag.String("out", "BENCH_wire.json", "where -wire writes its JSON report")
+	out := flag.String("out", "bench-out/BENCH_wire.json", "where -wire writes its JSON report")
 	compare := flag.String("compare", "", "baseline report to diff the -wire run against (exit 1 on regression)")
+	telemetrySmoke := flag.Bool("telemetry-smoke", false, "price the telemetry layer: cache-hit/wire with tracing off vs on, 2% disabled-overhead gate vs -compare")
 	flag.Parse()
 
+	if *telemetrySmoke {
+		os.Exit(runTelemetrySmoke(*quick, *seed, *compare))
+	}
 	if *wireBench {
 		os.Exit(runWireBench(*quick, *seed, *out, *compare))
 	}
@@ -148,10 +164,105 @@ func writeReport(rep *perf.Report, out string) int {
 	if out == "" {
 		return 0
 	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
 	if err := rep.WriteFile(out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
 	fmt.Printf("report written to %s\n", out)
+	return 0
+}
+
+// runTelemetrySmoke prices the observability layer on the steadiest cell
+// (cache-hit / wire): one run with the flight recorder disabled, one with
+// it tracing every packet. The tracing-off run is then gated at 2%
+// (noise-widened) against the committed baseline's matching cell — the
+// telemetry hooks must be invisible when tracing is off. The tracing-on
+// overhead is printed but not gated: recording is an opt-in diagnostic.
+func runTelemetrySmoke(quick bool, seed int64, compare string) int {
+	cfg := perf.Full()
+	if quick {
+		cfg = perf.Quick()
+	}
+	cfg.Seed = seed
+	cfg.Backends = []string{perf.BackendWire}
+	cfg.Workloads = []string{perf.WorkloadCacheHit}
+
+	start := time.Now()
+	off, err := perf.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfgOn := cfg
+	cfgOn.Telemetry = wire.TelemetryConfig{Tracing: true}
+	on, err := perf.Run(cfgOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	offR, onR := off.Results[0], on.Results[0]
+	overhead := 0.0
+	if offR.PktsPerSec > 0 {
+		overhead = (offR.PktsPerSec - onR.PktsPerSec) / offR.PktsPerSec * 100
+	}
+	fmt.Printf("telemetry smoke (%s/%s, seed %d):\n", offR.Workload, offR.Backend, seed)
+	fmt.Printf("  tracing off: %10.0f pkts/s  %6.1f allocs/op\n", offR.PktsPerSec, offR.AllocsPerOp)
+	fmt.Printf("  tracing on:  %10.0f pkts/s  %6.1f allocs/op  (%.1f%% overhead)\n",
+		onR.PktsPerSec, onR.AllocsPerOp, overhead)
+	fmt.Printf("(telemetry smoke completed in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	if compare == "" {
+		return 0
+	}
+	base, err := perf.LoadReport(compare)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// The smoke measures one cell; drop the baseline's other rows so
+	// Compare doesn't flag them as missing.
+	filtered := &perf.Report{
+		Version: base.Version, Quick: base.Quick, Seed: base.Seed,
+		GoMaxProcs: base.GoMaxProcs,
+	}
+	for _, r := range base.Results {
+		if r.Workload == perf.WorkloadCacheHit && r.Backend == perf.BackendWire {
+			filtered.Results = append(filtered.Results, r)
+		}
+	}
+	if len(filtered.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "telemetry smoke: %s has no %s/%s row to gate against\n",
+			compare, perf.WorkloadCacheHit, perf.BackendWire)
+		return 1
+	}
+	tol := perf.DefaultTolerance()
+	tol.Throughput, tol.Allocs = 0.02, 0.02
+	regs := perf.Compare(filtered, off, tol)
+	// Same confirm-on-failure dance as the main gate: a 2% wall-clock gate
+	// on shared hardware needs re-measurement before it may fail the build.
+	for attempt := 0; len(regs) > 0 && attempt < 2; attempt++ {
+		fmt.Printf("possible tracing-off overhead; re-measuring to confirm (attempt %d/3)\n", attempt+2)
+		again, err := perf.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		off = perf.MergeBest(off, again)
+		regs = perf.Compare(filtered, off, tol)
+	}
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "TELEMETRY OVERHEAD (tracing off) vs %s:\n", compare)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("tracing-off overhead within gate vs %s\n", compare)
 	return 0
 }

@@ -8,6 +8,16 @@
 //
 //	difanectl [-mode sim|baseline|wire] [-network campus|vpn|iptv|isp]
 //	          [-authorities K] [-seed N]
+//	difanectl check [-seed N | -count N] [-steps N] [-mode ...]
+//	difanectl serve [-telemetry addr] [-switches N] [-trace] [-duration D]
+//	difanectl metrics -addr host:port [-json]
+//	difanectl trace -addr host:port [-follow] [-story] [filters...]
+//
+// serve boots a demo wire cluster with the telemetry HTTP endpoint bound
+// and traffic flowing; metrics scrapes its /metrics (Prometheus text) or
+// /vars (JSON); trace dumps the flight recorder, follows it live, or —
+// with -story and a flow filter — reconstructs a single flow's
+// hop-by-hop journey through the cluster.
 //
 // Commands (stdin, one per line; (sim) marks simulator-only commands,
 // (wire) wire-only):
@@ -63,8 +73,17 @@ type session struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "check" {
-		os.Exit(runCheck(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "check":
+			os.Exit(runCheck(os.Args[2:]))
+		case "trace":
+			os.Exit(runTrace(os.Args[2:]))
+		case "metrics":
+			os.Exit(runMetrics(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
+		}
 	}
 	mode := flag.String("mode", "sim", "backend: sim|baseline|wire")
 	network := flag.String("network", "campus", "canonical network: campus|vpn|iptv|isp")

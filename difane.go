@@ -37,6 +37,7 @@ import (
 	"difane/internal/oracle"
 	"difane/internal/policyio"
 	"difane/internal/scencheck"
+	"difane/internal/telemetry"
 	"difane/internal/topo"
 	"difane/internal/wire"
 	"difane/internal/workload"
@@ -337,6 +338,36 @@ func NewWireDeployment(cfg ClusterConfig) (*WireDeployment, error) {
 	return wire.NewDeployment(cfg)
 }
 
+// --- Telemetry ---------------------------------------------------------------
+
+// TelemetryConfig tunes a deployment's observability layer: whether the
+// flight recorder starts enabled, the per-node trace ring capacity, and
+// the optional HTTP endpoint serving /metrics, /vars, /trace, /status,
+// and /debug/pprof.
+type TelemetryConfig = wire.TelemetryConfig
+
+// TelemetrySnapshot is one scrape of a deployment's metric registry plus
+// its flight-recorder accounting (zero for the simulated backends, which
+// have no recorder).
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TraceEvent is one fixed-size flight-recorder record: a packet verdict,
+// redirect, rule install/evict, failover, or epoch transition.
+type TraceEvent = telemetry.Event
+
+// TraceEventKind identifies what a TraceEvent records.
+type TraceEventKind = telemetry.EventKind
+
+// TraceFilter selects flight-recorder events by node, kind, flow, and
+// time.
+type TraceFilter = telemetry.Filter
+
+// MetricRegistry is the pull-model registry behind /metrics and /vars.
+type MetricRegistry = telemetry.Registry
+
+// TraceNode wraps a switch ID for TraceFilter.Node (nil means any node).
+func TraceNode(id uint32) *uint32 { return telemetry.Node(id) }
+
 // --- Drivers -----------------------------------------------------------------
 
 // Deployment is the uniform driving surface of every backend — the
@@ -348,10 +379,15 @@ func NewWireDeployment(cfg ClusterConfig) (*WireDeployment, error) {
 // event loop to the horizon; in wire mode, injections happen immediately
 // in real time and Run waits (at most horizon seconds) for in-flight
 // packets to reach a terminal point. Close is idempotent.
+//
+// Telemetry returns one scrape of the backend's metric registry (the
+// shared difane_* schema) plus flight-recorder accounting; the simulated
+// backends report zero trace state, wire mode reports the live recorder.
 type Deployment interface {
 	InjectPacket(at float64, ingress uint32, k Key, size int, seq uint64)
 	Run(horizon float64)
 	Measurements() *Measurements
+	Telemetry() *TelemetrySnapshot
 	Close() error
 }
 

@@ -8,6 +8,7 @@ package baseline
 
 import (
 	"fmt"
+	"sync"
 
 	"difane/internal/core"
 	"difane/internal/flowspace"
@@ -15,6 +16,7 @@ import (
 	"difane/internal/sim"
 	"difane/internal/switchsim"
 	"difane/internal/tcam"
+	"difane/internal/telemetry"
 	"difane/internal/topo"
 )
 
@@ -62,6 +64,10 @@ type Network struct {
 	// core.Network.Observer, so the differential checker drives both
 	// architectures through one code path.
 	Observer func(core.VerdictEvent)
+
+	// telReg is the lazily-built metric registry behind Telemetry().
+	telOnce sync.Once
+	telReg  *telemetry.Registry
 }
 
 func (n *Network) emit(kind core.VerdictKind, k flowspace.Key, seq uint64, egress uint32) {

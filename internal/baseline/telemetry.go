@@ -1,0 +1,22 @@
+package baseline
+
+import (
+	"difane/internal/core"
+	"difane/internal/telemetry"
+)
+
+// Telemetry returns one scrape of the baseline's metric registry — the
+// same schema core.RegisterMeasurements gives the DIFANE backends, plus
+// the reactive controller's own setup counter. The baseline has no flight
+// recorder, so the trace accounting in the snapshot is zero.
+func (n *Network) Telemetry() *telemetry.Snapshot {
+	n.telOnce.Do(func() {
+		reg := telemetry.NewRegistry()
+		core.RegisterMeasurements(reg, func() *core.Measurements { return &n.M })
+		reg.RegisterFunc("difane_controller_setups_total",
+			"Flow setups the reactive controller processed.", telemetry.TypeCounter,
+			func() float64 { return float64(n.ControllerSetups) })
+		n.telReg = reg
+	})
+	return &telemetry.Snapshot{Metrics: n.telReg.Snapshot()}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"difane/internal/metrics"
+)
+
+// TestMeasurementsMergeAllFields pins Merge against the full field set by
+// reflection: every uint64 counter gets a distinct value on both sides and
+// must sum, every metrics.Dist must concatenate. Adding a field to
+// Measurements without teaching Merge about it fails here — wire mode's
+// cluster-wide snapshot (and the telemetry registry fed from it) silently
+// under-reports otherwise.
+func TestMeasurementsMergeAllFields(t *testing.T) {
+	var a, b Measurements
+	fill := func(m *Measurements, base uint64, samples []float64) {
+		v := reflect.ValueOf(m).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Type() {
+			case reflect.TypeOf(uint64(0)):
+				f.SetUint(base + uint64(i))
+			case reflect.TypeOf(metrics.Dist{}):
+				d := f.Addr().Interface().(*metrics.Dist)
+				for _, s := range samples {
+					d.Add(s)
+				}
+			case reflect.TypeOf(Drops{}):
+				dv := f.Addr().Elem()
+				for j := 0; j < dv.NumField(); j++ {
+					dv.Field(j).SetUint(base + 100 + uint64(j))
+				}
+			default:
+				t.Fatalf("Measurements has a field type this test does not model: %s %s",
+					v.Type().Field(i).Name, f.Type())
+			}
+		}
+	}
+	fill(&a, 1000, []float64{1, 2, 3})
+	fill(&b, 5000, []float64{4, 5})
+	bBefore := b.Snapshot()
+
+	a.Merge(&b)
+
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		f := av.Field(i)
+		name := av.Type().Field(i).Name
+		switch f.Type() {
+		case reflect.TypeOf(uint64(0)):
+			want := (1000 + uint64(i)) + (5000 + uint64(i))
+			if f.Uint() != want {
+				t.Errorf("Merge dropped counter %s: got %d, want %d", name, f.Uint(), want)
+			}
+		case reflect.TypeOf(metrics.Dist{}):
+			d := f.Addr().Interface().(*metrics.Dist)
+			if d.N() != 5 {
+				t.Errorf("Merge dropped samples in %s: N = %d, want 5", name, d.N())
+			}
+			if got, want := d.Sum(), 1.0+2+3+4+5; got != want {
+				t.Errorf("%s sum = %v, want %v", name, got, want)
+			}
+		case reflect.TypeOf(Drops{}):
+			dv := f
+			for j := 0; j < dv.NumField(); j++ {
+				want := (1000 + 100 + uint64(j)) + (5000 + 100 + uint64(j))
+				if dv.Field(j).Uint() != want {
+					t.Errorf("Merge dropped Drops.%s: got %d, want %d",
+						dv.Type().Field(j).Name, dv.Field(j).Uint(), want)
+				}
+			}
+		}
+	}
+
+	// b is the fold-in side and must come through untouched.
+	if b.Delivered != bBefore.Delivered || b.FirstPacketDelay.N() != bBefore.FirstPacketDelay.N() {
+		t.Error("Merge mutated its argument")
+	}
+}

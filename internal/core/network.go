@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"difane/internal/flowspace"
 	"difane/internal/metrics"
@@ -11,6 +12,7 @@ import (
 	"difane/internal/sim"
 	"difane/internal/switchsim"
 	"difane/internal/tcam"
+	"difane/internal/telemetry"
 	"difane/internal/topo"
 )
 
@@ -159,8 +161,9 @@ type Measurements struct {
 }
 
 // Snapshot returns an independent copy safe to query while the original
-// keeps accumulating (Dist queries sort in place, so sharing is unsafe).
-// Callers that mutate m concurrently must hold their own lock around this.
+// keeps accumulating. Callers that mutate m's plain counters concurrently
+// must hold their own lock around this (the distributions are internally
+// synchronized; the uint64 counters are not).
 func (m *Measurements) Snapshot() *Measurements {
 	out := *m
 	out.FirstPacketDelay = m.FirstPacketDelay.Clone()
@@ -234,6 +237,10 @@ type Network struct {
 	Observer func(VerdictEvent)
 
 	M Measurements
+
+	// telReg is the lazily-built metric registry behind Telemetry().
+	telOnce sync.Once
+	telReg  *telemetry.Registry
 }
 
 // NewNetwork builds a DIFANE network over the topology. Every node in the

@@ -9,85 +9,154 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Dist accumulates float64 samples and answers distribution queries.
+//
+// All methods are safe for concurrent use: mutators and queries serialize
+// on an internal lock, and queries read a lazily rebuilt sorted copy, so
+// the insertion-order sample slice is never reordered behind a reader's
+// back. Copying a Dist (assignment, Snapshot-style struct copies) yields a
+// handle onto the same shared state; use Clone for an independent one.
+//
+// One caveat: the internal state is allocated lazily on first use, and
+// that first allocation is not synchronized. The first Add/Merge on a
+// zero-value Dist must happen-before any concurrent access — which holds
+// for every Dist in this repo (shards are written by one goroutine and
+// merged after, harness dists are populated before being read).
 type Dist struct {
-	samples []float64
-	sorted  bool
+	s *distState
+}
+
+type distState struct {
+	mu      sync.Mutex
+	samples []float64 // insertion order; never reordered
+	sorted  []float64 // lazily rebuilt sorted copy, nil when stale
 	sum     float64
+}
+
+func (d *Dist) state() *distState {
+	if d.s == nil {
+		d.s = &distState{}
+	}
+	return d.s
 }
 
 // Add appends a sample.
 func (d *Dist) Add(v float64) {
-	d.samples = append(d.samples, v)
-	d.sorted = false
-	d.sum += v
+	s := d.state()
+	s.mu.Lock()
+	s.samples = append(s.samples, v)
+	s.sorted = nil
+	s.sum += v
+	s.mu.Unlock()
 }
 
 // N returns the sample count.
-func (d *Dist) N() int { return len(d.samples) }
-
-// Clone returns an independent copy. Query methods sort samples in place,
-// so a Dist shared across goroutines must be cloned under the writer's
-// lock before being read elsewhere.
-func (d *Dist) Clone() Dist {
-	return Dist{
-		samples: append([]float64(nil), d.samples...),
-		sorted:  d.sorted,
-		sum:     d.sum,
+func (d *Dist) N() int {
+	if d.s == nil {
+		return 0
 	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return len(d.s.samples)
+}
+
+// Clone returns an independent copy with its own state.
+func (d *Dist) Clone() Dist {
+	if d.s == nil {
+		return Dist{}
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return Dist{s: &distState{
+		samples: append([]float64(nil), d.s.samples...),
+		sum:     d.s.sum,
+	}}
 }
 
 // Sum returns the sum of all samples.
-func (d *Dist) Sum() float64 { return d.sum }
+func (d *Dist) Sum() float64 {
+	if d.s == nil {
+		return 0
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	return d.s.sum
+}
 
-// Merge appends all of o's samples into d. The caller must ensure o is not
-// concurrently mutated (clone it under its writer's lock first, or merge
-// shards that have quiesced).
+// Merge appends all of o's samples into d.
 func (d *Dist) Merge(o *Dist) {
-	if o == nil || len(o.samples) == 0 {
+	if o == nil || o.s == nil {
 		return
 	}
-	d.samples = append(d.samples, o.samples...)
-	d.sorted = false
-	d.sum += o.sum
+	o.s.mu.Lock()
+	samples := append([]float64(nil), o.s.samples...)
+	sum := o.s.sum
+	o.s.mu.Unlock()
+	if len(samples) == 0 {
+		return
+	}
+	s := d.state()
+	s.mu.Lock()
+	s.samples = append(s.samples, samples...)
+	s.sorted = nil
+	s.sum += sum
+	s.mu.Unlock()
 }
 
 // Mean returns the sample mean (0 with no samples).
 func (d *Dist) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.s == nil {
 		return 0
 	}
-	return d.sum / float64(len(d.samples))
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	if len(d.s.samples) == 0 {
+		return 0
+	}
+	return d.s.sum / float64(len(d.s.samples))
 }
 
-func (d *Dist) ensureSorted() {
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
+// sortedLocked returns the sorted view, rebuilding it if samples changed
+// since the last query. Callers must hold s.mu.
+func (s *distState) sortedLocked() []float64 {
+	if s.sorted == nil && len(s.samples) > 0 {
+		s.sorted = append([]float64(nil), s.samples...)
+		sort.Float64s(s.sorted)
 	}
+	return s.sorted
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) by nearest-rank,
 // or 0 with no samples.
 func (d *Dist) Percentile(p float64) float64 {
-	if len(d.samples) == 0 {
+	if d.s == nil {
 		return 0
 	}
-	d.ensureSorted()
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	sorted := d.s.sortedLocked()
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
-		return d.samples[0]
+		return sorted[0]
 	}
 	if p >= 100 {
-		return d.samples[len(d.samples)-1]
+		return sorted[len(sorted)-1]
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(d.samples))))
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
 	if rank < 1 {
 		rank = 1
 	}
-	return d.samples[rank-1]
+	return sorted[rank-1]
 }
+
+// Quantile returns the q-th quantile (q in [0,1]); equivalent to
+// Percentile(q*100).
+func (d *Dist) Quantile(q float64) float64 { return d.Percentile(q * 100) }
 
 // Min and Max return the extremes (0 with no samples).
 func (d *Dist) Min() float64 { return d.Percentile(0) }

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -135,14 +136,67 @@ func TestCounter(t *testing.T) {
 	}
 }
 
+// TestDistConcurrentAddQuantile hammers a shared Dist with concurrent
+// writers and quantile/CDF readers. Run under -race (the Makefile test
+// target does) this fails if queries ever mutate shared state without
+// holding the lock — the bug the old sort-in-place Percentile had.
+func TestDistConcurrentAddQuantile(t *testing.T) {
+	var d Dist
+	d.Add(1) // first touch happens-before the goroutines below
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				d.Add(rng.Float64() * 100)
+			}
+		}(int64(w))
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if q := d.Quantile(0.99); q < 0 {
+					t.Error("negative quantile")
+					return
+				}
+				pts := d.CDF(Quantiles)
+				for i := 1; i < len(pts); i++ {
+					if pts[i][0] < pts[i-1][0] {
+						t.Errorf("CDF non-monotone under concurrency: %v", pts)
+						return
+					}
+				}
+				d.Mean()
+				d.Clone()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if n := d.N(); n != 1+4*2000 {
+		t.Fatalf("lost samples: n=%d", n)
+	}
+}
+
 func TestDistClone(t *testing.T) {
 	var d Dist
 	for _, v := range []float64{3, 1, 2} {
 		d.Add(v)
 	}
 	c := d.Clone()
-	// Sorting the clone (Percentile sorts in place) must not reorder the
-	// original, and growing the original must not grow the clone.
+	// Querying the clone must not affect the original, and growing the
+	// original must not grow the clone.
 	if got := c.Percentile(50); got != 2 {
 		t.Errorf("clone p50 = %v", got)
 	}

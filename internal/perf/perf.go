@@ -64,6 +64,10 @@ type Config struct {
 	Backends  []string
 	Workloads []string
 	Quick     bool
+	// Telemetry is passed to the wire backends unchanged — the
+	// telemetry-overhead smoke runs the same cell with tracing off and on
+	// to price the flight recorder.
+	Telemetry wire.TelemetryConfig
 }
 
 // Quick is the CI-sized configuration (the committed baseline's shape).
@@ -173,6 +177,7 @@ func (c Config) build(backend string) (*instance, error) {
 			Policy:      spec.Policy,
 			Strategy:    core.StrategyCover,
 			QueueDepth:  4096,
+			Telemetry:   c.Telemetry,
 		}
 		cfg.Data.UseTCP = backend == BackendWireTCP
 		d, err := wire.NewDeployment(cfg)

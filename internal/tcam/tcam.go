@@ -141,6 +141,15 @@ type Table struct {
 	// Set it before the table is shared across goroutines.
 	OnExpire func(Entry)
 
+	// OnInstall, if non-nil, is invoked after Insert commits a rule
+	// (including replace-in-place). OnEvict is invoked for each entry a
+	// capacity eviction removes. Both run outside the table's mutex, after
+	// the mutation is visible, so they may call back into the table; like
+	// OnExpire they must be set before the table is shared across
+	// goroutines.
+	OnInstall func(Entry)
+	OnEvict   func(Entry)
+
 	// Misses counts lookups that matched no entry.
 	Misses atomic.Uint64
 	// Hits counts lookups that matched an entry.
@@ -243,23 +252,26 @@ func (t *Table) Capacity() int { return t.capacity }
 // the table is full the eviction policy picks a victim; with EvictNone the
 // insert fails with ErrFull.
 func (t *Table) Insert(now float64, r flowspace.Rule, idle, hard float64) error {
+	var evicted *entry
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if old, ok := t.byID[r.ID]; ok {
 		t.removeEntryLocked(old)
 	}
 	if t.capacity > 0 && len(t.entries) >= t.capacity {
 		if t.policy == EvictNone {
 			t.markDirtyLocked()
+			t.mu.Unlock()
 			return ErrFull
 		}
 		victim := t.pickVictimLocked()
 		if victim == nil {
 			t.markDirtyLocked()
+			t.mu.Unlock()
 			return ErrFull
 		}
 		t.removeEntryLocked(victim)
 		t.Evictions.Add(1)
+		evicted = victim
 	}
 	e := &entry{
 		rule:        r,
@@ -277,6 +289,15 @@ func (t *Table) Insert(now float64, r flowspace.Rule, idle, hard float64) error 
 	t.entries[i] = e
 	t.byID[r.ID] = e
 	t.markDirtyLocked()
+	t.mu.Unlock()
+	// Hooks fire outside mu, after the mutation is visible (same contract
+	// as Advance's OnExpire).
+	if evicted != nil && t.OnEvict != nil {
+		t.OnEvict(evicted.snapshot())
+	}
+	if t.OnInstall != nil {
+		t.OnInstall(e.snapshot())
+	}
 	return nil
 }
 

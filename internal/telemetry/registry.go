@@ -1,0 +1,229 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType classifies a registered metric.
+type MetricType uint8
+
+// Metric types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeSummary
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeSummary:
+		return "summary"
+	default:
+		return "untyped"
+	}
+}
+
+// Label is one name=value pair on a point.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Point is one sample of a counter or gauge: a value plus optional labels.
+type Point struct {
+	Labels []Label `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+// SummaryView is what a summary metric's collector returns: quantile
+// points plus count and sum, precomputed by the producer (typically from a
+// metrics.Dist).
+type SummaryView struct {
+	Count     uint64       `json:"count"`
+	Sum       float64      `json:"sum"`
+	Quantiles [][2]float64 `json:"quantiles,omitempty"` // (q, value) pairs
+}
+
+type metric struct {
+	name    string
+	help    string
+	typ     MetricType
+	collect func() []Point
+	summary func() SummaryView
+}
+
+// Registry is a pull-model metric registry: registration stores a name,
+// help text, and a collect function; every scrape (Prometheus text, JSON,
+// Snapshot) invokes the collectors. Nothing is cached, so a scrape always
+// reflects live cluster state, and producers pay zero cost between
+// scrapes.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	names   map[string]struct{}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]struct{})}
+}
+
+// Register adds a counter or gauge whose points are produced by collect at
+// scrape time. Duplicate names panic: metric names are a fixed schema, so
+// a collision is a programming error.
+func (g *Registry) Register(name, help string, typ MetricType, collect func() []Point) {
+	g.add(metric{name: name, help: help, typ: typ, collect: collect})
+}
+
+// RegisterFunc adds a single unlabeled counter or gauge.
+func (g *Registry) RegisterFunc(name, help string, typ MetricType, fn func() float64) {
+	g.Register(name, help, typ, func() []Point {
+		return []Point{{Value: fn()}}
+	})
+}
+
+// RegisterSummary adds a summary metric (quantiles + _sum/_count).
+func (g *Registry) RegisterSummary(name, help string, collect func() SummaryView) {
+	g.add(metric{name: name, help: help, typ: TypeSummary, summary: collect})
+}
+
+func (g *Registry) add(m metric) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.names[m.name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", m.name))
+	}
+	g.names[m.name] = struct{}{}
+	g.metrics = append(g.metrics, m)
+}
+
+// MetricSnapshot is one metric's scraped state.
+type MetricSnapshot struct {
+	Name    string       `json:"name"`
+	Help    string       `json:"help,omitempty"`
+	Type    string       `json:"type"`
+	Points  []Point      `json:"points,omitempty"`
+	Summary *SummaryView `json:"summary,omitempty"`
+}
+
+// Snapshot scrapes every metric, sorted by name.
+func (g *Registry) Snapshot() []MetricSnapshot {
+	g.mu.Lock()
+	ms := append([]metric(nil), g.metrics...)
+	g.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		snap := MetricSnapshot{Name: m.name, Help: m.help, Type: m.typ.String()}
+		if m.typ == TypeSummary {
+			v := m.summary()
+			snap.Summary = &v
+		} else {
+			snap.Points = m.collect()
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// WritePrometheus renders a scrape in the Prometheus text exposition
+// format (version 0.0.4).
+func (g *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range g.Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		if m.Summary != nil {
+			for _, qv := range m.Summary.Quantiles {
+				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n",
+					m.Name, trimFloat(qv[0]), promFloat(qv[1])); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				m.Name, promFloat(m.Summary.Sum), m.Name, m.Summary.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		for _, p := range m.Points {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				m.Name, promLabels(p.Labels), promFloat(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// WriteJSON renders a scrape as one JSON object keyed by metric name, in
+// the spirit of expvar: counters and gauges become numbers (or objects
+// keyed by "k=v,..." label strings when labeled), summaries become
+// {count, sum, q...} objects.
+func (g *Registry) WriteJSON(w io.Writer) error {
+	obj := make(map[string]any)
+	for _, m := range g.Snapshot() {
+		switch {
+		case m.Summary != nil:
+			s := map[string]any{"count": m.Summary.Count, "sum": m.Summary.Sum}
+			for _, qv := range m.Summary.Quantiles {
+				s["q"+trimFloat(qv[0])] = qv[1]
+			}
+			obj[m.Name] = s
+		case len(m.Points) == 1 && len(m.Points[0].Labels) == 0:
+			obj[m.Name] = m.Points[0].Value
+		default:
+			labeled := make(map[string]float64, len(m.Points))
+			for _, p := range m.Points {
+				parts := make([]string, 0, len(p.Labels))
+				for _, l := range p.Labels {
+					parts = append(parts, l.Key+"="+l.Value)
+				}
+				labeled[strings.Join(parts, ",")] = p.Value
+			}
+			obj[m.Name] = labeled
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}

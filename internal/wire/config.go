@@ -38,6 +38,9 @@ type ClusterConfig struct {
 	Overload OverloadConfig
 	// Partition tunes the partitioner.
 	Partition core.PartitionConfig
+	// Telemetry tunes the flight recorder and the optional HTTP metrics
+	// endpoint.
+	Telemetry TelemetryConfig
 
 	// trans overrides the control transport (tests only).
 	trans transport
@@ -219,5 +222,6 @@ func (cfg *ClusterConfig) Validate() error {
 	cfg.Retry.applyDefaults()
 	cfg.Overload.applyDefaults()
 	cfg.Data.applyDefaults()
+	cfg.Telemetry.applyDefaults()
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"difane/internal/core"
 	"difane/internal/flowspace"
 	"difane/internal/packet"
+	"difane/internal/telemetry"
 )
 
 // Deployment adapts a Cluster to the simulator-facing driving surface
@@ -55,6 +56,7 @@ func (d *Deployment) InjectPacket(at float64, ingress uint32, k flowspace.Key, s
 		n, ok := d.C.switches[ingress]
 		if !ok || n.killed.Load() || d.C.closed.Load() || time.Now().After(deadline) {
 			d.C.drop(d.C.ext, dropUnreachable)
+			d.C.traceVerdict(ingress, telemetry.VUnreachable, 0, &h, 0)
 			d.injected.Add(1)
 			return
 		}
@@ -76,6 +78,10 @@ func (d *Deployment) Run(horizon float64) {
 
 // Measurements returns a consistent snapshot of the run's statistics.
 func (d *Deployment) Measurements() *core.Measurements { return d.C.Measurements() }
+
+// Telemetry returns one scrape of the cluster's metric registry plus
+// flight-recorder accounting.
+func (d *Deployment) Telemetry() *telemetry.Snapshot { return d.C.Telemetry() }
 
 // Close shuts the cluster down.
 func (d *Deployment) Close() error { return d.C.Close() }

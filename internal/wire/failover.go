@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"difane/internal/proto"
+	"difane/internal/telemetry"
 )
 
 // This file is the cluster's failure detector and failover machinery.
@@ -89,6 +90,9 @@ func (c *Cluster) markDead(n *node) {
 	n.deadAt.Store(time.Now().UnixNano())
 	c.clearPending(n.id)
 	c.cold.authorityDeaths.Add(1)
+	if c.rec.Enabled() {
+		c.rec.Publish(telemetry.Event{Kind: telemetry.EvDeath, Node: n.id})
+	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -108,6 +112,9 @@ func (c *Cluster) markAlive(n *node) {
 		return
 	}
 	n.lastBeat.Store(time.Now().UnixNano())
+	if c.rec.Enabled() {
+		c.rec.Publish(telemetry.Event{Kind: telemetry.EvRevive, Node: n.id})
+	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -168,6 +175,11 @@ func (c *Cluster) promoteBackups(dead uint32) {
 	}
 	if promoted {
 		c.cold.failoversPromoted.Add(uint64(len(mods)))
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvPromote, Node: dead, Value: uint64(len(mods)),
+			})
+		}
 	}
 }
 

@@ -1,6 +1,10 @@
 package wire
 
-import "time"
+import (
+	"time"
+
+	"difane/internal/telemetry"
+)
 
 // Controller-outage mode: a wire cluster can simulate the central
 // controller crashing while every switch keeps running. Switches detect
@@ -19,6 +23,12 @@ func (c *Cluster) KillController() bool {
 		return false
 	}
 	c.cold.controllerOutages.Add(1)
+	if c.rec.Enabled() {
+		c.rec.Publish(telemetry.Event{
+			Kind: telemetry.EvControllerDown, Node: telemetry.ClusterNode,
+			Value: c.epoch.Load(),
+		})
+	}
 	for _, n := range c.switches {
 		n.closeConns()
 	}
@@ -35,7 +45,13 @@ func (c *Cluster) RestoreController() bool {
 	if !c.ctrlDown.CompareAndSwap(true, false) {
 		return false
 	}
-	c.epoch.Add(1)
+	newEpoch := c.epoch.Add(1)
+	if c.rec.Enabled() {
+		c.rec.Publish(telemetry.Event{
+			Kind: telemetry.EvControllerUp, Node: telemetry.ClusterNode,
+			Value: newEpoch,
+		})
+	}
 	now := time.Now().UnixNano()
 	for _, n := range c.switches {
 		n.lastBeat.Store(now)

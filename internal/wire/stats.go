@@ -33,9 +33,11 @@ type nodeStats struct {
 	cacheInstallsShed atomic.Uint64
 	failoversLocal    atomic.Uint64
 
-	// latMu guards the latency distributions (slice appends). Uncontended
-	// in steady state: only the owning node's data goroutine records
-	// deliveries, and readers clone under the lock.
+	// latMu keeps the two distributions consistent as a pair and orders
+	// their lazy first-Add initialization against concurrent readers.
+	// Uncontended in steady state: only the owning node's data goroutine
+	// records deliveries. (Dist itself is internally synchronized, so the
+	// clones taken under this lock are about pairing, not safety.)
 	latMu      sync.Mutex
 	firstDelay metrics.Dist
 	laterDelay metrics.Dist

@@ -1,0 +1,318 @@
+package wire
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"difane/internal/metrics"
+	"difane/internal/packet"
+	"difane/internal/proto"
+	"difane/internal/tcam"
+	"difane/internal/telemetry"
+)
+
+// TelemetryConfig tunes the cluster's observability layer. The flight
+// recorder and metric registry always exist (a scrape costs nothing until
+// read); this config controls whether tracing starts enabled and whether
+// an HTTP endpoint serves them.
+type TelemetryConfig struct {
+	// Addr, when non-empty, serves the telemetry HTTP endpoint on this
+	// address (":0" picks an ephemeral port — read it back with
+	// Cluster.TelemetryAddr):
+	//
+	//	/metrics      Prometheus text exposition
+	//	/vars         expvar-style JSON
+	//	/trace        flight-recorder dump with filters
+	//	/status       the cluster status report
+	//	/debug/pprof  the standard profiling endpoints
+	Addr string
+	// Tracing starts the flight recorder enabled. Off, the data plane pays
+	// one atomic load per would-be event; on, events are recorded into
+	// per-node lock-free rings that never block forwarding. Toggle at
+	// runtime with Cluster.SetTracing.
+	Tracing bool
+	// TraceBuffer is each node's ring capacity in events, rounded up to a
+	// power of two (default 4096). Old events are overwritten when a ring
+	// wraps; the overwrite count is exported as difane_trace_dropped_total.
+	TraceBuffer int
+}
+
+func (t *TelemetryConfig) applyDefaults() {
+	if t.TraceBuffer <= 0 {
+		t.TraceBuffer = 4096
+	}
+}
+
+// flowOf projects a packet header onto the trace event flow tuple.
+func flowOf(h *packet.Header) telemetry.FlowTuple {
+	return telemetry.Tuple(h.IPSrc, h.IPDst, h.TPSrc, h.TPDst, h.IPProto)
+}
+
+// initTelemetry builds the recorder and attaches the TCAM install/evict
+// hooks. Called after the assignment pre-installs (so boot-time rule
+// pushes don't flood the rings) and before any switch goroutine starts
+// (the hook-set-before-sharing contract).
+func (c *Cluster) initTelemetry() {
+	ids := make([]uint32, 0, len(c.switches)+1)
+	for id := range c.switches {
+		ids = append(ids, id)
+	}
+	ids = append(ids, telemetry.ClusterNode)
+	c.rec = telemetry.NewRecorder(ids, c.cfg.Telemetry.TraceBuffer, c.cfg.Telemetry.Tracing)
+	for _, n := range c.switches {
+		c.attachTableHooks(n)
+	}
+	c.reg = telemetry.NewRegistry()
+	c.buildRegistry()
+}
+
+// attachTableHooks publishes install/evict/expire trace events for one
+// switch's three rule tables.
+func (c *Cluster) attachTableHooks(n *node) {
+	id := n.id
+	for _, t := range []proto.Table{proto.TableCache, proto.TableAuthority, proto.TablePartition} {
+		table := n.sw.Table(t)
+		code := uint8(t) // proto table numbering matches the telemetry codes
+		table.OnInstall = func(e tcam.Entry) {
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvInstall, Node: id, Table: code, RuleID: e.Rule.ID,
+				})
+			}
+		}
+		table.OnEvict = func(e tcam.Entry) {
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvEvict, Node: id, Table: code, RuleID: e.Rule.ID,
+				})
+			}
+		}
+		table.OnExpire = func(e tcam.Entry) {
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvExpire, Node: id, Table: code, RuleID: e.Rule.ID,
+				})
+			}
+		}
+	}
+}
+
+// startTelemetryServer binds the HTTP endpoint when configured.
+func (c *Cluster) startTelemetryServer() error {
+	if c.cfg.Telemetry.Addr == "" {
+		return nil
+	}
+	srv, err := telemetry.Serve(c.cfg.Telemetry.Addr, c.reg, c.rec,
+		map[string]http.Handler{"/status": c.StatusHandler()})
+	if err != nil {
+		return err
+	}
+	c.tsrv = srv
+	return nil
+}
+
+// SetTracing toggles the flight recorder at runtime.
+func (c *Cluster) SetTracing(on bool) { c.rec.SetEnabled(on) }
+
+// TracingEnabled reports the flight recorder's state.
+func (c *Cluster) TracingEnabled() bool { return c.rec.Enabled() }
+
+// Recorder exposes the flight recorder (tests, embedding servers).
+func (c *Cluster) Recorder() *telemetry.Recorder { return c.rec }
+
+// Registry exposes the metric registry.
+func (c *Cluster) Registry() *telemetry.Registry { return c.reg }
+
+// TraceEvents snapshots the flight recorder through a filter.
+func (c *Cluster) TraceEvents(f telemetry.Filter) []telemetry.Event {
+	return c.rec.Events(f)
+}
+
+// Telemetry returns one scrape of the registry plus recorder accounting —
+// the Deployment.Telemetry() surface.
+func (c *Cluster) Telemetry() *telemetry.Snapshot {
+	return &telemetry.Snapshot{Metrics: c.reg.Snapshot(), Trace: c.rec.Stats()}
+}
+
+// TelemetryAddr returns the bound HTTP endpoint address, or "" when no
+// endpoint was configured.
+func (c *Cluster) TelemetryAddr() string {
+	if c.tsrv == nil {
+		return ""
+	}
+	return c.tsrv.Addr()
+}
+
+// sumStats folds one counter across every measurement shard.
+func (c *Cluster) sumStats(f func(*nodeStats) uint64) float64 {
+	total := f(c.ext)
+	for _, n := range c.switches {
+		total += f(n.stats)
+	}
+	return float64(total)
+}
+
+// mergedDelay merges one latency distribution across every shard into an
+// independent Dist (Dist is internally synchronized, so this is safe
+// against live writers).
+func (c *Cluster) mergedDelay(sel func(*nodeStats) *metrics.Dist) telemetry.SummaryView {
+	var d metrics.Dist
+	d.Merge(sel(c.ext))
+	for _, n := range c.switches {
+		d.Merge(sel(n.stats))
+	}
+	return telemetry.DistSummary(&d)
+}
+
+// buildRegistry registers the cluster's metric schema. Everything is
+// collected at scrape time from the same sharded atomics the data plane
+// writes, so scrapes cost the scraper, never the forwarding path.
+func (c *Cluster) buildRegistry() {
+	reg := c.reg
+	counter := func(name, help string, fn func() float64) {
+		reg.RegisterFunc(name, help, telemetry.TypeCounter, fn)
+	}
+	gauge := func(name, help string, fn func() float64) {
+		reg.RegisterFunc(name, help, telemetry.TypeGauge, fn)
+	}
+
+	counter("difane_injected_total", "Packets accepted at an ingress queue.",
+		func() float64 { return float64(c.injected.Load()) })
+	counter("difane_delivered_total", "Packets delivered to their egress.",
+		func() float64 { return c.sumStats(func(s *nodeStats) uint64 { return s.delivered.Load() }) })
+	counter("difane_dropped_total", "Packets lost (queues, holes, unreachable, shed).",
+		func() float64 { return float64(c.dropped.Load()) })
+	counter("difane_setups_completed_total", "Flow setups resolved at an authority.",
+		func() float64 { return c.sumStats(func(s *nodeStats) uint64 { return s.setupsCompleted.Load() }) })
+	counter("difane_failovers_local_total", "Ingress-local partition-rule repoints onto a backup authority.",
+		func() float64 { return c.sumStats(func(s *nodeStats) uint64 { return s.failoversLocal.Load() }) })
+	counter("difane_cache_installs_shed_total", "Cache installs suppressed by the install token bucket.",
+		func() float64 { return c.sumStats(func(s *nodeStats) uint64 { return s.cacheInstallsShed.Load() }) })
+
+	reg.Register("difane_drops_total", "Terminal packet losses by kind.", telemetry.TypeCounter,
+		func() []telemetry.Point {
+			kind := func(k string, f func(*nodeStats) uint64) telemetry.Point {
+				return telemetry.Point{
+					Labels: []telemetry.Label{{Key: "kind", Value: k}},
+					Value:  c.sumStats(f),
+				}
+			}
+			return []telemetry.Point{
+				kind("policy", func(s *nodeStats) uint64 { return s.dropPolicy.Load() }),
+				kind("hole", func(s *nodeStats) uint64 { return s.dropHole.Load() }),
+				kind("queue", func(s *nodeStats) uint64 { return s.dropQueue.Load() }),
+				kind("unreachable", func(s *nodeStats) uint64 { return s.dropUnreachable.Load() }),
+				kind("redirect-shed", func(s *nodeStats) uint64 { return s.dropRedirectShed.Load() }),
+			}
+		})
+
+	// Control-plane (cold) counters.
+	counter("difane_authority_deaths_total", "Switches the failure detector declared dead.",
+		func() float64 { return float64(c.cold.authorityDeaths.Load()) })
+	counter("difane_failovers_promoted_total", "Partition rules withdrawn by controller-driven promotion.",
+		func() float64 { return float64(c.cold.failoversPromoted.Load()) })
+	counter("difane_control_reconnects_total", "Control connections re-established.",
+		func() float64 { return float64(c.cold.controlReconnects.Load()) })
+	counter("difane_controller_outages_total", "Controller losses ridden out.",
+		func() float64 { return float64(c.cold.controllerOutages.Load()) })
+	counter("difane_outage_buffered_total", "Controller-bound events parked during outages.",
+		func() float64 { return float64(c.cold.outageBuffered.Load()) })
+	counter("difane_outage_drained_total", "Parked events replayed after outages.",
+		func() float64 { return float64(c.cold.outageDrained.Load()) })
+	counter("difane_outage_dropped_total", "Parked events shed on outage-buffer overflow.",
+		func() float64 { return float64(c.cold.outageDropped.Load()) })
+	counter("difane_stale_installs_rejected_total", "FlowMods refused by epoch fencing.",
+		func() float64 { return float64(c.cold.staleInstallsRejected.Load()) })
+
+	gauge("difane_epoch", "Controller fencing epoch.",
+		func() float64 { return float64(c.epoch.Load()) })
+	gauge("difane_controller_down", "1 while a simulated controller outage is active.",
+		func() float64 {
+			if c.ctrlDown.Load() {
+				return 1
+			}
+			return 0
+		})
+	gauge("difane_fabric_inflight", "Data frames in flight inside the TCP fabric.",
+		func() float64 {
+			if c.fabric == nil {
+				return 0
+			}
+			return float64(c.fabric.pending())
+		})
+
+	// Per-switch series, labeled by switch ID.
+	ids := make([]uint32, 0, len(c.switches))
+	for id := range c.switches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	perSwitch := func(name, help string, typ telemetry.MetricType, fn func(*node) float64) {
+		reg.Register(name, help, typ, func() []telemetry.Point {
+			pts := make([]telemetry.Point, 0, len(ids))
+			for _, id := range ids {
+				n := c.switches[id]
+				pts = append(pts, telemetry.Point{
+					Labels: []telemetry.Label{{Key: "switch", Value: switchLabel(id)}},
+					Value:  fn(n),
+				})
+			}
+			return pts
+		})
+	}
+	perSwitch("difane_switch_cache_hits_total", "Classifications terminated by the cache table.",
+		telemetry.TypeCounter, func(n *node) float64 { return float64(n.sw.Stats.CacheHits.Load()) })
+	perSwitch("difane_switch_authority_hits_total", "Classifications terminated by the authority table.",
+		telemetry.TypeCounter, func(n *node) float64 { return float64(n.sw.Stats.AuthorityHits.Load()) })
+	perSwitch("difane_switch_partition_hits_total", "Classifications terminated by the partition table.",
+		telemetry.TypeCounter, func(n *node) float64 { return float64(n.sw.Stats.PartitionHits.Load()) })
+	perSwitch("difane_switch_misses_total", "Classifications matching no table (policy holes).",
+		telemetry.TypeCounter, func(n *node) float64 { return float64(n.sw.Stats.Misses.Load()) })
+	perSwitch("difane_switch_cache_entries", "Installed cache rules.",
+		telemetry.TypeGauge, func(n *node) float64 { return float64(n.sw.Table(proto.TableCache).Len()) })
+	perSwitch("difane_switch_cache_evictions_total", "Cache entries evicted for capacity.",
+		telemetry.TypeCounter, func(n *node) float64 { return float64(n.sw.Table(proto.TableCache).Evictions.Load()) })
+	perSwitch("difane_switch_queue_depth", "Current data-queue occupancy.",
+		telemetry.TypeGauge, func(n *node) float64 { return float64(len(n.data)) })
+	perSwitch("difane_switch_peak_queue_depth", "Data-queue high-water mark.",
+		telemetry.TypeGauge, func(n *node) float64 { return float64(n.peakQueue.Load()) })
+	perSwitch("difane_switch_outbox_len", "Buffered controller-bound events.",
+		telemetry.TypeGauge, func(n *node) float64 { return float64(len(n.outbox)) })
+	perSwitch("difane_switch_epoch", "The switch's accepted install fence.",
+		telemetry.TypeGauge, func(n *node) float64 { return float64(n.epoch.Load()) })
+	perSwitch("difane_switch_alive", "1 while the failure detector believes the switch serves traffic.",
+		telemetry.TypeGauge, func(n *node) float64 {
+			if !n.killed.Load() && n.alive.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	// Latency summaries, merged across shards at scrape time.
+	reg.RegisterSummary("difane_first_packet_delay_seconds",
+		"Delivery latency of flow-setup packets (via an authority).",
+		func() telemetry.SummaryView {
+			return c.mergedDelay(func(s *nodeStats) *metrics.Dist { return &s.firstDelay })
+		})
+	reg.RegisterSummary("difane_later_packet_delay_seconds",
+		"Delivery latency of cache-hit packets.",
+		func() telemetry.SummaryView {
+			return c.mergedDelay(func(s *nodeStats) *metrics.Dist { return &s.laterDelay })
+		})
+
+	// The recorder's own accounting.
+	gauge("difane_trace_enabled", "1 while the flight recorder is recording.",
+		func() float64 {
+			if c.rec.Enabled() {
+				return 1
+			}
+			return 0
+		})
+	counter("difane_trace_writes_total", "Trace events published.",
+		func() float64 { return float64(c.rec.Stats().Writes) })
+	counter("difane_trace_dropped_total", "Trace events overwritten by ring wraparound.",
+		func() float64 { return float64(c.rec.Stats().Dropped) })
+}
+
+func switchLabel(id uint32) string { return strconv.FormatUint(uint64(id), 10) }

@@ -24,6 +24,7 @@ import (
 	"difane/internal/packet"
 	"difane/internal/proto"
 	"difane/internal/switchsim"
+	"difane/internal/telemetry"
 )
 
 // Delivery reports one packet reaching its egress.
@@ -84,6 +85,14 @@ type Cluster struct {
 	// keep serving from cached and authority rules, buffer
 	// controller-bound events, and drain them on RestoreController.
 	ctrlDown atomic.Bool
+
+	// rec is the flight recorder and reg the metric registry; both always
+	// exist so hot-path trace gates are a nil-free atomic load and
+	// Telemetry() works on every cluster. tsrv is the optional HTTP
+	// endpoint (cfg.Telemetry.Addr).
+	rec  *telemetry.Recorder
+	reg  *telemetry.Registry
+	tsrv *telemetry.Server
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -281,6 +290,22 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			return nil, err
 		}
 		c.fabric = fab
+	}
+	// Telemetry comes up after the assignment pre-installs (so boot-time
+	// rule pushes don't flood the trace rings) and before any goroutine
+	// starts (the TCAM hook-set-before-sharing contract).
+	c.initTelemetry()
+	if err := c.startTelemetryServer(); err != nil {
+		if c.fabric != nil {
+			c.fabric.close()
+		}
+		cancel()
+		c.trans.close()
+		for _, n := range c.switches {
+			n.ctrl.Close()
+			n.ctrlPeer.Close()
+		}
+		return nil, err
 	}
 	for _, n := range c.switches {
 		c.wg.Add(3)
@@ -486,13 +511,21 @@ func (c *Cluster) handlePacket(n *node, frame *dataFrame) {
 	res := n.sw.Classify(frameSec(frame), k, pkt.Size)
 	if !res.OK {
 		c.drop(n.stats, dropHole)
+		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
 		return
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
 		// Policy drop at the ingress (cached decision): intentional.
 		c.policyDrop(n.stats, false)
+		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0)
 	case flowspace.ActForward:
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvForward, Node: n.id, Peer: res.Rule.Action.Arg,
+				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
+			})
+		}
 		c.tunnelTo(n, res.Rule.Action.Arg, frame)
 	case flowspace.ActRedirect:
 		// Miss-storm protection: an ingress over its redirect budget sheds
@@ -500,6 +533,12 @@ func (c *Cluster) handlePacket(n *node, frame *dataFrame) {
 		// the authority switch's queue.
 		if !n.redirectTB.Allow() {
 			c.shedRedirect(n.stats)
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvShed, Node: n.id,
+					Verdict: telemetry.VShedRedirect, Flow: flowOf(&pkt.Header),
+				})
+			}
 			return
 		}
 		target := res.Rule.Action.Arg
@@ -510,9 +549,16 @@ func (c *Cluster) handlePacket(n *node, frame *dataFrame) {
 			next, ok := c.failoverLocal(n, res.Rule, target)
 			if !ok {
 				c.drop(n.stats, dropUnreachable)
+				c.traceVerdict(n.id, telemetry.VUnreachable, res.Rule.ID, &pkt.Header, 0)
 				return
 			}
 			target = next
+		}
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvRedirect, Node: n.id, Peer: target,
+				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
+			})
 		}
 		frame.detour = true
 		pkt.Encapsulate(packet.EncapRedirect, n.id, target)
@@ -520,7 +566,20 @@ func (c *Cluster) handlePacket(n *node, frame *dataFrame) {
 		c.forwardFrame(n, target, frame)
 	default:
 		c.drop(n.stats, dropHole)
+		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0)
 	}
+}
+
+// traceVerdict publishes a terminal packet event when tracing is on. lat
+// is the delivery latency in nanoseconds (0 for drops).
+func (c *Cluster) traceVerdict(node uint32, verdict uint8, ruleID uint64, h *packet.Header, lat int64) {
+	if !c.rec.Enabled() {
+		return
+	}
+	c.rec.Publish(telemetry.Event{
+		Kind: telemetry.EvVerdict, Node: node, Verdict: verdict,
+		RuleID: ruleID, Value: uint64(lat), Flow: flowOf(h),
+	})
 }
 
 // authorityHandle runs the partition logic for a redirected packet and
@@ -548,7 +607,15 @@ func (c *Cluster) authorityHandle(n *node, frame *dataFrame) {
 	n.mu.Unlock()
 	if auth == nil || !res.OK {
 		c.drop(n.stats, dropHole)
+		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
 		return
+	}
+	if c.rec.Enabled() {
+		c.rec.Publish(telemetry.Event{
+			Kind: telemetry.EvAuthority, Node: n.id, Peer: e.Ingress,
+			Table: uint8(proto.TableAuthority), RuleID: res.Rule.ID,
+			Flow: flowOf(&pkt.Header),
+		})
 	}
 	if len(res.CacheMods) > 0 {
 		// Control-plane half of miss-storm protection: an authority over
@@ -556,6 +623,12 @@ func (c *Cluster) authorityHandle(n *node, frame *dataFrame) {
 		// forwards below, so the cost is future redirects, not reachability.
 		if !n.installTB.Allow() {
 			n.stats.cacheInstallsShed.Add(1)
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvShed, Node: n.id,
+					Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
+				})
+			}
 		} else {
 			install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
 			// The authority switch writes on its switch end; the controller
@@ -569,6 +642,12 @@ func (c *Cluster) authorityHandle(n *node, frame *dataFrame) {
 			case n.installQ <- install:
 			default:
 				n.stats.cacheInstallsShed.Add(1)
+				if c.rec.Enabled() {
+					c.rec.Publish(telemetry.Event{
+						Kind: telemetry.EvShed, Node: n.id,
+						Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
+					})
+				}
 			}
 		}
 	}
@@ -576,10 +655,12 @@ func (c *Cluster) authorityHandle(n *node, frame *dataFrame) {
 	case flowspace.ActDrop:
 		// Policy drop at the authority: a completed (negative) flow setup.
 		c.policyDrop(n.stats, true)
+		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0)
 	case flowspace.ActForward:
 		c.tunnelTo(n, res.Rule.Action.Arg, frame)
 	default:
 		c.drop(n.stats, dropHole)
+		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0)
 	}
 }
 
@@ -624,6 +705,12 @@ func (c *Cluster) failoverLocal(n *node, r flowspace.Rule, dead uint32) (uint32,
 	mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd, Rule: nr}
 	_ = n.sw.ApplyFlowMod(nowSec(), &mod)
 	n.stats.failoversLocal.Add(1)
+	if c.rec.Enabled() {
+		c.rec.Publish(telemetry.Event{
+			Kind: telemetry.EvFailoverLocal, Node: n.id, Peer: next,
+			Table: uint8(proto.TablePartition), RuleID: r.ID, Value: uint64(dead),
+		})
+	}
 	return next, true
 }
 
@@ -665,6 +752,7 @@ func (c *Cluster) forwardFrame(src *node, to uint32, frame *dataFrame) {
 		// as unreachable instead, exactly like the simulator's dead-egress
 		// path.
 		c.drop(src.stats, dropUnreachable)
+		c.traceVerdict(src.id, telemetry.VUnreachable, 0, &frame.pkt.Header, 0)
 		return
 	}
 	if c.fabric != nil {
@@ -676,6 +764,7 @@ func (c *Cluster) forwardFrame(src *node, to uint32, frame *dataFrame) {
 		dst.noteQueueDepth(int64(len(dst.data)))
 	default:
 		c.drop(src.stats, dropQueue)
+		c.traceVerdict(src.id, telemetry.VDropQueue, 0, &frame.pkt.Header, 0)
 	}
 }
 
@@ -695,6 +784,7 @@ func (n *node) noteQueueDepth(d int64) {
 func (c *Cluster) deliver(n *node, frame *dataFrame) {
 	lat := time.Duration(nowNS() - frame.injected)
 	n.stats.recordDelivery(lat.Seconds(), frame.detour)
+	c.traceVerdict(n.id, telemetry.VDelivered, 0, &frame.pkt.Header, int64(lat))
 	// The length pre-check keeps egress loops from serializing on the
 	// shared channel's lock when nobody is draining notifications; the
 	// select still sheds racy fill-ups. Either way the notification is
@@ -795,6 +885,9 @@ func (c *Cluster) reconnect(n *node) bool {
 			n.ctrl, n.ctrlPeer = sw, peer
 			n.connMu.Unlock()
 			c.cold.controlReconnects.Add(1)
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{Kind: telemetry.EvReconnect, Node: n.id})
+			}
 			return true
 		}
 		attempt++
@@ -823,11 +916,24 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 			// highest epoch this switch has accepted is a straggler from a
 			// dead controller — reject it and report the current fence.
 			// Epoch-0 installs (data-plane origin) bypass the fence.
-			if m.Epoch != 0 && !n.raiseEpoch(m.Epoch) {
-				c.cold.staleInstallsRejected.Add(1)
-				rep := &proto.EpochReport{Node: n.id, Epoch: n.epoch.Load()}
-				go func() { _ = c.writeToController(n, rep) }()
-				continue
+			if m.Epoch != 0 {
+				before := n.epoch.Load()
+				if !n.raiseEpoch(m.Epoch) {
+					c.cold.staleInstallsRejected.Add(1)
+					if c.rec.Enabled() {
+						c.rec.Publish(telemetry.Event{
+							Kind: telemetry.EvEpochReject, Node: n.id, Value: m.Epoch,
+						})
+					}
+					rep := &proto.EpochReport{Node: n.id, Epoch: n.epoch.Load()}
+					go func() { _ = c.writeToController(n, rep) }()
+					continue
+				}
+				if m.Epoch > before && c.rec.Enabled() {
+					c.rec.Publish(telemetry.Event{
+						Kind: telemetry.EvEpochRaise, Node: n.id, Value: m.Epoch,
+					})
+				}
 			}
 			// No node lock: the tables serialize writers internally and
 			// publish snapshots, so installs never stall the data plane.
@@ -1120,6 +1226,9 @@ func (c *Cluster) Close() error {
 			n.closeConns()
 		}
 		c.wg.Wait()
+		if c.tsrv != nil {
+			_ = c.tsrv.Close()
+		}
 	})
 	return nil
 }
