@@ -20,11 +20,12 @@ bench:
 	go test -bench=. -benchmem ./...
 
 # Quick wire-mode perf sweep gated against the committed baseline — the
-# same command CI's perf-smoke job runs (>15% regression fails). The
+# same command CI's perf-smoke job runs (>15% regression fails, and the
+# cache-hit wire cells must hold the absolute allocs/op budget). The
 # report lands in gitignored bench-out/; refreshing the committed baseline
 # is an explicit act: difane-bench -wire -out BENCH_wire.baseline.json.
 perf-smoke:
-	go run ./cmd/difane-bench -wire -quick -compare BENCH_wire.baseline.json
+	go run ./cmd/difane-bench -wire -quick -compare BENCH_wire.baseline.json -alloc-budget 3
 
 # Price the telemetry layer: the cache-hit/wire cell with tracing off and
 # on. Tracing-off must stay within 2% of the committed baseline — the

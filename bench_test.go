@@ -366,9 +366,19 @@ func BenchmarkWireThroughput(b *testing.B) {
 		wg.Add(1)
 		go func(g, share int) {
 			defer wg.Done()
+			batch := make([]difane.PacketIn, 0, 256)
 			for i := 0; i < share; i++ {
 				idx := g*per + i%per
-				d.InjectPacket(0, at[idx], ks[idx], 100, uint64(i))
+				batch = append(batch, difane.PacketIn{
+					Ingress: at[idx], Key: ks[idx], Size: 100, Seq: uint64(i),
+				})
+				if len(batch) == cap(batch) {
+					d.InjectBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				d.InjectBatch(batch)
 			}
 		}(g, share)
 	}
@@ -416,9 +426,19 @@ func BenchmarkWireMissStorm(b *testing.B) {
 		wg.Add(1)
 		go func(g, share int) {
 			defer wg.Done()
+			batch := make([]difane.PacketIn, 0, 256)
 			for i := 0; i < share; i++ {
 				k := benchWireKey(uint32(g)<<24|uint32(i+1), uint16(1000+(g+i)%8))
-				d.InjectPacket(0, uint32(g), k, 100, uint64(i))
+				batch = append(batch, difane.PacketIn{
+					Ingress: uint32(g), Key: k, Size: 100, Seq: uint64(i),
+				})
+				if len(batch) == cap(batch) {
+					d.InjectBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			if len(batch) > 0 {
+				d.InjectBatch(batch)
 			}
 		}(g, share)
 	}

@@ -47,6 +47,7 @@ func main() {
 	wireBench := flag.Bool("wire", false, "run the data-plane benchmark suite instead of the paper figures")
 	out := flag.String("out", "bench-out/BENCH_wire.json", "where -wire writes its JSON report")
 	compare := flag.String("compare", "", "baseline report to diff the -wire run against (exit 1 on regression)")
+	allocBudget := flag.Float64("alloc-budget", perf.DefaultAllocBudget, "absolute cache-hit wire allocs/op ceiling for -wire (0 disables)")
 	telemetrySmoke := flag.Bool("telemetry-smoke", false, "price the telemetry layer: cache-hit/wire with tracing off vs on, 2% disabled-overhead gate vs -compare")
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 		os.Exit(runTelemetrySmoke(*quick, *seed, *compare))
 	}
 	if *wireBench {
-		os.Exit(runWireBench(*quick, *seed, *out, *compare))
+		os.Exit(runWireBench(*quick, *seed, *out, *compare, *allocBudget))
 	}
 
 	opts := experiments.Bench()
@@ -112,8 +113,9 @@ func main() {
 }
 
 // runWireBench executes the fixed-seed data-plane suite, writes the JSON
-// report, and gates against a baseline when one is given.
-func runWireBench(quick bool, seed int64, out, compare string) int {
+// report, gates against a baseline when one is given, and asserts the
+// absolute cache-hit allocs/op budget.
+func runWireBench(quick bool, seed int64, out, compare string, allocBudget float64) int {
 	cfg := perf.Full()
 	if quick {
 		cfg = perf.Quick()
@@ -127,6 +129,28 @@ func runWireBench(quick bool, seed int64, out, compare string) int {
 	}
 	fmt.Print(rep.Render())
 	fmt.Printf("(wire bench completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if allocBudget > 0 {
+		if overs := perf.CheckAllocBudget(rep, allocBudget); len(overs) > 0 {
+			// Same confirm-on-failure policy as the relative gate: a GC
+			// landing inside a short window inflates the count once, a real
+			// fast-path allocation inflates it every time.
+			again, err := perf.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			rep = perf.MergeBest(rep, again)
+			if overs = perf.CheckAllocBudget(rep, allocBudget); len(overs) > 0 {
+				writeReport(rep, out)
+				fmt.Fprintln(os.Stderr, "ALLOC BUDGET EXCEEDED:")
+				for _, o := range overs {
+					fmt.Fprintf(os.Stderr, "  %s\n", o)
+				}
+				return 1
+			}
+		}
+		fmt.Printf("cache-hit wire allocs/op within budget (%.1f)\n", allocBudget)
+	}
 	if compare != "" {
 		base, err := perf.LoadReport(compare)
 		if err != nil {

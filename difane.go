@@ -316,10 +316,12 @@ type RetryPolicy = wire.RetryPolicy
 // redirect/install budgets) and the controller-outage event buffer.
 type OverloadConfig = wire.OverloadConfig
 
-// DataFabricConfig selects wire mode's inter-switch data carrier: direct
-// channel handoff (default) or batched loopback-TCP connections
-// (UseTCP), with FlushInterval/FlushBytes tuning the write coalescing.
-type DataFabricConfig = wire.DataFabricConfig
+// FabricConfig is wire mode's single data-plane options block: the
+// burst/ring geometry of the in-process fast path (Burst, RingDepth) and
+// the optional batched loopback-TCP carrier (UseTCP, with
+// FlushInterval/FlushBytes tuning the write coalescing). It replaces the
+// former DataFabricConfig (ClusterConfig.Data is now ClusterConfig.Fabric).
+type FabricConfig = wire.FabricConfig
 
 // WireDeployment adapts a wire-mode Cluster to the Deployment interface.
 type WireDeployment = wire.Deployment
@@ -385,29 +387,42 @@ func TraceNode(id uint32) *uint32 { return telemetry.Node(id) }
 // backends report zero trace state, wire mode reports the live recorder.
 type Deployment interface {
 	InjectPacket(at float64, ingress uint32, k Key, size int, seq uint64)
+	InjectBatch(batch []PacketIn)
 	Run(horizon float64)
 	Measurements() *Measurements
 	Telemetry() *TelemetrySnapshot
 	Close() error
 }
 
-// PacketInjector is the older name of the driving surface.
-//
-// Deprecated: use Deployment, which adds Measurements and Close.
-type PacketInjector = Deployment
+// PacketIn is one packet handed to a Deployment: InjectPacket's argument
+// tuple in struct form, so callers can hand whole bursts to a backend in
+// one InjectBatch call — in wire mode a run of same-ingress packets
+// becomes one ring push under one lock.
+type PacketIn = core.PacketIn
 
-// RunTrace injects every packet of every flow into the network and runs
-// the simulation until horizon seconds.
+// runTraceBatch sizes the chunks RunTrace hands to InjectBatch.
+const runTraceBatch = 256
+
+// RunTrace injects every packet of every flow into the network in bursts
+// and runs the simulation until horizon seconds.
 func RunTrace(n Deployment, flows []Flow, horizon float64) {
+	batch := make([]PacketIn, 0, runTraceBatch)
 	for _, f := range flows {
 		for p := 0; p < f.Packets; p++ {
 			at := f.Start + float64(p)*f.Gap
 			if at > horizon {
 				break
 			}
-			n.InjectPacket(at, f.Ingress, f.Key, f.Size, uint64(p))
+			batch = append(batch, PacketIn{
+				At: at, Ingress: f.Ingress, Key: f.Key, Size: f.Size, Seq: uint64(p),
+			})
+			if len(batch) == cap(batch) {
+				n.InjectBatch(batch)
+				batch = batch[:0]
+			}
 		}
 	}
+	n.InjectBatch(batch)
 	n.Run(horizon)
 }
 

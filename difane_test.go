@@ -55,7 +55,7 @@ func TestBaselineComparableInterface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []difane.PacketInjector{dn, bn} {
+	for _, n := range []difane.Deployment{dn, bn} {
 		difane.RunTrace(n, flows, 30)
 	}
 	// Both must complete the same setups; the baseline must be slower on
@@ -243,6 +243,4 @@ func TestDeploymentInterfaceAllBackends(t *testing.T) {
 		})
 	}
 
-	// The deprecated name still compiles and means the same thing.
-	var _ difane.PacketInjector = difane.Deployment(nil)
 }

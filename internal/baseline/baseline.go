@@ -104,6 +104,14 @@ func (n *Network) InjectPacket(at float64, ingress uint32, k flowspace.Key, size
 	n.Eng.At(at, func() { n.process(at, ingress, k, size, seq) })
 }
 
+// InjectBatch schedules a burst of packets; in the discrete-event baseline
+// each packet still becomes its own event at its own virtual time.
+func (n *Network) InjectBatch(batch []core.PacketIn) {
+	for _, p := range batch {
+		n.InjectPacket(p.At, p.Ingress, p.Key, p.Size, p.Seq)
+	}
+}
+
 func (n *Network) process(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
 	now := n.Eng.Now()
 	sw, ok := n.Switches[ingress]

@@ -65,7 +65,22 @@ type Authority struct {
 	// originOf maps generated cache-rule IDs back to the policy rule they
 	// stand for, preserving per-policy-rule accounting.
 	originOf map[uint64]uint64
+	// memo caches HandleMiss results by exact key. A flow whose ingress
+	// cache rule has not landed yet redirects every packet here, and cover
+	// synthesis (CoverFor's rule subtraction) is by far the costliest step
+	// on the miss path — recomputing it per packet of the same flow melts
+	// the authority under a redirect storm. Memoized results also pin the
+	// generated rule ID, so repeat misses refresh the same ingress cache
+	// entry instead of installing a duplicate under a fresh ID. The memo
+	// dies with the Authority, which is rebuilt on every partition or
+	// policy change, so it can never serve a stale partition's answer.
+	memo map[flowspace.Key]MissResult
 }
+
+// memoCap bounds the per-authority miss memo; when full it is flushed
+// wholesale (repopulating costs one CoverFor per live flow, and tracking
+// recency would put map bookkeeping on every memoized hit).
+const memoCap = 8192
 
 // NewAuthority builds the authority logic for a partition.
 func NewAuthority(switchID uint32, p Partition, strategy CacheStrategy) *Authority {
@@ -106,9 +121,27 @@ type MissResult struct {
 }
 
 // HandleMiss processes a redirected packet: find the matching rule, decide
-// the action, and generate ingress cache rules per the strategy.
+// the action, and generate ingress cache rules per the strategy. Repeat
+// misses for a key already answered return the memoized result — the same
+// rule, the same cache mods, the same generated IDs. Callers must treat
+// the returned CacheMods as read-only.
 func (a *Authority) HandleMiss(k flowspace.Key) MissResult {
 	a.Misses++
+	if res, ok := a.memo[k]; ok {
+		a.CacheRulesSent += uint64(len(res.CacheMods))
+		return res
+	}
+	res := a.handleMissSlow(k)
+	if a.memo == nil {
+		a.memo = make(map[flowspace.Key]MissResult)
+	} else if len(a.memo) >= memoCap {
+		clear(a.memo)
+	}
+	a.memo[k] = res
+	return res
+}
+
+func (a *Authority) handleMissSlow(k flowspace.Key) MissResult {
 	rules := a.Partition.Rules
 	hitRule, ok := flowspace.EvalTable(rules, k)
 	if !ok {

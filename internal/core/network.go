@@ -431,12 +431,37 @@ func (n *Network) authorityFor(id uint32, k flowspace.Key) *Authority {
 	return nil
 }
 
+// PacketIn is one packet handed to a deployment for injection — the
+// argument tuple of InjectPacket in struct form, so callers can hand whole
+// bursts to a backend in one call (InjectBatch).
+type PacketIn struct {
+	// At is the virtual injection time (ignored by real-time backends).
+	At float64
+	// Ingress is the switch the packet enters at.
+	Ingress uint32
+	// Key is the packet's header projected onto the flowspace match tuple.
+	Key flowspace.Key
+	// Size is the packet's size in bytes.
+	Size int
+	// Seq is the packet's sequence within its flow (0 = first).
+	Seq uint64
+}
+
 // InjectPacket schedules one packet entering the network at the ingress
 // switch at time at. seq 0 marks a flow's first packet.
 func (n *Network) InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
 	n.Eng.At(at, func() {
 		n.processAtIngress(at, ingress, k, size, seq)
 	})
+}
+
+// InjectBatch schedules a burst of packets. The simulator is a
+// discrete-event engine, so batching here is a convenience loop — each
+// packet still becomes its own event at its own virtual time.
+func (n *Network) InjectBatch(batch []PacketIn) {
+	for _, p := range batch {
+		n.InjectPacket(p.At, p.Ingress, p.Key, p.Size, p.Seq)
+	}
 }
 
 func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64) {

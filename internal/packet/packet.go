@@ -146,18 +146,26 @@ const MaxWireLen = 1 + 9 + 14 + 4 + 12 + 4
 // extended slice. Payload bytes are not encoded; Size travels in the
 // simulator/protocol metadata.
 func (p *Packet) AppendWire(b []byte) []byte {
+	return p.AppendWireEncap(b, p.Encap)
+}
+
+// AppendWireEncap is AppendWire for callers that carry the encapsulation
+// state outside the Packet (wire mode's burst data plane keeps it by value
+// to avoid a per-hop heap allocation); e == nil encodes no encapsulation,
+// and p.Encap is ignored.
+func (p *Packet) AppendWireEncap(b []byte, e *Encap) []byte {
 	kind := byte(0)
-	if p.Encap != nil {
+	if e != nil {
 		kind |= flagEncap
 	}
 	if p.Header.VLAN != 0 {
 		kind |= flagVLAN
 	}
 	b = append(b, kind)
-	if p.Encap != nil {
-		b = append(b, byte(p.Encap.Reason))
-		b = binary.BigEndian.AppendUint32(b, p.Encap.Ingress)
-		b = binary.BigEndian.AppendUint32(b, p.Encap.Target)
+	if e != nil {
+		b = append(b, byte(e.Reason))
+		b = binary.BigEndian.AppendUint32(b, e.Ingress)
+		b = binary.BigEndian.AppendUint32(b, e.Target)
 	}
 	var mac [8]byte
 	binary.BigEndian.PutUint64(mac[:], p.Header.EthDst<<16)
@@ -182,27 +190,44 @@ func (p *Packet) AppendWire(b []byte) []byte {
 
 // DecodeWire parses an encoded packet header, returning the decoded packet
 // and the number of bytes consumed. The decode writes into p in place
-// (DecodingLayerParser style) to avoid allocation in hot paths.
+// (DecodingLayerParser style); an encapsulation header, if present, is the
+// one allocation (see DecodeWireEncap for the allocation-free variant).
 func (p *Packet) DecodeWire(b []byte) (int, error) {
+	var e Encap
+	n, hasEncap, err := p.DecodeWireEncap(b, &e)
+	if err != nil {
+		return n, err
+	}
+	if hasEncap {
+		p.Encap = &e
+	}
+	return n, nil
+}
+
+// DecodeWireEncap is DecodeWire writing any encapsulation header into *e
+// (caller-provided storage) instead of allocating; hasEncap reports whether
+// e was filled. p.Encap is always left nil.
+func (p *Packet) DecodeWireEncap(b []byte, e *Encap) (n int, hasEncap bool, err error) {
 	if len(b) < 1 {
-		return 0, ErrTruncated
+		return 0, false, ErrTruncated
 	}
 	kind := b[0]
 	off := 1
 	p.Encap = nil
 	if kind&flagEncap != 0 {
 		if len(b) < off+9 {
-			return 0, ErrTruncated
+			return 0, false, ErrTruncated
 		}
-		p.Encap = &Encap{
+		*e = Encap{
 			Reason:  EncapReason(b[off]),
 			Ingress: binary.BigEndian.Uint32(b[off+1:]),
 			Target:  binary.BigEndian.Uint32(b[off+5:]),
 		}
+		hasEncap = true
 		off += 9
 	}
 	if len(b) < off+14 {
-		return 0, ErrTruncated
+		return 0, false, ErrTruncated
 	}
 	var mac [8]byte
 	copy(mac[:6], b[off:])
@@ -214,13 +239,13 @@ func (p *Packet) DecodeWire(b []byte) (int, error) {
 	p.Header.VLAN = 0
 	if kind&flagVLAN != 0 {
 		if len(b) < off+4 {
-			return 0, ErrTruncated
+			return 0, false, ErrTruncated
 		}
 		p.Header.VLAN = binary.BigEndian.Uint16(b[off+2:]) & 0xFFF
 		off += 4
 	}
 	if len(b) < off+12+4 {
-		return 0, ErrTruncated
+		return 0, false, ErrTruncated
 	}
 	p.Header.IPProto = b[off]
 	p.Header.InPort = binary.BigEndian.Uint16(b[off+2:])
@@ -230,7 +255,7 @@ func (p *Packet) DecodeWire(b []byte) (int, error) {
 	p.Header.TPSrc = binary.BigEndian.Uint16(b[off:])
 	p.Header.TPDst = binary.BigEndian.Uint16(b[off+2:])
 	off += 4
-	return off, nil
+	return off, hasEncap, nil
 }
 
 // Clone returns a deep copy of the packet.

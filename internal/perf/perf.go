@@ -27,6 +27,7 @@ import (
 // harness benches satisfies it.
 type Deployment interface {
 	InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64)
+	InjectBatch(batch []core.PacketIn)
 	Run(horizon float64)
 	Measurements() *core.Measurements
 	Close() error
@@ -179,7 +180,7 @@ func (c Config) build(backend string) (*instance, error) {
 			QueueDepth:  4096,
 			Telemetry:   c.Telemetry,
 		}
-		cfg.Data.UseTCP = backend == BackendWireTCP
+		cfg.Fabric.UseTCP = backend == BackendWireTCP
 		d, err := wire.NewDeployment(cfg)
 		if err != nil {
 			return nil, err
@@ -380,18 +381,30 @@ func runOne(inst *instance, wl, backend string, flows []workload.Flow, horizon f
 	return res
 }
 
+// injectBatchSize is how many packets injectFlows accumulates before
+// handing the chunk to the backend in one InjectBatch call.
+const injectBatchSize = 256
+
 func injectFlows(d Deployment, flows []workload.Flow, horizon float64) int {
 	n := 0
+	batch := make([]core.PacketIn, 0, injectBatchSize)
 	for _, f := range flows {
 		for p := 0; p < f.Packets; p++ {
 			at := f.Start + float64(p)*f.Gap
 			if at > horizon {
 				break
 			}
-			d.InjectPacket(at, f.Ingress, f.Key, f.Size, uint64(p))
+			batch = append(batch, core.PacketIn{
+				At: at, Ingress: f.Ingress, Key: f.Key, Size: f.Size, Seq: uint64(p),
+			})
+			if len(batch) == cap(batch) {
+				d.InjectBatch(batch)
+				batch = batch[:0]
+			}
 			n++
 		}
 	}
+	d.InjectBatch(batch)
 	return n
 }
 

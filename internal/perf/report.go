@@ -175,6 +175,35 @@ func Compare(base, cur *Report, tol Tolerance) []string {
 	return out
 }
 
+// DefaultAllocBudget is the absolute cache-hit allocs/op ceiling the CI
+// perf-smoke job asserts (difane-bench -wire -alloc-budget). Unlike
+// Compare's relative gate, this pins the burst data plane's zero-alloc
+// property to a number: steady-state cache hits amortize their frame
+// buffers, TCAM views, and delivery recording across whole bursts, so
+// per-packet heap allocations must stay near zero. The headroom above
+// zero absorbs the slow paths a real trace still exercises (cold-flow
+// detours, async cache installs, fabric buffer growth).
+const DefaultAllocBudget = 3.0
+
+// CheckAllocBudget returns one message per wire-mode cache-hit row whose
+// allocs/op exceeds budget; an empty slice means the budget holds. Only
+// the cache-hit workload is gated — miss-storm and failover exist to
+// exercise the control plane, whose per-miss work legitimately allocates.
+func CheckAllocBudget(rep *Report, budget float64) []string {
+	var out []string
+	for _, r := range rep.Results {
+		if r.Workload != WorkloadCacheHit || !strings.HasPrefix(r.Backend, "wire") {
+			continue
+		}
+		if r.AllocsPerOp > budget {
+			out = append(out, fmt.Sprintf(
+				"%s/%s: %.2f allocs/op exceeds budget %.2f",
+				r.Workload, r.Backend, r.AllocsPerOp, budget))
+		}
+	}
+	return out
+}
+
 func maxf3(a, b, c float64) float64 {
 	if b > a {
 		a = b

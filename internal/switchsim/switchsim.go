@@ -122,6 +122,73 @@ func (s *Switch) Classify(now float64, k flowspace.Key, size int) Result {
 	return Result{}
 }
 
+// ClassifyBurst classifies a vector of packets through the pipeline with
+// one snapshot acquisition per table per burst (instead of per packet) and
+// one Stats update per table per burst. keys, sizes, and out must have
+// equal length; out[i] receives packet i's result. The cascade runs
+// table-at-a-time: all cache lookups against one cache view, then the
+// misses against one authority view, then one partition view — each table's
+// state is consistent across the whole burst, and a concurrent install is
+// observed by all of a burst's packets or none of them (per table).
+// Allocation-free: all scratch state lives in out.
+func (s *Switch) ClassifyBurst(now float64, keys []flowspace.Key, sizes []int, out []Result) {
+	remaining := len(keys)
+	v := s.cache.AcquireView()
+	hits := uint64(0)
+	for i := range keys {
+		if r, ok := v.Lookup(now, keys[i], sizes[i]); ok {
+			out[i] = Result{Rule: r, Table: proto.TableCache, OK: true}
+			hits++
+			remaining--
+		} else {
+			out[i] = Result{}
+		}
+	}
+	v.Release()
+	if hits > 0 {
+		s.Stats.CacheHits.Add(hits)
+	}
+	if remaining > 0 {
+		v = s.authority.AcquireView()
+		hits = 0
+		for i := range keys {
+			if out[i].OK {
+				continue
+			}
+			if r, ok := v.Lookup(now, keys[i], sizes[i]); ok {
+				out[i] = Result{Rule: r, Table: proto.TableAuthority, OK: true}
+				hits++
+				remaining--
+			}
+		}
+		v.Release()
+		if hits > 0 {
+			s.Stats.AuthorityHits.Add(hits)
+		}
+	}
+	if remaining > 0 {
+		v = s.partition.AcquireView()
+		hits = 0
+		for i := range keys {
+			if out[i].OK {
+				continue
+			}
+			if r, ok := v.Lookup(now, keys[i], sizes[i]); ok {
+				out[i] = Result{Rule: r, Table: proto.TablePartition, OK: true}
+				hits++
+				remaining--
+			}
+		}
+		v.Release()
+		if hits > 0 {
+			s.Stats.PartitionHits.Add(hits)
+		}
+	}
+	if remaining > 0 {
+		s.Stats.Misses.Add(uint64(remaining))
+	}
+}
+
 // Peek classifies without touching any counters.
 func (s *Switch) Peek(k flowspace.Key) Result {
 	if r, ok := s.cache.Peek(k); ok {

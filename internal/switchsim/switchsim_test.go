@@ -171,3 +171,108 @@ func TestStringRenders(t *testing.T) {
 		t.Fatal("String must render")
 	}
 }
+
+// TestClassifyBurstMatchesClassify cross-checks the burst cascade against
+// the scalar pipeline on a mixed workload: cache hits, authority hits,
+// partition hits, and misses.
+func TestClassifyBurstMatchesClassify(t *testing.T) {
+	mk := func() *Switch {
+		s := New(1, Config{})
+		add(t, s, proto.TableCache, mkRule(1, 0, 80, flowspace.ActDrop))
+		add(t, s, proto.TableAuthority, mkRule(2, 0, 443, flowspace.ActForward))
+		add(t, s, proto.TablePartition, mkRule(3, 0, 22, flowspace.ActRedirect))
+		return s
+	}
+	ports := []uint64{80, 443, 22, 9999, 80, 22, 443, 9999}
+	keys := make([]flowspace.Key, len(ports))
+	sizes := make([]int, len(ports))
+	for i, p := range ports {
+		keys[i] = keyPort(p)
+		sizes[i] = 100 + i
+	}
+
+	scalar := mk()
+	want := make([]Result, len(ports))
+	for i := range keys {
+		want[i] = scalar.Classify(0, keys[i], sizes[i])
+	}
+
+	burst := mk()
+	got := make([]Result, len(ports))
+	burst.ClassifyBurst(0, keys, sizes, got)
+
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("packet %d: scalar %+v != burst %+v", i, want[i], got[i])
+		}
+	}
+	ss, bs := scalar.Stats.Snapshot(), burst.Stats.Snapshot()
+	if ss != bs {
+		t.Fatalf("stats diverge: scalar %+v burst %+v", ss, bs)
+	}
+}
+
+// TestClassifyBurstDuringInstall hammers ClassifyBurst from one goroutine
+// while another continuously installs and deletes cache rules. Under -race
+// this exercises the snapshot handoff in tcam: every burst must see each
+// install either fully applied or not at all, and results must always be
+// one of the two legal outcomes (cache hit on the churning rule, or the
+// stable partition fallback).
+func TestClassifyBurstDuringInstall(t *testing.T) {
+	s := New(1, Config{})
+	add(t, s, proto.TablePartition, mkRule(1, 0, 0, flowspace.ActRedirect))
+
+	const bursts = 2000
+	stop := make(chan struct{})
+	installerDone := make(chan struct{})
+	go func() {
+		defer close(installerDone)
+		id := uint64(100)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r := mkRule(id, 1, 80, flowspace.ActDrop)
+			if err := s.ApplyFlowMod(0, &proto.FlowMod{Table: proto.TableCache, Op: proto.OpAdd, Rule: r}); err != nil {
+				t.Error(err)
+				return
+			}
+			err := s.ApplyFlowMod(0, &proto.FlowMod{Table: proto.TableCache, Op: proto.OpDelete, Rule: flowspace.Rule{ID: id}})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			id++
+		}
+	}()
+
+	keys := []flowspace.Key{keyPort(80), keyPort(80), keyPort(22)}
+	sizes := []int{64, 64, 64}
+	out := make([]Result, len(keys))
+	for b := 0; b < bursts; b++ {
+		s.ClassifyBurst(float64(b), keys, sizes, out)
+		// The two port-80 packets share one cache view, so within a burst
+		// they must agree on whether the churning rule was visible.
+		if out[0].Table != out[1].Table {
+			t.Fatalf("burst %d: split verdict within one view: %+v vs %+v", b, out[0], out[1])
+		}
+		for i, r := range out[:2] {
+			if !r.OK {
+				t.Fatalf("burst %d packet %d: port 80 must match cache or partition: %+v", b, i, r)
+			}
+			if r.Table == proto.TableCache && r.Rule.Action.Kind != flowspace.ActDrop {
+				t.Fatalf("burst %d packet %d: torn cache rule: %+v", b, i, r)
+			}
+			if r.Table == proto.TablePartition && r.Rule.ID != 1 {
+				t.Fatalf("burst %d packet %d: wrong fallback: %+v", b, i, r)
+			}
+		}
+		if !out[2].OK || out[2].Table != proto.TablePartition || out[2].Rule.ID != 1 {
+			t.Fatalf("burst %d: port 22 must hit the partition rule: %+v", b, out[2])
+		}
+	}
+	close(stop)
+	<-installerDone
+}

@@ -402,6 +402,82 @@ func (t *Table) Lookup(now float64, k flowspace.Key, size int) (flowspace.Rule, 
 	return flowspace.Rule{}, false
 }
 
+// View is a per-burst acquisition of the table's read state: one loadView
+// (a single atomic load in steady state) serves every lookup of a packet
+// burst, and the table-level hit/miss counters are folded in with one
+// atomic add each at Release instead of one per packet. While the table is
+// churning, AcquireView holds the table mutex until Release — installs
+// wait at most one burst, the same bound a churning per-packet Lookup
+// already imposes per packet. A View must be Released on the goroutine
+// that acquired it, must not outlive the burst, and must not interleave
+// with another View of the same table on the same goroutine.
+type View struct {
+	t      *Table
+	view   []viewEntry
+	locked bool
+	hits   uint64
+	misses uint64
+}
+
+// AcquireView starts a burst of lookups against a consistent table state.
+func (t *Table) AcquireView() View {
+	if view, ok := t.loadView(); ok {
+		return View{t: t, view: view}
+	}
+	// loadView left mu held: serve the burst from the live entries.
+	return View{t: t, locked: true}
+}
+
+// Lookup is Table.Lookup against the view's snapshot; per-entry counters
+// update immediately (they are atomics either way), table-level hit/miss
+// tallies accumulate locally until Release.
+func (v *View) Lookup(now float64, k flowspace.Key, size int) (flowspace.Rule, bool) {
+	if v.locked {
+		for _, e := range v.t.entries {
+			if e.rule.Match.Matches(k) {
+				v.hitEntry(e, now, size)
+				return e.rule, true
+			}
+		}
+		v.misses++
+		return flowspace.Rule{}, false
+	}
+	for i := range v.view {
+		if v.view[i].match.Matches(k) {
+			e := v.view[i].e
+			v.hitEntry(e, now, size)
+			return e.rule, true
+		}
+	}
+	v.misses++
+	return flowspace.Rule{}, false
+}
+
+func (v *View) hitEntry(e *entry, now float64, size int) {
+	e.packets.Add(1)
+	e.bytes.Add(uint64(size))
+	e.setLastHit(now)
+	v.hits++
+}
+
+// Release ends the burst: accumulated hit/miss counts land on the table
+// and, if the view was taken under the mutex, the mutex is released.
+func (v *View) Release() {
+	if v.hits > 0 {
+		v.t.Hits.Add(v.hits)
+		v.hits = 0
+	}
+	if v.misses > 0 {
+		v.t.Misses.Add(v.misses)
+		v.misses = 0
+	}
+	if v.locked {
+		v.locked = false
+		v.t.mu.Unlock()
+	}
+	v.view = nil
+}
+
 // hit applies a matched entry's counter updates.
 func (t *Table) hit(e *entry, now float64, size int) flowspace.Rule {
 	e.packets.Add(1)

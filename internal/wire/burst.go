@@ -1,0 +1,417 @@
+package wire
+
+// The burst engine: one pass of a switch's data plane over a vector of
+// frames, VPP-style. A burst is split into deliveries (tunnels terminating
+// here), authority work (redirects targeting here), and fresh
+// classifications; the classification vector runs through one TCAM snapshot
+// acquisition per table (switchsim.ClassifyBurst), authority misses are
+// resolved under one node lock, and everything leaving the switch is staged
+// into per-destination buckets flushed with one ring push (or one fabric
+// enqueue) per destination. Measurement shards likewise take one update per
+// burst: one latency-mutex acquisition for all deliveries, one completed
+// bump for the batch. All scratch state lives in a per-goroutine
+// burstScratch, so the steady-state cache-hit path allocates nothing.
+
+import (
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/packet"
+	"difane/internal/proto"
+	"difane/internal/switchsim"
+	"difane/internal/telemetry"
+)
+
+// burstScratch is one data goroutine's reusable burst state. Every slice is
+// allocated once (capacity = the configured burst, or the switch count for
+// the per-destination buckets) and resliced per burst.
+type burstScratch struct {
+	// frames is the pull buffer dataLoop fills from the input rings.
+	frames []dataFrame
+
+	// Classification vectors: cidx holds the frames[] indices being
+	// classified, keys/sizes their lookup inputs, results the verdicts.
+	cidx    []int
+	keys    []flowspace.Key
+	sizes   []int
+	results []switchsim.Result
+
+	// authIdx holds frames[] indices of redirects targeting this switch;
+	// authRes their HandleMiss results, resolved under one node lock.
+	authIdx []int
+	authRes []core.MissResult
+
+	// deliv holds frames[] indices delivered at this switch; first/later
+	// collect their latencies (seconds) for one batched shard update.
+	deliv []int
+	first []float64
+	later []float64
+
+	// out stages outbound frames per destination slot; touched lists the
+	// slots staged this burst. redirTargets is the deduplicated set of
+	// authority switches redirected to, for pending-redirect bookkeeping.
+	out          [][]dataFrame
+	touched      []int
+	redirTargets []uint32
+}
+
+func newBurstScratch(c *Cluster) *burstScratch {
+	b := c.cfg.Fabric.Burst
+	s := &burstScratch{
+		frames:       make([]dataFrame, b),
+		cidx:         make([]int, 0, b),
+		keys:         make([]flowspace.Key, 0, b),
+		sizes:        make([]int, 0, b),
+		results:      make([]switchsim.Result, b),
+		authIdx:      make([]int, 0, b),
+		authRes:      make([]core.MissResult, b),
+		deliv:        make([]int, 0, b),
+		first:        make([]float64, 0, b),
+		later:        make([]float64, 0, b),
+		out:          make([][]dataFrame, len(c.nodes)),
+		touched:      make([]int, 0, len(c.nodes)),
+		redirTargets: make([]uint32, 0, 4),
+	}
+	for i := range s.out {
+		s.out[i] = make([]dataFrame, 0, b)
+	}
+	return s
+}
+
+func (s *burstScratch) reset() {
+	s.cidx = s.cidx[:0]
+	s.keys = s.keys[:0]
+	s.sizes = s.sizes[:0]
+	s.authIdx = s.authIdx[:0]
+	s.deliv = s.deliv[:0]
+	s.first = s.first[:0]
+	s.later = s.later[:0]
+	for _, slot := range s.touched {
+		s.out[slot] = s.out[slot][:0]
+	}
+	s.touched = s.touched[:0]
+	s.redirTargets = s.redirTargets[:0]
+}
+
+// noteRedirect records a redirect target once per burst.
+func (s *burstScratch) noteRedirect(t uint32) {
+	for _, x := range s.redirTargets {
+		if x == t {
+			return
+		}
+	}
+	s.redirTargets = append(s.redirTargets, t)
+}
+
+// processBurst runs one burst through the switch's pipeline.
+func (c *Cluster) processBurst(n *node, s *burstScratch, frames []dataFrame) {
+	s.reset()
+	// Split: tunnels terminating here are deliveries, redirects targeting
+	// here are authority work, everything else gets classified.
+	for i := range frames {
+		f := &frames[i]
+		if f.hasEncap && f.encap.Target == n.id {
+			switch f.encap.Reason {
+			case packet.EncapTunnel:
+				s.deliv = append(s.deliv, i)
+				continue
+			case packet.EncapRedirect:
+				s.authIdx = append(s.authIdx, i)
+				continue
+			}
+		}
+		s.cidx = append(s.cidx, i)
+		s.keys = append(s.keys, f.pkt.Header.Key())
+		s.sizes = append(s.sizes, f.pkt.Size)
+	}
+	if len(s.cidx) > 0 {
+		// One snapshot acquisition per table for the whole vector. The
+		// oldest frame's inject stamp stands in for "now" — at most a
+		// queueing delay stale, far inside the TCAM's seconds-granularity
+		// timeout model — saving a clock read per packet.
+		res := s.results[:len(s.cidx)]
+		n.sw.ClassifyBurst(frameSec(&frames[s.cidx[0]]), s.keys, s.sizes, res)
+		for j, i := range s.cidx {
+			c.applyVerdict(n, s, &frames[i], i, &res[j])
+		}
+	}
+	if len(s.authIdx) > 0 {
+		c.authorityBurst(n, s, frames)
+	}
+	c.flushDeliveries(n, s, frames)
+	c.flushForwards(n, s)
+}
+
+// applyVerdict acts on one classified frame: drop, stage a tunnel toward
+// its egress, or stage a redirect toward its authority switch.
+func (c *Cluster) applyVerdict(n *node, s *burstScratch, f *dataFrame, i int, res *switchsim.Result) {
+	pkt := &f.pkt
+	if !res.OK {
+		c.drop(n.stats, dropHole)
+		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
+		return
+	}
+	switch res.Rule.Action.Kind {
+	case flowspace.ActDrop:
+		// Policy drop at the ingress (cached decision): intentional.
+		c.policyDrop(n.stats, false)
+		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0)
+	case flowspace.ActForward:
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvForward, Node: n.id, Peer: res.Rule.Action.Arg,
+				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
+			})
+		}
+		c.stageTunnel(n, s, res.Rule.Action.Arg, f, i)
+	case flowspace.ActRedirect:
+		// Miss-storm protection: an ingress over its redirect budget sheds
+		// the packet here, in its own data plane, instead of piling onto
+		// the authority switch's queue.
+		if !n.redirectTB.Allow() {
+			c.shedRedirect(n.stats)
+			if c.rec.Enabled() {
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvShed, Node: n.id,
+					Verdict: telemetry.VShedRedirect, Flow: flowOf(&pkt.Header),
+				})
+			}
+			return
+		}
+		target := res.Rule.Action.Arg
+		if !c.nodeUsable(target) {
+			// The failure detector marked the target dead: fail over to
+			// the backup locally, in the data plane, without a controller
+			// round trip.
+			next, ok := c.failoverLocal(n, res.Rule, target)
+			if !ok {
+				c.drop(n.stats, dropUnreachable)
+				c.traceVerdict(n.id, telemetry.VUnreachable, res.Rule.ID, &pkt.Header, 0)
+				return
+			}
+			target = next
+		}
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvRedirect, Node: n.id, Peer: target,
+				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
+			})
+		}
+		f.detour = true
+		f.encap = packet.Encap{Reason: packet.EncapRedirect, Ingress: n.id, Target: target}
+		f.hasEncap = true
+		n.stats.redirects.Add(1)
+		s.noteRedirect(target)
+		c.stageForward(n, s, target, f)
+	default:
+		c.drop(n.stats, dropHole)
+		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0)
+	}
+}
+
+// authorityBurst runs the partition logic for the burst's redirected
+// packets. All HandleMiss calls happen under one acquisition of the node
+// lock; installs and forwarding verdicts are applied outside it.
+func (c *Cluster) authorityBurst(n *node, s *burstScratch, frames []dataFrame) {
+	// Processing redirected packets is the data-plane liveness signal the
+	// redirect-timeout detector watches for; once per burst is enough.
+	c.clearPending(n.id)
+	// Keys are computed outside the lock; s.keys is free again — the
+	// classification phase has fully consumed it by now.
+	keys := s.keys[:0]
+	for _, i := range s.authIdx {
+		keys = append(keys, frames[i].pkt.Header.Key())
+	}
+	res := s.authRes[:len(s.authIdx)]
+	n.mu.Lock()
+	for j := range s.authIdx {
+		res[j] = core.MissResult{}
+		for _, a := range n.auths {
+			if a.Partition.Region.Matches(keys[j]) {
+				res[j] = a.HandleMiss(keys[j])
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	for j, i := range s.authIdx {
+		f := &frames[i]
+		pkt := &f.pkt
+		e := f.encap // decapsulate
+		f.hasEncap = false
+		r := &res[j]
+		if !r.OK {
+			c.drop(n.stats, dropHole)
+			c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
+			continue
+		}
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvAuthority, Node: n.id, Peer: e.Ingress,
+				Table: uint8(proto.TableAuthority), RuleID: r.Rule.ID,
+				Flow: flowOf(&pkt.Header),
+			})
+		}
+		if len(r.CacheMods) > 0 {
+			c.queueInstall(n, e.Ingress, r.CacheMods, pkt)
+		}
+		switch r.Rule.Action.Kind {
+		case flowspace.ActDrop:
+			// Policy drop at the authority: a completed (negative) flow setup.
+			c.policyDrop(n.stats, true)
+			c.traceVerdict(n.id, telemetry.VDropPolicy, r.Rule.ID, &pkt.Header, 0)
+		case flowspace.ActForward:
+			c.stageTunnel(n, s, r.Rule.Action.Arg, f, i)
+		default:
+			c.drop(n.stats, dropHole)
+			c.traceVerdict(n.id, telemetry.VDropHole, r.Rule.ID, &pkt.Header, 0)
+		}
+	}
+}
+
+// queueInstall hands a cache install to the node's install writer, shedding
+// (and counting) when the authority is over its install budget or the
+// writer's queue is full. The packet itself still forwards, so shedding
+// costs future redirects, not reachability.
+func (c *Cluster) queueInstall(n *node, ingress uint32, mods []proto.FlowMod, pkt *packet.Packet) {
+	if !n.installTB.Allow() {
+		n.stats.cacheInstallsShed.Add(1)
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvShed, Node: n.id,
+				Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
+			})
+		}
+		return
+	}
+	install := &proto.CacheInstall{Ingress: ingress, Rules: mods}
+	// The authority switch writes on its switch end; the controller relay
+	// reads the other end and forwards to the ingress switch. Hand the
+	// write to the node's dedicated install writer instead of spawning a
+	// goroutine per miss — under a storm, unbounded spawns cost more than
+	// the installs; overflow degrades to a shed install.
+	select {
+	case n.installQ <- install:
+	default:
+		n.stats.cacheInstallsShed.Add(1)
+		if c.rec.Enabled() {
+			c.rec.Publish(telemetry.Event{
+				Kind: telemetry.EvShed, Node: n.id,
+				Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
+			})
+		}
+	}
+}
+
+// stageTunnel encapsulates the frame toward its egress and stages it, or
+// delivers it in place when this switch is the egress. n is the node doing
+// the forwarding (its shard takes the accounting).
+func (c *Cluster) stageTunnel(n *node, s *burstScratch, egress uint32, f *dataFrame, i int) {
+	if egress == n.id {
+		f.hasEncap = false
+		s.deliv = append(s.deliv, i)
+		return
+	}
+	f.encap = packet.Encap{Reason: packet.EncapTunnel, Ingress: n.id, Target: egress}
+	f.hasEncap = true
+	c.stageForward(n, s, egress, f)
+}
+
+// stageForward buckets the frame under its destination's slot; unknown
+// destinations drop immediately. Killed destinations are handled at flush
+// time, matching the direct path's per-send check.
+func (c *Cluster) stageForward(src *node, s *burstScratch, to uint32, f *dataFrame) {
+	dst, ok := c.switches[to]
+	if !ok {
+		c.drop(src.stats, dropUnreachable)
+		return
+	}
+	if len(s.out[dst.slot]) == 0 {
+		s.touched = append(s.touched, dst.slot)
+	}
+	s.out[dst.slot] = append(s.out[dst.slot], *f)
+}
+
+// flushDeliveries records the burst's deliveries against the node's
+// measurement shard in one update: one clock read, one latency-mutex
+// acquisition, one completed bump for the whole batch.
+func (c *Cluster) flushDeliveries(n *node, s *burstScratch, frames []dataFrame) {
+	if len(s.deliv) == 0 {
+		return
+	}
+	now := nowNS()
+	for _, i := range s.deliv {
+		f := &frames[i]
+		lat := time.Duration(now - f.injected)
+		if f.detour {
+			s.first = append(s.first, lat.Seconds())
+		} else {
+			s.later = append(s.later, lat.Seconds())
+		}
+		c.traceVerdict(n.id, telemetry.VDelivered, 0, &f.pkt.Header, int64(lat))
+		// The length pre-check keeps egress loops from serializing on the
+		// shared channel's lock when nobody is draining notifications; the
+		// select still sheds racy fill-ups. Either way the notification is
+		// dropped, never the packet.
+		if len(c.Deliveries) < cap(c.Deliveries) {
+			d := Delivery{
+				Egress:  n.id,
+				Header:  f.pkt.Header,
+				Detour:  f.detour,
+				Latency: lat,
+			}
+			select {
+			case c.Deliveries <- d:
+			default:
+			}
+		}
+	}
+	n.stats.recordDeliveryBatch(s.first, s.later)
+	// completed last: once Deployment.Run observes completed == injected,
+	// both the Measurements counters and the Delivery notifications for
+	// these packets are already visible.
+	c.completed.Add(uint64(len(s.deliv)))
+}
+
+// flushForwards hands each destination its staged burst in one call: one
+// ring push (or one fabric enqueue) per destination per burst. src's shard
+// records drops, exactly like the old per-frame forward path.
+func (c *Cluster) flushForwards(src *node, s *burstScratch) {
+	// Pending-redirect markers go down before the frames do, so an
+	// authority can never acknowledge a redirect we have not yet noted.
+	for _, t := range s.redirTargets {
+		c.notePending(t)
+	}
+	for _, slot := range s.touched {
+		frames := s.out[slot]
+		dst := c.nodes[slot]
+		if dst.killed.Load() {
+			// A killed switch's rings would happily accept the frames, but
+			// its pump goroutine is gone: the packets would sit there
+			// forever, uncounted — breaking the accounting identity
+			// (injected = delivered + drops) and wedging Deployment.Run's
+			// completion wait. Account them as unreachable instead, exactly
+			// like the simulator's dead-egress path.
+			for i := range frames {
+				c.drop(src.stats, dropUnreachable)
+				c.traceVerdict(src.id, telemetry.VUnreachable, 0, &frames[i].pkt.Header, 0)
+			}
+			continue
+		}
+		if c.fabric != nil {
+			c.fabric.sendBurst(src, dst, frames)
+			continue
+		}
+		ring := dst.ring(src.slot)
+		pushed := ring.pushBurst(frames)
+		if pushed > 0 {
+			dst.noteQueueDepth(int64(ring.len()))
+			dst.wake()
+		}
+		for i := pushed; i < len(frames); i++ {
+			c.drop(src.stats, dropQueue)
+			c.traceVerdict(src.id, telemetry.VDropQueue, 0, &frames[i].pkt.Header, 0)
+		}
+	}
+}

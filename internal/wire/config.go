@@ -21,13 +21,15 @@ type ClusterConfig struct {
 	Strategy core.CacheStrategy
 	// CacheCapacity bounds ingress caches (0 = unlimited).
 	CacheCapacity int
-	// QueueDepth sizes each switch's ingress frame queue.
+	// QueueDepth sizes the delivery-notification channel and is the default
+	// depth of each per-producer data ring (see FabricConfig.RingDepth).
 	QueueDepth int
 	// UseTCP runs the control plane over loopback TCP sockets instead of
 	// in-process pipes, exercising real kernel socket framing.
 	UseTCP bool
-	// Data tunes the data-plane fabric carrying frames between switches.
-	Data DataFabricConfig
+	// Fabric tunes the data plane: burst and ring geometry of the
+	// in-process path, plus the optional batched loopback-TCP carrier.
+	Fabric FabricConfig
 	// Heartbeat tunes the controller↔switch failure detector.
 	Heartbeat HeartbeatConfig
 	// Retry bounds control-plane retries: reconnect backoff and FlowMod
@@ -46,15 +48,18 @@ type ClusterConfig struct {
 	trans transport
 }
 
-// DataFabricConfig selects how data frames travel between switches.
-// The default is direct in-process queue handoff; UseTCP switches to real
-// loopback-TCP connections with write batching, so redirects and tunneled
-// deliveries amortize syscalls instead of paying one write per frame.
-type DataFabricConfig struct {
+// FabricConfig is the single options block for the data plane carrying
+// frames between switches: the burst/ring geometry of the in-process fast
+// path, the frame-slab pool, and the optional batched loopback-TCP carrier
+// (UseTCP). It consolidates what used to be spread across DataFabricConfig
+// and ad-hoc constants. Zero values mean "validated default"; cfg.Validate
+// fills them in place.
+type FabricConfig struct {
 	// UseTCP carries inter-switch data frames over per-pair loopback TCP
 	// connections with a batching writer: the first frame of a batch wakes
 	// the connection's writer immediately, and frames arriving while a
-	// write is in flight coalesce into the next batch.
+	// write is in flight coalesce into the next batch. The default is
+	// direct in-process ring handoff.
 	UseTCP bool
 	// FlushInterval is the safety-net flush period bounding how long a
 	// batched frame can wait if a wakeup is lost (default 200µs).
@@ -63,15 +68,44 @@ type DataFabricConfig struct {
 	// batches still go out whole, but their buffers are released afterward
 	// instead of pinning the burst's high-water mark (default 16 KiB).
 	FlushBytes int
+	// Burst caps how many frames a switch pulls from its input rings and
+	// runs through one classification pass — one TCAM snapshot acquisition,
+	// one stats update, one downstream handoff per destination — per
+	// iteration. It also sizes the pooled injection slabs (default 64).
+	Burst int
+	// RingDepth sizes each per-producer SPSC data ring, rounded up to a
+	// power of two (default: QueueDepth). Every switch has one ring slot
+	// per peer switch plus one injection slot; small clusters pre-populate
+	// every slot at boot, while large ones allocate rings lazily on first
+	// use so memory scales with the producer→consumer pairs traffic
+	// actually exercises — not with switches². Worst-case buffering per
+	// switch is (peers+1)·RingDepth frames.
+	RingDepth int
 }
 
-func (d *DataFabricConfig) applyDefaults() {
+func (d *FabricConfig) applyDefaults(queueDepth int) error {
 	if d.FlushInterval <= 0 {
 		d.FlushInterval = 200 * time.Microsecond
 	}
 	if d.FlushBytes <= 0 {
 		d.FlushBytes = 16 << 10
 	}
+	if d.Burst <= 0 {
+		d.Burst = 64
+	}
+	if d.RingDepth <= 0 {
+		d.RingDepth = queueDepth
+	}
+	// Round the ring up to a power of two so occupancy math is a mask.
+	n := 1
+	for n < d.RingDepth {
+		n <<= 1
+	}
+	d.RingDepth = n
+	if d.Burst > d.RingDepth {
+		return fmt.Errorf("wire: fabric burst %d exceeds ring depth %d", d.Burst, d.RingDepth)
+	}
+	return nil
 }
 
 // HeartbeatConfig tunes the heartbeat-based failure detector between the
@@ -221,7 +255,9 @@ func (cfg *ClusterConfig) Validate() error {
 	cfg.Heartbeat.applyDefaults()
 	cfg.Retry.applyDefaults()
 	cfg.Overload.applyDefaults()
-	cfg.Data.applyDefaults()
+	if err := cfg.Fabric.applyDefaults(cfg.QueueDepth); err != nil {
+		return err
+	}
 	cfg.Telemetry.applyDefaults()
 	return nil
 }

@@ -1,16 +1,19 @@
 package wire
 
-// The batched TCP data fabric: an optional carrier (cfg.Data.UseTCP) that
-// moves inter-switch data frames over real loopback-TCP connections instead
-// of direct channel handoff. Each (src, dst) switch pair lazily dials one
-// connection; the sender appends length-prefixed frame records to a batch
-// buffer that flushes when it reaches FlushBytes or when the FlushInterval
-// timer fires, so a redirect burst or a tunneled delivery stream costs one
-// syscall per batch instead of one per frame. The receive side parses
-// records back into dataFrames and feeds the destination switch's data
-// queue with the same backpressure accounting as the direct path.
+// The batched TCP data fabric: an optional carrier (cfg.Fabric.UseTCP)
+// that moves inter-switch data frames over real loopback-TCP connections
+// instead of direct ring handoff. Each (src, dst) switch pair lazily dials
+// one connection; the sender appends a whole burst of length-prefixed frame
+// records to a batch buffer under one lock, and the buffer flushes when it
+// reaches FlushBytes or when the FlushInterval timer fires, so a redirect
+// burst or a tunneled delivery stream costs one syscall per batch instead
+// of one per frame. The receive side parses records back into dataFrames —
+// allocation-free via DecodeWireEncap — and feeds the destination switch's
+// per-producer ring in bursts, with the same backpressure accounting as the
+// direct path.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -18,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"difane/internal/packet"
 )
 
 // fabricRecHdr is the per-record header: payload length (4B), injection
@@ -29,7 +34,7 @@ const fabricRecHdr = 17
 // cluster's drain logic honest while frames sit in socket buffers.
 type tcpFabric struct {
 	c    *Cluster
-	cfg  DataFabricConfig
+	cfg  FabricConfig
 	ln   net.Listener
 	addr string
 
@@ -70,7 +75,7 @@ type fabricConn struct {
 	kick chan struct{}
 }
 
-func newTCPFabric(c *Cluster, cfg DataFabricConfig) (*tcpFabric, error) {
+func newTCPFabric(c *Cluster, cfg FabricConfig) (*tcpFabric, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("wire: data fabric listen: %w", err)
@@ -100,16 +105,16 @@ func (f *tcpFabric) acceptLoop() {
 	}
 }
 
-// send batches one frame toward dst. The packet is encoded straight into
-// the connection's batch buffer — no per-frame allocation, no per-frame
-// syscall.
-func (f *tcpFabric) send(src, dst *node, frame *dataFrame) {
+// sendBurst batches a whole burst toward dst under one buffer lock and one
+// writer wakeup. The packets are encoded straight into the connection's
+// batch buffer — no per-frame allocation, no per-frame syscall, no
+// per-frame lock.
+func (f *tcpFabric) sendBurst(src, dst *node, frames []dataFrame) {
 	fc, err := f.conn(src, dst)
-	if err != nil {
-		f.c.drop(src.stats, dropUnreachable)
+	if err == nil && fc.enqueueBurst(frames) {
 		return
 	}
-	if !fc.enqueue(frame) {
+	for range frames {
 		f.c.drop(src.stats, dropUnreachable)
 	}
 }
@@ -143,28 +148,35 @@ func (f *tcpFabric) conn(src, dst *node) (*fabricConn, error) {
 	return fc, nil
 }
 
-// enqueue appends one frame record to the batch and wakes the writer.
-// Returns false if the connection is broken.
-func (fc *fabricConn) enqueue(frame *dataFrame) bool {
+// enqueueBurst appends the burst's frame records to the batch and wakes the
+// writer once. Returns false if the connection is broken.
+func (fc *fabricConn) enqueueBurst(frames []dataFrame) bool {
 	fc.mu.Lock()
 	if fc.err != nil {
 		fc.mu.Unlock()
 		return false
 	}
-	at := len(fc.buf)
-	var h [fabricRecHdr]byte
-	// The inject stamp is monotonic nanos on the cluster's time base;
-	// sender and receiver share a process, so it round-trips exactly.
-	binary.BigEndian.PutUint64(h[4:12], uint64(frame.injected))
-	binary.BigEndian.PutUint32(h[12:16], uint32(frame.pkt.Size))
-	if frame.detour {
-		h[16] = 1
+	for i := range frames {
+		frame := &frames[i]
+		at := len(fc.buf)
+		var h [fabricRecHdr]byte
+		// The inject stamp is monotonic nanos on the cluster's time base;
+		// sender and receiver share a process, so it round-trips exactly.
+		binary.BigEndian.PutUint64(h[4:12], uint64(frame.injected))
+		binary.BigEndian.PutUint32(h[12:16], uint32(frame.pkt.Size))
+		if frame.detour {
+			h[16] = 1
+		}
+		fc.buf = append(fc.buf, h[:]...)
+		var e *packet.Encap
+		if frame.hasEncap {
+			e = &frame.encap
+		}
+		fc.buf = frame.pkt.AppendWireEncap(fc.buf, e)
+		binary.BigEndian.PutUint32(fc.buf[at:at+4], uint32(len(fc.buf)-at-fabricRecHdr))
 	}
-	fc.buf = append(fc.buf, h[:]...)
-	fc.buf = frame.pkt.AppendWire(fc.buf)
-	binary.BigEndian.PutUint32(fc.buf[at:at+4], uint32(len(fc.buf)-at-fabricRecHdr))
-	fc.recs++
-	fc.f.inflight.Add(1)
+	fc.recs += len(frames)
+	fc.f.inflight.Add(int64(len(frames)))
 	fc.mu.Unlock()
 	select {
 	case fc.kick <- struct{}{}:
@@ -241,9 +253,12 @@ func (fc *fabricConn) flush() {
 
 // serve is the receive side of one connection: read the hello naming the
 // pair, then parse each record into a dataFrame — this is the network
-// boundary where bytes become a parsed packet again — and feed the
-// destination switch's queue with the same overflow accounting as direct
-// handoff. The payload scratch buffer is reused across records.
+// boundary where bytes become a parsed packet again, allocation-free via
+// DecodeWireEncap — and feed the destination switch's per-producer ring in
+// bursts: a burst flushes when it fills or when the reader is about to
+// block, so back-to-back records on the socket become one ring push and one
+// wakeup. This goroutine is the sole producer of dst.in[src.slot] (fabric
+// mode never pushes peer rings directly), preserving the SPSC discipline.
 func (f *tcpFabric) serve(conn net.Conn) {
 	defer f.wg.Done()
 	defer conn.Close()
@@ -256,10 +271,14 @@ func (f *tcpFabric) serve(conn net.Conn) {
 	if src == nil || dst == nil {
 		return
 	}
+	ring := dst.ring(src.slot)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	burst := make([]dataFrame, 0, f.cfg.Burst)
 	var rec [fabricRecHdr]byte
 	var payload []byte
 	for {
-		if _, err := io.ReadFull(conn, rec[:]); err != nil {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			f.deliverBurst(src, dst, ring, burst)
 			return
 		}
 		plen := int(binary.BigEndian.Uint32(rec[0:4]))
@@ -268,31 +287,53 @@ func (f *tcpFabric) serve(conn net.Conn) {
 		} else {
 			payload = payload[:plen]
 		}
-		if _, err := io.ReadFull(conn, payload); err != nil {
+		if _, err := io.ReadFull(br, payload); err != nil {
+			f.deliverBurst(src, dst, ring, burst)
 			return
 		}
 		frame := dataFrame{
 			injected: int64(binary.BigEndian.Uint64(rec[4:12])),
 			detour:   rec[16] == 1,
 		}
-		_, decErr := frame.pkt.DecodeWire(payload)
+		_, hasEncap, decErr := frame.pkt.DecodeWireEncap(payload, &frame.encap)
+		frame.hasEncap = hasEncap
 		frame.pkt.Size = int(binary.BigEndian.Uint32(rec[12:16]))
 		if decErr != nil {
 			f.c.drop(src.stats, dropUnreachable)
-		} else if dst.killed.Load() {
-			// Same reasoning as forwardFrame: a killed switch's queue would
-			// swallow the frame forever.
-			f.c.drop(src.stats, dropUnreachable)
-		} else {
-			select {
-			case dst.data <- frame:
-				dst.noteQueueDepth(int64(len(dst.data)))
-			default:
-				f.c.drop(src.stats, dropQueue)
-			}
+			f.inflight.Add(-1)
+			continue
 		}
-		f.inflight.Add(-1)
+		burst = append(burst, frame)
+		if len(burst) == cap(burst) || br.Buffered() < fabricRecHdr {
+			f.deliverBurst(src, dst, ring, burst)
+			burst = burst[:0]
+		}
 	}
+}
+
+// deliverBurst pushes a received burst onto the destination's ring with one
+// push and one wakeup, with the same overflow accounting as direct handoff.
+func (f *tcpFabric) deliverBurst(src, dst *node, ring *frameRing, burst []dataFrame) {
+	if len(burst) == 0 {
+		return
+	}
+	if dst.killed.Load() {
+		// Same reasoning as the direct path: a killed switch's rings would
+		// swallow the frames forever.
+		for range burst {
+			f.c.drop(src.stats, dropUnreachable)
+		}
+	} else {
+		pushed := ring.pushBurst(burst)
+		if pushed > 0 {
+			dst.noteQueueDepth(int64(ring.len()))
+			dst.wake()
+		}
+		for i := pushed; i < len(burst); i++ {
+			f.c.drop(src.stats, dropQueue)
+		}
+	}
+	f.inflight.Add(int64(-len(burst)))
 }
 
 // pending returns frames in flight inside the fabric (batched or in socket

@@ -10,7 +10,7 @@ import (
 	"difane/internal/packet"
 )
 
-func newFabricCluster(t *testing.T, cfg DataFabricConfig) *Cluster {
+func newFabricCluster(t *testing.T, cfg FabricConfig) *Cluster {
 	t.Helper()
 	cfg.UseTCP = true
 	c, err := NewCluster(ClusterConfig{
@@ -18,7 +18,7 @@ func newFabricCluster(t *testing.T, cfg DataFabricConfig) *Cluster {
 		Authorities: []uint32{2},
 		Policy:      testPolicy(),
 		Strategy:    core.StrategyCover,
-		Data:        cfg,
+		Fabric:      cfg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -31,7 +31,7 @@ func newFabricCluster(t *testing.T, cfg DataFabricConfig) *Cluster {
 // redirect to the authority, tunnel to the egress — entirely over the
 // batched TCP fabric.
 func TestFabricDetourDelivers(t *testing.T) {
-	c := newFabricCluster(t, DataFabricConfig{})
+	c := newFabricCluster(t, FabricConfig{})
 	if !c.Inject(0, httpHeader(1), 100) {
 		t.Fatal("inject failed")
 	}
@@ -52,7 +52,7 @@ func TestFabricDetourDelivers(t *testing.T) {
 // packet reaches a terminal count (delivered + drops), and the fabric's
 // in-flight gauge returns to zero.
 func TestFabricAccountingIdentity(t *testing.T) {
-	c := newFabricCluster(t, DataFabricConfig{})
+	c := newFabricCluster(t, FabricConfig{})
 	const perIngress = 200
 	var injected uint64
 	var wg sync.WaitGroup
@@ -105,7 +105,7 @@ func TestFabricAccountingIdentity(t *testing.T) {
 // packet's end-to-end latency stays well under a generous bound even with
 // a large byte threshold.
 func TestFabricFlushIntervalBounds(t *testing.T) {
-	c := newFabricCluster(t, DataFabricConfig{
+	c := newFabricCluster(t, FabricConfig{
 		FlushInterval: 200 * time.Microsecond,
 		FlushBytes:    1 << 20, // never reached by one packet
 	})
@@ -126,7 +126,7 @@ func TestFabricBatchCoalesces(t *testing.T) {
 	for _, fb := range []int{1, 64 << 10} {
 		fb := fb
 		t.Run(fmt.Sprintf("flushBytes=%d", fb), func(t *testing.T) {
-			c := newFabricCluster(t, DataFabricConfig{FlushBytes: fb})
+			c := newFabricCluster(t, FabricConfig{FlushBytes: fb})
 			const n = 50
 			for i := 0; i < n; i++ {
 				for !c.Inject(0, httpHeader(uint32(i+1)), 100) {
@@ -152,7 +152,7 @@ func TestFabricBatchCoalesces(t *testing.T) {
 // TestFabricKilledSwitchAccounts checks frames bound for a killed switch
 // terminate as unreachable drops rather than wedging the drain wait.
 func TestFabricKilledSwitchAccounts(t *testing.T) {
-	c := newFabricCluster(t, DataFabricConfig{})
+	c := newFabricCluster(t, FabricConfig{})
 	// Prime the fabric connection 0→4 so the kill exercises the receive
 	// side's killed-switch check, not just forwardFrame's.
 	c.Inject(0, httpHeader(1), 100)
@@ -180,7 +180,7 @@ func TestFabricKilledSwitchAccounts(t *testing.T) {
 // TestFabricHeaderRoundTrip pushes distinct headers through the fabric and
 // checks each arrives intact (record framing, not just counts).
 func TestFabricHeaderRoundTrip(t *testing.T) {
-	c := newFabricCluster(t, DataFabricConfig{})
+	c := newFabricCluster(t, FabricConfig{})
 	want := map[uint32]bool{}
 	const n = 30
 	for i := 1; i <= n; i++ {

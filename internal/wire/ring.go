@@ -1,0 +1,92 @@
+package wire
+
+// frameRing is a bounded single-producer single-consumer ring of dataFrames
+// — the burst data plane's queue primitive, replacing per-packet channel
+// sends. The producer owns tail, the consumer owns head, and each side
+// publishes its cursor with an atomic store after touching the slots, so
+// the other side's acquire load orders the slot memory: a push's frame
+// writes happen-before the pop that observes the advanced tail, and a pop's
+// frame reads happen-before the push that reuses the freed slot. No locks,
+// no failed CAS loops, and whole bursts move with one cursor update each.
+//
+// Single-producer discipline in this package: ring in[s] of a node is fed
+// only by switch s's data goroutine (direct handoff) or by the one fabric
+// receive goroutine serving the s→node connection (TCP fabric) — the two
+// modes are mutually exclusive per cluster. The extra injection ring is fed
+// by arbitrary caller goroutines serialized by node.injectMu.
+
+import "sync/atomic"
+
+// ringPad keeps the producer and consumer cursors on separate cache lines
+// so pushes and pops don't false-share.
+type ringPad [64]byte
+
+type frameRing struct {
+	buf  []dataFrame
+	mask uint64
+
+	_    ringPad
+	head atomic.Uint64 // consumer cursor: next slot to pop
+	_    ringPad
+	tail atomic.Uint64 // producer cursor: next slot to push
+}
+
+// newFrameRing builds a ring holding at least depth frames (rounded up to a
+// power of two so index math is a mask).
+func newFrameRing(depth int) *frameRing {
+	n := 1
+	for n < depth {
+		n <<= 1
+	}
+	return &frameRing{buf: make([]dataFrame, n), mask: uint64(n - 1)}
+}
+
+// push appends one frame by value. Returns false when the ring is full.
+// Producer side only.
+func (r *frameRing) push(f *dataFrame) bool {
+	tail := r.tail.Load()
+	if int(tail-r.head.Load()) == len(r.buf) {
+		return false
+	}
+	r.buf[tail&r.mask] = *f
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// pushBurst appends as many of frames as fit, returning how many were
+// pushed. Producer side only.
+func (r *frameRing) pushBurst(frames []dataFrame) int {
+	tail := r.tail.Load()
+	free := len(r.buf) - int(tail-r.head.Load())
+	n := len(frames)
+	if n > free {
+		n = free
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(tail+uint64(i))&r.mask] = frames[i]
+	}
+	r.tail.Store(tail + uint64(n))
+	return n
+}
+
+// popBurst copies up to len(out) frames into out, returning how many.
+// Consumer side only.
+func (r *frameRing) popBurst(out []dataFrame) int {
+	head := r.head.Load()
+	n := int(r.tail.Load() - head)
+	if n == 0 {
+		return 0
+	}
+	if n > len(out) {
+		n = len(out)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(head+uint64(i))&r.mask]
+	}
+	r.head.Store(head + uint64(n))
+	return n
+}
+
+// len returns the current occupancy. Safe from any goroutine; exact only
+// for the producer or consumer themselves.
+func (r *frameRing) len() int { return int(r.tail.Load() - r.head.Load()) }

@@ -25,6 +25,7 @@ import (
 type nodeStats struct {
 	delivered         atomic.Uint64
 	setupsCompleted   atomic.Uint64
+	redirects         atomic.Uint64
 	dropPolicy        atomic.Uint64
 	dropHole          atomic.Uint64
 	dropQueue         atomic.Uint64
@@ -58,10 +59,33 @@ func (s *nodeStats) recordDelivery(latSec float64, detour bool) {
 	s.delivered.Add(1)
 }
 
+// recordDeliveryBatch records a burst's deliveries in one shard update:
+// first holds the latencies (seconds) of detoured packets, later the rest.
+// One latency-mutex acquisition and one add per counter, however large the
+// burst.
+func (s *nodeStats) recordDeliveryBatch(first, later []float64) {
+	if len(first)+len(later) == 0 {
+		return
+	}
+	s.latMu.Lock()
+	for _, v := range first {
+		s.firstDelay.Add(v)
+	}
+	for _, v := range later {
+		s.laterDelay.Add(v)
+	}
+	s.latMu.Unlock()
+	if len(first) > 0 {
+		s.setupsCompleted.Add(uint64(len(first)))
+	}
+	s.delivered.Add(uint64(len(first) + len(later)))
+}
+
 // mergeInto folds the shard into a cluster-wide snapshot.
 func (s *nodeStats) mergeInto(m *core.Measurements) {
 	m.Delivered += s.delivered.Load()
 	m.SetupsCompleted += s.setupsCompleted.Load()
+	m.Redirects += s.redirects.Load()
 	m.Drops.Policy += s.dropPolicy.Load()
 	m.Drops.Hole += s.dropHole.Load()
 	m.Drops.AuthorityQueue += s.dropQueue.Load()

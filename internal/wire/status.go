@@ -59,7 +59,7 @@ func (c *Cluster) Status() Status {
 			AuthorityHits:  stats.AuthorityHits,
 			PartitionHits:  stats.PartitionHits,
 			Misses:         stats.Misses,
-			QueueDepth:     len(n.data),
+			QueueDepth:     n.queueLen(),
 			PeakQueueDepth: int(n.peakQueue.Load()),
 			OutboxLen:      len(n.outbox),
 			Epoch:          n.epoch.Load(),

@@ -273,8 +273,8 @@ func (c *Cluster) buildRegistry() {
 		telemetry.TypeGauge, func(n *node) float64 { return float64(n.sw.Table(proto.TableCache).Len()) })
 	perSwitch("difane_switch_cache_evictions_total", "Cache entries evicted for capacity.",
 		telemetry.TypeCounter, func(n *node) float64 { return float64(n.sw.Table(proto.TableCache).Evictions.Load()) })
-	perSwitch("difane_switch_queue_depth", "Current data-queue occupancy.",
-		telemetry.TypeGauge, func(n *node) float64 { return float64(len(n.data)) })
+	perSwitch("difane_switch_queue_depth", "Current input-ring occupancy (all rings).",
+		telemetry.TypeGauge, func(n *node) float64 { return float64(n.queueLen()) })
 	perSwitch("difane_switch_peak_queue_depth", "Data-queue high-water mark.",
 		telemetry.TypeGauge, func(n *node) float64 { return float64(n.peakQueue.Load()) })
 	perSwitch("difane_switch_outbox_len", "Buffered controller-bound events.",

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"difane/internal/core"
 	"difane/internal/flowspace"
@@ -44,6 +45,14 @@ type Cluster struct {
 	failover [][]uint32
 
 	switches map[uint32]*node
+	// nodes lists the switches in cfg.Switches order; node.slot indexes it.
+	// Per-producer data rings are addressed by slot, and injSlot (== the
+	// number of switches) is every node's extra injection ring.
+	nodes   []*node
+	injSlot int
+	// slabs pools burst-sized dataFrame scratch slices for InjectBatch
+	// callers, so batch injection allocates nothing in steady state.
+	slabs sync.Pool
 	// Deliveries receives every packet that reaches an egress.
 	Deliveries chan Delivery
 
@@ -72,7 +81,7 @@ type Cluster struct {
 	wg     sync.WaitGroup
 	trans  transport
 	// fabric, when non-nil, carries inter-switch data frames over batched
-	// loopback-TCP connections (cfg.Data.UseTCP) instead of direct queue
+	// loopback-TCP connections (cfg.Fabric.UseTCP) instead of direct ring
 	// handoff.
 	fabric *tcpFabric
 
@@ -98,10 +107,13 @@ type Cluster struct {
 	closeOnce sync.Once
 }
 
-// node is one switch goroutine with its tables, data queue, and control
+// node is one switch goroutine with its tables, data rings, and control
 // connection.
 type node struct {
 	id uint32
+	// slot is this node's dense index in Cluster.nodes (cfg.Switches
+	// order); peers address their ring into this node by their own slot.
+	slot int
 	// mu serializes the node's authority-side miss handling (HandleMiss
 	// mutates Authority state). The switch tables themselves are
 	// concurrency-safe (internal/tcam publishes copy-on-write snapshots),
@@ -115,7 +127,24 @@ type node struct {
 	// deliveries and drops here without touching any other node's state.
 	stats *nodeStats
 
-	data chan dataFrame
+	// in holds the node's input rings, one SPSC ring per producer: in[s]
+	// is fed only by switch s (its data goroutine, or the fabric receive
+	// goroutine of the s→this connection), and in[injSlot] is the
+	// injection ring, serialized across arbitrary callers by injectMu.
+	// The node's data goroutine is the sole consumer of all of them.
+	// Slots are pre-populated at boot when the cluster-wide slot matrix
+	// is small (see eagerRingBudget in NewClusterContext) and otherwise
+	// allocate lazily on first push (see ring): the slot space is one
+	// per switch, so eager allocation is O(switches²) frames across the
+	// cluster — a 76-switch topology at difanectl's 16k queue depth
+	// would pin ~10 GB — while real traffic touches only the slots of
+	// switches that actually forward here.
+	in        []atomic.Pointer[frameRing]
+	ringDepth int
+	injectMu  sync.Mutex
+	// notify wakes the data goroutine after a push; capacity 1 coalesces
+	// bursts of wakeups.
+	notify chan struct{}
 
 	// connMu guards the current control-connection pair. ctrl is the
 	// switch side and ctrlPeer the controller side; the connection manager
@@ -181,6 +210,13 @@ type node struct {
 // cloning; the Encap pointee is never mutated after a frame is sent.
 type dataFrame struct {
 	pkt packet.Packet
+	// encap/hasEncap carry the DIFANE encapsulation header by value —
+	// pkt.Encap stays nil inside the wire data plane, so encapsulating a
+	// frame per hop costs a struct store, not a heap allocation. The TCP
+	// fabric encodes from and decodes into this field directly
+	// (AppendWireEncap / DecodeWireEncap).
+	encap    packet.Encap
+	hasEncap bool
 	// injected is monotonic nanoseconds since the package time base
 	// (start) — cheaper to stamp and to diff than a wall-clock time.Time,
 	// and the hot path reads the clock exactly twice per packet: here and
@@ -236,7 +272,23 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		c.trans = pipeTransport{}
 	}
 	now := time.Now()
-	for _, id := range cfg.Switches {
+	c.injSlot = len(cfg.Switches)
+	// Pre-populate ring slots when the whole matrix is cheap: first-touch
+	// allocation otherwise lands mid-burst once traffic starts, and the
+	// GC cycles it triggers inside the measured window cost ~25% of
+	// cache-hit throughput. The matrix is O(switches²), so large
+	// topologies (a 76-switch campus at 16k depth is ~10 GB) fall back to
+	// lazy allocation in node.ring, where memory tracks the
+	// producer→consumer pairs traffic actually uses.
+	const eagerRingBudget = 64 << 20
+	ringSlots := len(cfg.Switches) * (len(cfg.Switches) + 1)
+	ringBytes := int(unsafe.Sizeof(dataFrame{}))
+	eagerRings := ringSlots*cfg.Fabric.RingDepth*ringBytes <= eagerRingBudget
+	c.slabs.New = func() any {
+		s := make([]dataFrame, 0, cfg.Fabric.Burst)
+		return &s
+	}
+	for slot, id := range cfg.Switches {
 		swConn, ctrlConn, err := c.trans.connect(cctx, id)
 		if err != nil {
 			cancel()
@@ -248,12 +300,15 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			return nil, err
 		}
 		n := &node{
-			id: id,
+			id:   id,
+			slot: slot,
 			sw: switchsim.New(id, switchsim.Config{
 				CacheCapacity: cfg.CacheCapacity,
 			}),
 			stats:      &nodeStats{},
-			data:       make(chan dataFrame, cfg.QueueDepth),
+			in:         make([]atomic.Pointer[frameRing], len(cfg.Switches)+1),
+			ringDepth:  cfg.Fabric.RingDepth,
+			notify:     make(chan struct{}, 1),
 			ctrl:       swConn,
 			ctrlPeer:   ctrlConn,
 			replies:    make(chan proto.Message, 16),
@@ -263,10 +318,16 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			redirectTB: metrics.NewTokenBucket(cfg.Overload.RedirectRate, cfg.Overload.RedirectBurst),
 			installTB:  metrics.NewTokenBucket(cfg.Overload.CacheInstallRate, cfg.Overload.CacheInstallBurst),
 		}
+		if eagerRings {
+			for i := range n.in {
+				n.in[i].Store(newFrameRing(cfg.Fabric.RingDepth))
+			}
+		}
 		n.alive.Store(true)
 		n.lastBeat.Store(now.UnixNano())
 		n.lastProbe.Store(now.UnixNano())
 		c.switches[id] = n
+		c.nodes = append(c.nodes, n)
 	}
 	c.epoch.Store(1)
 	if err := c.installAssignment(); err != nil {
@@ -278,8 +339,8 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		}
 		return nil, err
 	}
-	if cfg.Data.UseTCP {
-		fab, err := newTCPFabric(c, cfg.Data)
+	if cfg.Fabric.UseTCP {
+		fab, err := newTCPFabric(c, cfg.Fabric)
 		if err != nil {
 			cancel()
 			c.trans.close()
@@ -306,6 +367,15 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			n.ctrlPeer.Close()
 		}
 		return nil, err
+	}
+	// Re-stamp the heartbeat clocks now that construction is done:
+	// liveness silence starts when the prober can actually run, not when
+	// the node structs were built, so a slow boot (ring allocation, rule
+	// pre-install) can never eat into the first MissThreshold intervals.
+	boot := time.Now().UnixNano()
+	for _, n := range c.switches {
+		n.lastBeat.Store(boot)
+		n.lastProbe.Store(boot)
 	}
 	for _, n := range c.switches {
 		c.wg.Add(3)
@@ -362,9 +432,9 @@ const partitionRuleBase uint64 = 1 << 50
 // Assignment returns the partition→authority assignment the cluster runs.
 func (c *Cluster) Assignment() core.Assignment { return c.assign }
 
-// Inject enqueues a packet at the ingress switch's data queue. It returns
-// false if the queue is full (backpressure), the switch is unknown or
-// killed, or the cluster is closing.
+// Inject enqueues a packet at the ingress switch's injection ring. It
+// returns false if the ring is full (backpressure), the switch is unknown
+// or killed, or the cluster is closing.
 func (c *Cluster) Inject(ingress uint32, h packet.Header, size int) bool {
 	if !c.tryInject(ingress, h, size) {
 		c.dropped.Add(1)
@@ -387,14 +457,76 @@ func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
 		pkt:      packet.Packet{Header: h, Size: size},
 		injected: nowNS(),
 	}
-	select {
-	case n.data <- frame:
-		c.injected.Add(1)
-		n.noteQueueDepth(int64(len(n.data)))
-		return true
-	default:
+	ring := n.ring(c.injSlot)
+	n.injectMu.Lock()
+	pushed := ring.push(&frame)
+	n.injectMu.Unlock()
+	if !pushed {
 		return false
 	}
+	c.injected.Add(1)
+	n.noteQueueDepth(int64(ring.len()))
+	n.wake()
+	return true
+}
+
+// injectBurst pushes a pre-built frame burst onto the ingress switch's
+// injection ring under one lock and one wakeup, returning how many frames
+// fit. Frames are stamped by the caller; leftovers (ring full, unknown or
+// killed switch, closing cluster) are the caller's to retry or account.
+func (c *Cluster) injectBurst(ingress uint32, frames []dataFrame) int {
+	if c.closed.Load() || len(frames) == 0 {
+		return 0
+	}
+	n, ok := c.switches[ingress]
+	if !ok || n.killed.Load() {
+		return 0
+	}
+	ring := n.ring(c.injSlot)
+	n.injectMu.Lock()
+	pushed := ring.pushBurst(frames)
+	n.injectMu.Unlock()
+	if pushed > 0 {
+		c.injected.Add(uint64(pushed))
+		n.noteQueueDepth(int64(ring.len()))
+		n.wake()
+	}
+	return pushed
+}
+
+// ring returns the input ring fed by producer slot, allocating it on
+// first use. The CAS makes concurrent first touches of a slot safe (the
+// injection slot races only here — pushes are serialized by injectMu);
+// once published, the slot's single-producer discipline takes over.
+func (n *node) ring(slot int) *frameRing {
+	if r := n.in[slot].Load(); r != nil {
+		return r
+	}
+	r := newFrameRing(n.ringDepth)
+	if n.in[slot].CompareAndSwap(nil, r) {
+		return r
+	}
+	return n.in[slot].Load()
+}
+
+// wake nudges the node's data goroutine after a ring push.
+func (n *node) wake() {
+	select {
+	case n.notify <- struct{}{}:
+	default:
+	}
+}
+
+// queueLen sums the node's input-ring occupancy — the burst data plane's
+// equivalent of the old single data queue's length.
+func (n *node) queueLen() int {
+	total := 0
+	for i := range n.in {
+		if r := n.in[i].Load(); r != nil {
+			total += r.len()
+		}
+	}
+	return total
 }
 
 // Dropped returns packets shed by full queues or failed paths.
@@ -463,110 +595,43 @@ func (c *Cluster) policyDrop(s *nodeStats, firstPacket bool) {
 	c.completed.Add(1)
 }
 
-// dataLoop is a switch's data plane: classify and act on each frame. After
-// a blocking receive it greedily drains a bounded burst of backlog with
-// non-blocking receives — under load most frames skip the full select
-// path, while the bound keeps shutdown signals responsive.
+// dataLoop is a switch's data plane: pull a burst of frames from the input
+// rings, run the whole vector through one classification pass, and flush
+// the results downstream in per-destination bursts (see burst.go). When a
+// full scan of the rings comes up empty the loop blocks on the node's
+// notify channel; producers push first and kick after, so a wakeup can
+// never be lost.
 func (c *Cluster) dataLoop(n *node) {
 	defer c.wg.Done()
+	s := newBurstScratch(c)
 	for {
 		select {
 		case <-c.ctx.Done():
 			return
 		case <-n.done:
 			return
-		case frame := <-n.data:
-			c.handlePacket(n, &frame)
-		drain:
-			for i := 0; i < 128; i++ {
-				select {
-				case frame = <-n.data:
-					c.handlePacket(n, &frame)
-				default:
-					break drain
-				}
+		default:
+		}
+		total := 0
+		for i := range n.in {
+			if total == len(s.frames) {
+				break
+			}
+			if r := n.in[i].Load(); r != nil {
+				total += r.popBurst(s.frames[total:])
 			}
 		}
-	}
-}
-
-func (c *Cluster) handlePacket(n *node, frame *dataFrame) {
-	pkt := &frame.pkt
-	// Tunnel termination: a packet encapsulated to this switch is delivered.
-	if e := pkt.Encap; e != nil && e.Reason == packet.EncapTunnel && e.Target == n.id {
-		c.deliver(n, frame)
-		return
-	}
-	// Redirected packet arriving at an authority switch.
-	if e := pkt.Encap; e != nil && e.Reason == packet.EncapRedirect && e.Target == n.id {
-		c.authorityHandle(n, frame)
-		return
-	}
-	k := pkt.Header.Key()
-	// Lock-free: the tables publish copy-on-write snapshots, so this never
-	// contends with concurrent FlowMod installs. The frame's inject stamp
-	// stands in for "now" — at most a queueing delay stale, far inside the
-	// TCAM's seconds-granularity timeout model — saving a clock read per
-	// hop.
-	res := n.sw.Classify(frameSec(frame), k, pkt.Size)
-	if !res.OK {
-		c.drop(n.stats, dropHole)
-		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
-		return
-	}
-	switch res.Rule.Action.Kind {
-	case flowspace.ActDrop:
-		// Policy drop at the ingress (cached decision): intentional.
-		c.policyDrop(n.stats, false)
-		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0)
-	case flowspace.ActForward:
-		if c.rec.Enabled() {
-			c.rec.Publish(telemetry.Event{
-				Kind: telemetry.EvForward, Node: n.id, Peer: res.Rule.Action.Arg,
-				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
-			})
-		}
-		c.tunnelTo(n, res.Rule.Action.Arg, frame)
-	case flowspace.ActRedirect:
-		// Miss-storm protection: an ingress over its redirect budget sheds
-		// the packet here, in its own data plane, instead of piling onto
-		// the authority switch's queue.
-		if !n.redirectTB.Allow() {
-			c.shedRedirect(n.stats)
-			if c.rec.Enabled() {
-				c.rec.Publish(telemetry.Event{
-					Kind: telemetry.EvShed, Node: n.id,
-					Verdict: telemetry.VShedRedirect, Flow: flowOf(&pkt.Header),
-				})
-			}
-			return
-		}
-		target := res.Rule.Action.Arg
-		if !c.nodeUsable(target) {
-			// The failure detector marked the target dead: fail over to
-			// the backup locally, in the data plane, without a controller
-			// round trip.
-			next, ok := c.failoverLocal(n, res.Rule, target)
-			if !ok {
-				c.drop(n.stats, dropUnreachable)
-				c.traceVerdict(n.id, telemetry.VUnreachable, res.Rule.ID, &pkt.Header, 0)
+		if total == 0 {
+			select {
+			case <-c.ctx.Done():
 				return
+			case <-n.done:
+				return
+			case <-n.notify:
 			}
-			target = next
+			continue
 		}
-		if c.rec.Enabled() {
-			c.rec.Publish(telemetry.Event{
-				Kind: telemetry.EvRedirect, Node: n.id, Peer: target,
-				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
-			})
-		}
-		frame.detour = true
-		pkt.Encapsulate(packet.EncapRedirect, n.id, target)
-		c.notePending(target)
-		c.forwardFrame(n, target, frame)
-	default:
-		c.drop(n.stats, dropHole)
-		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0)
+		c.processBurst(n, s, s.frames[:total])
 	}
 }
 
@@ -580,88 +645,6 @@ func (c *Cluster) traceVerdict(node uint32, verdict uint8, ruleID uint64, h *pac
 		Kind: telemetry.EvVerdict, Node: node, Verdict: verdict,
 		RuleID: ruleID, Value: uint64(lat), Flow: flowOf(h),
 	})
-}
-
-// authorityHandle runs the partition logic for a redirected packet and
-// sends the cache install back to the ingress switch over its control
-// connection.
-func (c *Cluster) authorityHandle(n *node, frame *dataFrame) {
-	pkt := &frame.pkt
-	// Processing a redirected packet is the data-plane liveness signal the
-	// redirect-timeout detector watches for.
-	c.clearPending(n.id)
-	e := pkt.Decapsulate()
-	k := pkt.Header.Key()
-	var auth *core.Authority
-	n.mu.Lock()
-	for _, a := range n.auths {
-		if a.Partition.Region.Matches(k) {
-			auth = a
-			break
-		}
-	}
-	var res core.MissResult
-	if auth != nil {
-		res = auth.HandleMiss(k)
-	}
-	n.mu.Unlock()
-	if auth == nil || !res.OK {
-		c.drop(n.stats, dropHole)
-		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
-		return
-	}
-	if c.rec.Enabled() {
-		c.rec.Publish(telemetry.Event{
-			Kind: telemetry.EvAuthority, Node: n.id, Peer: e.Ingress,
-			Table: uint8(proto.TableAuthority), RuleID: res.Rule.ID,
-			Flow: flowOf(&pkt.Header),
-		})
-	}
-	if len(res.CacheMods) > 0 {
-		// Control-plane half of miss-storm protection: an authority over
-		// its install budget suppresses the cache install. The packet still
-		// forwards below, so the cost is future redirects, not reachability.
-		if !n.installTB.Allow() {
-			n.stats.cacheInstallsShed.Add(1)
-			if c.rec.Enabled() {
-				c.rec.Publish(telemetry.Event{
-					Kind: telemetry.EvShed, Node: n.id,
-					Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
-				})
-			}
-		} else {
-			install := &proto.CacheInstall{Ingress: e.Ingress, Rules: res.CacheMods}
-			// The authority switch writes on its switch end; the controller
-			// relay reads the other end and forwards to the ingress switch.
-			// Hand the write to the node's dedicated install writer instead
-			// of spawning a goroutine per miss — under a storm, unbounded
-			// spawns cost more than the installs; overflow degrades to a
-			// shed install (the packet still forwards below, so the cost is
-			// future redirects, not reachability).
-			select {
-			case n.installQ <- install:
-			default:
-				n.stats.cacheInstallsShed.Add(1)
-				if c.rec.Enabled() {
-					c.rec.Publish(telemetry.Event{
-						Kind: telemetry.EvShed, Node: n.id,
-						Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
-					})
-				}
-			}
-		}
-	}
-	switch res.Rule.Action.Kind {
-	case flowspace.ActDrop:
-		// Policy drop at the authority: a completed (negative) flow setup.
-		c.policyDrop(n.stats, true)
-		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0)
-	case flowspace.ActForward:
-		c.tunnelTo(n, res.Rule.Action.Arg, frame)
-	default:
-		c.drop(n.stats, dropHole)
-		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0)
-	}
 }
 
 // installWriter serializes one switch's cache-install writes toward the
@@ -724,50 +707,6 @@ func (c *Cluster) nodeUsable(id uint32) bool {
 // NodeAlive reports the failure detector's verdict for a switch.
 func (c *Cluster) NodeAlive(id uint32) bool { return c.nodeUsable(id) }
 
-// tunnelTo encapsulates the packet toward its egress and forwards it. n is
-// the node doing the forwarding (its shard takes the accounting).
-func (c *Cluster) tunnelTo(n *node, egress uint32, frame *dataFrame) {
-	if egress == n.id {
-		c.deliver(n, frame)
-		return
-	}
-	frame.pkt.Encapsulate(packet.EncapTunnel, n.id, egress)
-	c.forwardFrame(n, egress, frame)
-}
-
-// forwardFrame hands the packet to switch `to`, either by direct queue
-// handoff of the parsed frame or over the batched TCP data fabric (which
-// serializes it). src's shard records drops.
-func (c *Cluster) forwardFrame(src *node, to uint32, frame *dataFrame) {
-	dst, ok := c.switches[to]
-	if !ok {
-		c.drop(src.stats, dropUnreachable)
-		return
-	}
-	if dst.killed.Load() {
-		// A killed switch's buffered channel would happily accept the frame,
-		// but its pump goroutine is gone: the packet would sit there forever,
-		// uncounted — breaking the accounting identity (injected = delivered
-		// + drops) and wedging Deployment.Run's completion wait. Account it
-		// as unreachable instead, exactly like the simulator's dead-egress
-		// path.
-		c.drop(src.stats, dropUnreachable)
-		c.traceVerdict(src.id, telemetry.VUnreachable, 0, &frame.pkt.Header, 0)
-		return
-	}
-	if c.fabric != nil {
-		c.fabric.send(src, dst, frame)
-		return
-	}
-	select {
-	case dst.data <- *frame:
-		dst.noteQueueDepth(int64(len(dst.data)))
-	default:
-		c.drop(src.stats, dropQueue)
-		c.traceVerdict(src.id, telemetry.VDropQueue, 0, &frame.pkt.Header, 0)
-	}
-}
-
 // noteQueueDepth records the data queue's high-water mark.
 func (n *node) noteQueueDepth(d int64) {
 	for {
@@ -776,35 +715,6 @@ func (n *node) noteQueueDepth(d int64) {
 			return
 		}
 	}
-}
-
-// deliver records a packet reaching its egress at node n, against n's own
-// measurement shard — deliveries on different switches touch disjoint
-// state.
-func (c *Cluster) deliver(n *node, frame *dataFrame) {
-	lat := time.Duration(nowNS() - frame.injected)
-	n.stats.recordDelivery(lat.Seconds(), frame.detour)
-	c.traceVerdict(n.id, telemetry.VDelivered, 0, &frame.pkt.Header, int64(lat))
-	// The length pre-check keeps egress loops from serializing on the
-	// shared channel's lock when nobody is draining notifications; the
-	// select still sheds racy fill-ups. Either way the notification is
-	// dropped, never the packet.
-	if len(c.Deliveries) < cap(c.Deliveries) {
-		d := Delivery{
-			Egress:  n.id,
-			Header:  frame.pkt.Header,
-			Detour:  frame.detour,
-			Latency: lat,
-		}
-		select {
-		case c.Deliveries <- d:
-		default:
-		}
-	}
-	// completed last: once Deployment.Run observes completed == injected,
-	// both the Measurements counter and the Delivery notification for this
-	// packet are already visible.
-	c.completed.Add(1)
 }
 
 // conns returns the node's current control-connection pair.
@@ -1233,7 +1143,7 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
-// drained reports whether every live switch's data queue is empty and no
+// drained reports whether every live switch's input rings are empty and no
 // frame is in flight inside the data fabric.
 func (c *Cluster) drained() bool {
 	if c.fabric != nil && c.fabric.pending() > 0 {
@@ -1243,7 +1153,7 @@ func (c *Cluster) drained() bool {
 		if n.killed.Load() {
 			continue
 		}
-		if len(n.data) > 0 {
+		if n.queueLen() > 0 {
 			return false
 		}
 	}

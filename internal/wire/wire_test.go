@@ -203,3 +203,63 @@ func TestCloseIsIdempotentAndStops(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestInjectBatchPoolReuse runs two InjectBatch calls back to back through
+// the same deployment, so the second batch is staged in the pooled frame
+// slab the first one used. Every delivery from the second batch must carry
+// exactly its own header and size — any stale field surviving slab reuse
+// (old headers, encap state, the detour bit) shows up as a corrupted or
+// duplicated delivery here.
+func TestInjectBatchPoolReuse(t *testing.T) {
+	c := newCluster(t, core.StrategyCover)
+	d := Deploy(c)
+
+	const per = 32
+	mkBatch := func(base uint32, size int) []core.PacketIn {
+		batch := make([]core.PacketIn, per)
+		for i := range batch {
+			h := httpHeader(base + uint32(i))
+			batch[i] = core.PacketIn{Ingress: uint32(i % 2), Key: h.Key(), Size: size}
+		}
+		return batch
+	}
+	first := mkBatch(1000, 100)
+	d.InjectBatch(first)
+	seen := make(map[uint32]int, per)
+	for i := range first {
+		seen[1000+uint32(i)] = 100
+	}
+	for n := 0; n < per; n++ {
+		del := awaitDelivery(t, c)
+		if _, ok := seen[del.Header.IPSrc]; !ok {
+			t.Fatalf("first batch: unexpected src %d: %+v", del.Header.IPSrc, del)
+		}
+		delete(seen, del.Header.IPSrc)
+	}
+
+	second := mkBatch(2000, 700)
+	d.InjectBatch(second)
+	seen = make(map[uint32]int, per)
+	for i := range second {
+		seen[2000+uint32(i)] = 700
+	}
+	for n := 0; n < per; n++ {
+		del := awaitDelivery(t, c)
+		if _, ok := seen[del.Header.IPSrc]; !ok {
+			t.Fatalf("second batch: stale or duplicate src %d leaked from pooled slab: %+v",
+				del.Header.IPSrc, del)
+		}
+		delete(seen, del.Header.IPSrc)
+		if del.Header.TPDst != 80 {
+			t.Fatalf("second batch: header corrupted: %+v", del.Header)
+		}
+	}
+	if len(seen) != 0 {
+		t.Fatalf("second batch: %d deliveries missing", len(seen))
+	}
+	d.Run(5)
+	m := d.Measurements()
+	if m.Delivered != 2*per {
+		t.Fatalf("delivered = %d, want %d", m.Delivered, 2*per)
+	}
+}
