@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke trace-demo fuzz-smoke check soak regen-golden
+.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke trace-demo fuzz-smoke check chaos-smoke soak regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -49,6 +49,16 @@ trace-demo:
 # (sim, baseline, wire), every packet verdict diffed against the oracle.
 check:
 	go test ./internal/scencheck -run TestDifferential -seeds 16
+
+# Chaos smoke under the race detector: differential scenarios that kill
+# switches AND controllers mid-traffic (BFD detection, backup promotion,
+# leader elections, epoch fencing — zero verdict divergence allowed),
+# plus the wire HA suite with its leader-churn goroutine-leak check and
+# the bench guard holding BFD detection at ≤ 1/10th of the heartbeat's.
+chaos-smoke:
+	go test -race ./internal/scencheck -run TestChaosSmoke -timeout 10m
+	go test -race ./internal/wire -timeout 10m \
+		-run 'TestLeaderKillAutoFailover|TestKillAllReplicasNeedsRestore|TestLeaderChurnNoGoroutineLeak|TestStaleLeaderInstallFenced|TestBFDDetectionTenfoldFaster|TestJournalReplicationAcrossElection'
 
 # Long differential soak — not part of tier-1. Failing-seed reports land in
 # artifacts/ with a minimal shrunk repro each.

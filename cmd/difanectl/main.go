@@ -9,15 +9,17 @@
 //	difanectl [-mode sim|baseline|wire] [-network campus|vpn|iptv|isp]
 //	          [-authorities K] [-seed N]
 //	difanectl check [-seed N | -count N] [-steps N] [-mode ...]
-//	difanectl serve [-telemetry addr] [-switches N] [-trace] [-duration D]
+//	difanectl serve [-telemetry addr] [-switches N] [-replicas N] [-trace] [-duration D]
 //	difanectl metrics -addr host:port [-json]
+//	difanectl ha -addr host:port [-json]
 //	difanectl trace -addr host:port [-follow] [-story] [filters...]
 //
 // serve boots a demo wire cluster with the telemetry HTTP endpoint bound
 // and traffic flowing; metrics scrapes its /metrics (Prometheus text) or
-// /vars (JSON); trace dumps the flight recorder, follows it live, or —
-// with -story and a flow filter — reconstructs a single flow's
-// hop-by-hop journey through the cluster.
+// /vars (JSON); ha renders /ha — the controller replica set, leader and
+// fencing epoch, and every switch's BFD session; trace dumps the flight
+// recorder, follows it live, or — with -story and a flow filter —
+// reconstructs a single flow's hop-by-hop journey through the cluster.
 //
 // Commands (stdin, one per line; (sim) marks simulator-only commands,
 // (wire) wire-only):
@@ -32,6 +34,7 @@
 //	fail <switch>                                 fail an authority switch (sim)
 //	kill <switch>                                 crash a switch (wire)
 //	alive                                         failure detector verdicts (wire)
+//	ha                                            replica set, leader, BFD sessions (wire)
 //	snapshot <dir>                                checkpoint controller state to a journal (sim)
 //	restore <dir>                                 recover the controller from a journal (sim)
 //	epoch                                         print the controller's fencing epoch
@@ -81,6 +84,8 @@ func main() {
 			os.Exit(runTrace(os.Args[2:]))
 		case "metrics":
 			os.Exit(runMetrics(os.Args[2:]))
+		case "ha":
+			os.Exit(runHA(os.Args[2:]))
 		case "serve":
 			os.Exit(runServe(os.Args[2:]))
 		}
@@ -157,11 +162,12 @@ func main() {
 			Authorities: auths,
 			Policy:      spec.Policy,
 			// Traces are injected as fast as possible in wire mode; deep
-			// queues absorb the burst, and a coarse heartbeat keeps the
-			// failure detector from false-positives while the burst
-			// saturates the host.
+			// queues absorb the burst, and coarse detectors (heartbeat
+			// and BFD alike) keep the failure detectors from
+			// false-positives while the burst saturates the host.
 			QueueDepth: 16384,
 			Heartbeat:  difane.HeartbeatConfig{Interval: 200 * time.Millisecond, MissThreshold: 10},
+			BFD:        difane.BFDConfig{Interval: 200 * time.Millisecond, DetectMult: 10},
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -194,7 +200,7 @@ func main() {
 func (s *session) command(fields []string) {
 	switch fields[0] {
 	case "help":
-		fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> [file] | replay <file> | stats | tables <switch> | counters | partitions | fail <switch> | kill <switch> | alive | snapshot <dir> | restore <dir> | epoch | load <file> | save <file> | compact | quit")
+		fmt.Println("inject <ingress> <ip_src> <ip_dst> <tp_dst> | trace <flows> [file] | replay <file> | stats | tables <switch> | counters | partitions | fail <switch> | kill <switch> | alive | ha | snapshot <dir> | restore <dir> | epoch | load <file> | save <file> | compact | quit")
 	case "inject":
 		if len(fields) != 5 {
 			fmt.Println("usage: inject <ingress> <ip_src> <ip_dst> <tp_dst>")
@@ -498,6 +504,12 @@ func (s *session) command(fields []string) {
 			fmt.Printf("switch %d: alive=%v killed=%v queue=%d cache=%d\n",
 				ss.ID, ss.Alive, ss.Killed, ss.QueueDepth, ss.CacheEntries)
 		}
+	case "ha":
+		if s.cluster == nil {
+			fmt.Println("ha is wire-only")
+			return
+		}
+		printHA(s.cluster.HAStatus())
 	default:
 		fmt.Printf("unknown command %q (try help)\n", fields[0])
 	}

@@ -172,6 +172,10 @@ func formatEvent(e telemetry.EventJSON) string {
 		fmt.Fprintf(&b, " %d partition rules withdrawn", e.Value)
 	case "epoch-raise", "epoch-reject", "controller-down", "controller-up":
 		fmt.Fprintf(&b, " epoch %d", e.Value)
+	case "bfd-up", "bfd-down":
+		fmt.Fprintf(&b, " discr %d", e.Peer)
+	case "leader-elected":
+		fmt.Fprintf(&b, " replica %d epoch %d", e.Peer, e.Value)
 	}
 	if e.Src != "" || e.Dst != "" {
 		fmt.Fprintf(&b, "  [%s -> %s]", e.Src, e.Dst)
@@ -256,6 +260,7 @@ func runServe(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("telemetry", "127.0.0.1:9090", "address to serve the telemetry endpoint on")
 	switches := fs.Int("switches", 8, "cluster size")
+	replicas := fs.Int("replicas", 3, "controller replicas (>= 2 enables leader election; /ha shows the set)")
 	tracing := fs.Bool("trace", true, "start with the flight recorder enabled")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
 	seed := fs.Int64("seed", 1, "traffic generator seed")
@@ -288,6 +293,7 @@ func runServe(args []string) int {
 		Strategy:      difane.StrategyExact,
 		CacheCapacity: 256,
 		QueueDepth:    8192,
+		HA:            difane.HAConfig{Replicas: *replicas},
 		Telemetry:     difane.TelemetryConfig{Addr: *addr, Tracing: *tracing},
 	})
 	if err != nil {

@@ -308,6 +308,18 @@ type Delivery = wire.Delivery
 // HeartbeatConfig tunes wire mode's controller↔switch failure detector.
 type HeartbeatConfig = wire.HeartbeatConfig
 
+// BFDConfig tunes wire mode's BFD-style fast failure detector (the
+// heartbeat remains as a coarse fallback).
+type BFDConfig = wire.BFDConfig
+
+// HAConfig sizes wire mode's replicated controller: Replicas ≥ 2 turns on
+// journal log shipping and automatic leader election.
+type HAConfig = wire.HAConfig
+
+// HAStatus is the failure-detection and controller-HA report served at
+// the telemetry endpoint's /ha and rendered by `difanectl ha`.
+type HAStatus = wire.HAStatus
+
 // RetryPolicy bounds wire mode's control-plane retries (reconnect backoff,
 // FlowMod installs).
 type RetryPolicy = wire.RetryPolicy

@@ -1,0 +1,439 @@
+// Package bfd implements an asynchronous-mode BFD-style session state
+// machine in the spirit of RFC 5880: a three-way handshake through
+// Down → Init → Up, a detect-multiplier timeout, jittered transmit
+// intervals, and an optional demand mode that replaces periodic
+// transmission with lazy poll sequences once a session is established.
+//
+// The package is transport-agnostic and clock-agnostic: a Session never
+// sleeps, spawns, or sends. The driver calls Tick on its own cadence to
+// learn what (if anything) to transmit and whether the detection timer
+// expired, and feeds received packets to Handle. All timing flows through
+// the time.Time values the caller passes in, so tests drive sessions with
+// a fake clock deterministically. Wire mode carries Packet over its
+// control channels as proto.BFDControl frames and runs one session per
+// direction of every controller↔switch pair.
+package bfd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// State is a session's liveness state.
+type State uint8
+
+const (
+	// StateAdminDown means the session was administratively taken down;
+	// a peer receiving it must not treat the silence as a failure.
+	StateAdminDown State = iota
+	// StateDown: no (recent) contact with the peer.
+	StateDown
+	// StateInit: we hear the peer, the peer does not yet hear us.
+	StateInit
+	// StateUp: both directions confirmed — the three-way handshake closed.
+	StateUp
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAdminDown:
+		return "admin-down"
+	case StateDown:
+		return "down"
+	case StateInit:
+		return "init"
+	case StateUp:
+		return "up"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Packet is one BFD control packet, the session's only wire artifact.
+type Packet struct {
+	State State
+	// Poll asks the peer for an immediate Final response — demand mode's
+	// liveness probe and the parameter-change handshake.
+	Poll bool
+	// Final answers a Poll, closing the poll sequence.
+	Final bool
+	// Demand advertises that the sender will go quiescent once Up.
+	Demand bool
+	// MyDiscr / YourDiscr are the session discriminators: MyDiscr names
+	// the sender's session, YourDiscr echoes the peer's (0 until learned).
+	MyDiscr   uint32
+	YourDiscr uint32
+	// DesiredMinTx / RequiredMinRx negotiate the transmit cadence: a
+	// sender transmits no faster than the peer's RequiredMinRx.
+	DesiredMinTx  time.Duration
+	RequiredMinRx time.Duration
+	// DetectMult is how many transmit intervals of silence the sender
+	// wants its peer to tolerate before declaring the session down.
+	DetectMult uint8
+}
+
+// Config parameterizes a session. Zero values take the package defaults.
+type Config struct {
+	// LocalDiscr is this session's discriminator (any nonzero value
+	// unique among the driver's sessions).
+	LocalDiscr uint32
+	// DesiredMinTx is the transmit interval this end wants (default 2ms).
+	DesiredMinTx time.Duration
+	// RequiredMinRx is the slowest receive cadence this end will police
+	// (default: DesiredMinTx).
+	RequiredMinRx time.Duration
+	// DetectMult is the detection multiplier: detection time is
+	// DetectMult × the negotiated interval (default 3).
+	DetectMult int
+	// Demand stops periodic transmission once the session is Up; liveness
+	// is then re-proven with a poll sequence every PollInterval.
+	Demand bool
+	// PollInterval is demand mode's probe cadence (default 10×DesiredMinTx).
+	PollInterval time.Duration
+	// Rand is the jitter source in [0,1) (default math/rand; inject a
+	// constant for deterministic tests).
+	Rand func() float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.DesiredMinTx <= 0 {
+		c.DesiredMinTx = 2 * time.Millisecond
+	}
+	if c.RequiredMinRx <= 0 {
+		c.RequiredMinRx = c.DesiredMinTx
+	}
+	if c.DetectMult <= 0 {
+		c.DetectMult = 3
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 10 * c.DesiredMinTx
+	}
+	if c.Rand == nil {
+		c.Rand = rand.Float64
+	}
+}
+
+// Info is a session snapshot for status surfaces.
+type Info struct {
+	State       State
+	RemoteState State
+	RemoteDiscr uint32
+	// DetectTime is the current detection timeout (negotiated).
+	DetectTime time.Duration
+	Demand     bool
+	// Transitions counts state changes since the session was created.
+	Transitions uint64
+	// LastChange is when the state last changed (zero if never).
+	LastChange time.Time
+}
+
+// Session is one directed BFD session. All methods are safe for
+// concurrent use; the state-change callback runs without the session
+// lock held.
+type Session struct {
+	mu  sync.Mutex
+	cfg Config
+
+	state       State
+	remoteState State
+	remoteDiscr uint32
+	// Negotiation state learned from the peer's packets.
+	remoteMinRx     time.Duration
+	remoteDesiredTx time.Duration
+	remoteMult      uint8
+	remoteDemand    bool
+
+	lastRx time.Time
+	nextTx time.Time
+	// mustTx forces one transmission on the next Tick regardless of
+	// quiescence — set when a received packet advances our state, so the
+	// peer learns of the transition before demand mode silences us.
+	mustTx bool
+
+	pollActive  bool
+	pollStarted time.Time
+	nextPoll    time.Time
+
+	lastChange  time.Time
+	transitions uint64
+	everUp      bool
+
+	onState func(old, new State)
+}
+
+// New builds a session in StateDown. onState (optional) is invoked after
+// every state change, outside the session lock.
+func New(cfg Config, onState func(old, new State)) *Session {
+	cfg.applyDefaults()
+	return &Session{cfg: cfg, state: StateDown, remoteState: StateDown, onState: onState}
+}
+
+// setState transitions the machine; callers hold s.mu and fire the
+// callback after unlocking.
+func (s *Session) setState(st State, now time.Time) {
+	if st == s.state {
+		return
+	}
+	s.state = st
+	s.lastChange = now
+	s.transitions++
+	s.pollActive = false
+	if st == StateUp {
+		s.everUp = true
+		s.nextPoll = now.Add(s.cfg.PollInterval)
+	}
+}
+
+// Handle processes a received control packet. It returns a packet to send
+// back immediately when the protocol demands one (a Final answering the
+// peer's Poll), or nil.
+func (s *Session) Handle(p Packet, now time.Time) *Packet {
+	s.mu.Lock()
+	old := s.state
+	s.remoteState = p.State
+	s.remoteDiscr = p.MyDiscr
+	s.remoteMinRx = p.RequiredMinRx
+	s.remoteDesiredTx = p.DesiredMinTx
+	s.remoteMult = p.DetectMult
+	s.remoteDemand = p.Demand
+	s.lastRx = now
+	if p.Final {
+		s.pollActive = false
+	}
+	// RFC 5880 §6.8.6, trimmed to the states this package models.
+	if p.State == StateAdminDown {
+		if s.state != StateDown {
+			s.setState(StateDown, now)
+		}
+	} else {
+		switch s.state {
+		case StateDown:
+			if p.State == StateDown {
+				s.setState(StateInit, now)
+			} else if p.State == StateInit {
+				s.setState(StateUp, now)
+			}
+		case StateInit:
+			if p.State == StateInit || p.State == StateUp {
+				s.setState(StateUp, now)
+			}
+		case StateUp:
+			if p.State == StateDown {
+				s.setState(StateDown, now)
+			}
+		}
+	}
+	var reply *Packet
+	if p.Poll {
+		pk := s.packetLocked()
+		pk.Final = true
+		reply = &pk
+	} else if s.state != old {
+		// Accelerate the handshake: a state-advancing packet is answered
+		// on the next Tick instead of waiting out the jittered interval,
+		// and the announcement goes out even if we then quiesce.
+		s.mustTx = true
+	}
+	cb, st := s.onState, s.state
+	s.mu.Unlock()
+	if cb != nil && st != old {
+		cb(old, st)
+	}
+	return reply
+}
+
+// Tick advances the session's timers: it checks the detection timeout and
+// schedules transmission. It returns the packet to transmit now (nil if
+// none is due) and whether this tick expired the detection timer
+// (transitioning the session to Down).
+func (s *Session) Tick(now time.Time) (send *Packet, expired bool) {
+	s.mu.Lock()
+	old := s.state
+	if s.state == StateUp || s.state == StateInit {
+		dt := s.detectTimeLocked()
+		var timedOut bool
+		if s.cfg.Demand && s.state == StateUp {
+			// Local demand mode: the peer is silent by agreement, so
+			// detection runs only against an outstanding poll sequence.
+			timedOut = s.pollActive && now.Sub(s.pollStarted) > dt
+		} else {
+			timedOut = !s.lastRx.IsZero() && now.Sub(s.lastRx) > dt
+		}
+		if timedOut {
+			s.setState(StateDown, now)
+			expired = true
+		}
+	}
+	switch {
+	case s.mustTx:
+		s.mustTx = false
+		pk := s.packetLocked()
+		pk.Poll = s.pollActive
+		send = &pk
+		s.nextTx = now.Add(s.txIntervalLocked())
+	case s.cfg.Demand && s.state == StateUp && !s.pollActive &&
+		!s.nextPoll.IsZero() && !now.Before(s.nextPoll):
+		// Demand mode's lazy liveness probe.
+		s.pollActive = true
+		s.pollStarted = now
+		pk := s.packetLocked()
+		pk.Poll = true
+		send = &pk
+		s.nextTx = now.Add(s.txIntervalLocked())
+		s.nextPoll = now.Add(s.cfg.PollInterval)
+	case s.quiescentLocked() && !s.pollActive:
+		// The peer asked for demand mode and both ends are Up: stay quiet.
+	default:
+		if s.nextTx.IsZero() || !now.Before(s.nextTx) {
+			pk := s.packetLocked()
+			pk.Poll = s.pollActive
+			send = &pk
+			s.nextTx = now.Add(s.txIntervalLocked())
+		}
+	}
+	cb, st := s.onState, s.state
+	s.mu.Unlock()
+	if cb != nil && st != old {
+		cb(old, st)
+	}
+	return send, expired
+}
+
+// Credit compensates the detection clocks for a local scheduling stall:
+// the driver discovered it resumed d late, so up to d of the observed
+// receive silence is attributable to the local system — which was not
+// listening (or transmitting) — rather than to the peer. Both detection
+// clocks advance by d, capped at now. Without this, a driver that shares
+// one ticking goroutine across many sessions turns every stall longer
+// than the detect time into a correlated false failure of all of them.
+func (s *Session) Credit(d time.Duration, now time.Time) {
+	if d <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.lastRx.IsZero() {
+		if t := s.lastRx.Add(d); t.Before(now) {
+			s.lastRx = t
+		} else {
+			s.lastRx = now
+		}
+	}
+	if s.pollActive {
+		if t := s.pollStarted.Add(d); t.Before(now) {
+			s.pollStarted = t
+		} else {
+			s.pollStarted = now
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Reset quietly returns the session to Down without invoking the
+// state-change callback — an administrative teardown (e.g. around a
+// simulated controller outage) whose silence must not read as a detected
+// failure. The next handshake re-proves the path.
+func (s *Session) Reset(now time.Time) {
+	s.mu.Lock()
+	if s.state != StateDown {
+		s.state = StateDown
+		s.lastChange = now
+		s.transitions++
+	}
+	s.remoteState = StateDown
+	s.pollActive = false
+	s.mustTx = false
+	s.lastRx = time.Time{}
+	s.nextTx = now
+	s.mu.Unlock()
+}
+
+// quiescentLocked reports whether periodic transmission is suppressed:
+// per RFC 5880 §6.8.7, a system stops periodic transmission when the
+// REMOTE system is in demand mode and both session directions are Up.
+func (s *Session) quiescentLocked() bool {
+	return s.remoteDemand && s.state == StateUp && s.remoteState == StateUp
+}
+
+// detectTimeLocked is the negotiated detection timeout: the peer's
+// detect-multiplier (ours until learned) times the slower of our required
+// receive interval and the peer's desired transmit interval.
+func (s *Session) detectTimeLocked() time.Duration {
+	mult := time.Duration(s.remoteMult)
+	if mult == 0 {
+		mult = time.Duration(s.cfg.DetectMult)
+	}
+	iv := s.cfg.RequiredMinRx
+	if s.remoteDesiredTx > iv {
+		iv = s.remoteDesiredTx
+	}
+	return mult * iv
+}
+
+// txIntervalLocked is the jittered transmit interval: the negotiated base
+// (no faster than the peer's RequiredMinRx) scaled into [75%,100%) — or
+// [75%,90%) when DetectMult is 1 — per RFC 5880 §6.8.7.
+func (s *Session) txIntervalLocked() time.Duration {
+	base := s.cfg.DesiredMinTx
+	if s.remoteMinRx > base {
+		base = s.remoteMinRx
+	}
+	span := 0.25
+	if s.cfg.DetectMult == 1 {
+		span = 0.15
+	}
+	f := 0.75 + span*s.cfg.Rand()
+	return time.Duration(float64(base) * f)
+}
+
+func (s *Session) packetLocked() Packet {
+	return Packet{
+		State:         s.state,
+		Demand:        s.cfg.Demand,
+		MyDiscr:       s.cfg.LocalDiscr,
+		YourDiscr:     s.remoteDiscr,
+		DesiredMinTx:  s.cfg.DesiredMinTx,
+		RequiredMinRx: s.cfg.RequiredMinRx,
+		DetectMult:    uint8(s.cfg.DetectMult),
+	}
+}
+
+// State returns the current session state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Up reports whether the session is established.
+func (s *Session) Up() bool { return s.State() == StateUp }
+
+// EverUp reports whether the session has ever completed the handshake.
+func (s *Session) EverUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.everUp
+}
+
+// DetectTime returns the current (negotiated) detection timeout.
+func (s *Session) DetectTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detectTimeLocked()
+}
+
+// Info snapshots the session for status surfaces.
+func (s *Session) Info() Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Info{
+		State:       s.state,
+		RemoteState: s.remoteState,
+		RemoteDiscr: s.remoteDiscr,
+		DetectTime:  s.detectTimeLocked(),
+		Demand:      s.cfg.Demand,
+		Transitions: s.transitions,
+		LastChange:  s.lastChange,
+	}
+}

@@ -158,6 +158,18 @@ type Measurements struct {
 	// A no-op policy update must leave both untouched.
 	PolicyRuleInstalls uint64
 	PolicyRuleDeletes  uint64
+
+	// Failure-detection and HA timing (wire mode; empty elsewhere).
+	//
+	// FailoverDetection samples the latency from an injected fault
+	// (switch kill, control partition) to the failure detector's death
+	// verdict, in seconds — milliseconds under BFD versus multiple
+	// heartbeat intervals without it. LeaderElection samples the time
+	// from a controller-leader kill to the new leader being seated;
+	// LeaderElections counts completed elections.
+	FailoverDetection metrics.Dist
+	LeaderElection    metrics.Dist
+	LeaderElections   uint64
 }
 
 // Snapshot returns an independent copy safe to query while the original
@@ -169,6 +181,8 @@ func (m *Measurements) Snapshot() *Measurements {
 	out.FirstPacketDelay = m.FirstPacketDelay.Clone()
 	out.LaterPacketDelay = m.LaterPacketDelay.Clone()
 	out.Stretch = m.Stretch.Clone()
+	out.FailoverDetection = m.FailoverDetection.Clone()
+	out.LeaderElection = m.LeaderElection.Clone()
 	return &out
 }
 
@@ -204,6 +218,10 @@ func (m *Measurements) Merge(o *Measurements) {
 
 	m.PolicyRuleInstalls += o.PolicyRuleInstalls
 	m.PolicyRuleDeletes += o.PolicyRuleDeletes
+
+	m.FailoverDetection.Merge(&o.FailoverDetection)
+	m.LeaderElection.Merge(&o.LeaderElection)
+	m.LeaderElections += o.LeaderElections
 }
 
 // Network is a DIFANE deployment running under the discrete-event engine.

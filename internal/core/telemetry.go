@@ -82,6 +82,8 @@ func RegisterMeasurements(reg *telemetry.Registry, snap func() *Measurements) {
 		func(m *Measurements) uint64 { return m.PolicyRuleInstalls })
 	counter("difane_policy_rule_deletes_total", "Authority/partition rules removed by policy churn.",
 		func(m *Measurements) uint64 { return m.PolicyRuleDeletes })
+	counter("difane_leader_elections_total", "Controller leader elections completed.",
+		func(m *Measurements) uint64 { return m.LeaderElections })
 
 	summary("difane_first_packet_delay_seconds",
 		"Delivery latency of flow-setup packets (via an authority).",
@@ -92,6 +94,12 @@ func RegisterMeasurements(reg *telemetry.Registry, snap func() *Measurements) {
 	summary("difane_stretch_ratio",
 		"Path stretch of packets that took the authority detour.",
 		func(m *Measurements) *metrics.Dist { return &m.Stretch })
+	summary("difane_failover_detection_seconds",
+		"Fault-injection to death-verdict detection latency.",
+		func(m *Measurements) *metrics.Dist { return &m.FailoverDetection })
+	summary("difane_leader_election_seconds",
+		"Leader-kill to new-leader-seated election duration.",
+		func(m *Measurements) *metrics.Dist { return &m.LeaderElection })
 }
 
 // Telemetry returns one scrape of the network's metric registry. The

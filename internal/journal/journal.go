@@ -93,30 +93,84 @@ func Open(dir string) (*Journal, error) {
 
 // Append durably writes one record and returns its sequence number.
 func (j *Journal) Append(kind string, payload any) (uint64, error) {
+	rec, err := j.AppendEntry(kind, payload)
+	return rec.Seq, err
+}
+
+// AppendEntry durably writes one record and returns it sealed (seq and
+// CRC assigned) — the form a replicating leader ships verbatim to its
+// followers via AppendReplica.
+func (j *Journal) AppendEntry(kind string, payload any) (Record, error) {
 	data, err := json.Marshal(payload)
 	if err != nil {
-		return 0, fmt.Errorf("journal: marshal %s: %w", kind, err)
+		return Record{}, fmt.Errorf("journal: marshal %s: %w", kind, err)
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.wal == nil {
-		return 0, fmt.Errorf("journal: closed")
+		return Record{}, fmt.Errorf("journal: closed")
 	}
 	rec := Record{Seq: j.next, Kind: kind, Data: data}
 	rec.CRC = rec.checksum()
-	line, err := json.Marshal(&rec)
+	if err := j.writeLocked(&rec); err != nil {
+		return Record{}, err
+	}
+	j.next = rec.Seq + 1
+	return rec, nil
+}
+
+// AppendReplica durably writes a record sealed elsewhere (log shipping's
+// follower side). The CRC is verified, and the follower's appender adopts
+// the record's sequence so it stays aligned with the leader. Records at or
+// below the durable position are ignored (idempotent re-ship); a gap
+// beyond it is an error — the follower must catch up first.
+func (j *Journal) AppendReplica(rec Record) error {
+	if rec.CRC != rec.checksum() {
+		return fmt.Errorf("journal: replica record %d: checksum mismatch", rec.Seq)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wal == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if rec.Seq < j.next {
+		return nil
+	}
+	if rec.Seq > j.next {
+		return fmt.Errorf("journal: replica gap: have %d, got %d", j.next, rec.Seq)
+	}
+	if err := j.writeLocked(&rec); err != nil {
+		return err
+	}
+	j.next = rec.Seq + 1
+	return nil
+}
+
+// writeLocked serializes, writes, and fsyncs one sealed record. Caller
+// holds j.mu with j.wal non-nil.
+func (j *Journal) writeLocked(rec *Record) error {
+	line, err := json.Marshal(rec)
 	if err != nil {
-		return 0, fmt.Errorf("journal: %w", err)
+		return fmt.Errorf("journal: %w", err)
 	}
 	line = append(line, '\n')
 	if _, err := j.wal.Write(line); err != nil {
-		return 0, fmt.Errorf("journal: append: %w", err)
+		return fmt.Errorf("journal: append: %w", err)
 	}
 	if err := j.wal.Sync(); err != nil {
-		return 0, fmt.Errorf("journal: sync: %w", err)
+		return fmt.Errorf("journal: sync: %w", err)
 	}
-	j.next++
-	return rec.Seq, nil
+	return nil
+}
+
+// RecordsAfter returns every durable WAL record with seq > after, in
+// order — the catch-up feed a leader streams to a lagging follower.
+// Records folded into a snapshot are no longer individually available;
+// callers needing pre-snapshot state use Replay.
+func (j *Journal) RecordsAfter(after uint64) ([]Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.readWAL(after)
 }
 
 // WriteSnapshot atomically replaces the snapshot with state and truncates

@@ -1,0 +1,154 @@
+package journal
+
+import (
+	"testing"
+)
+
+func TestLogShippingReplicates(t *testing.T) {
+	leader, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	for i := 0; i < 5; i++ {
+		rec, err := leader.AppendEntry("policy", map[string]int{"gen": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := follower.AppendReplica(rec); err != nil {
+			t.Fatalf("ship record %d: %v", rec.Seq, err)
+		}
+	}
+	if l, f := leader.NextSeq(), follower.NextSeq(); l != f {
+		t.Fatalf("appenders diverged: leader next=%d follower next=%d", l, f)
+	}
+	lr, err := leader.RecordsAfter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := follower.RecordsAfter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr) != 5 || len(fr) != 5 {
+		t.Fatalf("record counts: leader=%d follower=%d, want 5 each", len(lr), len(fr))
+	}
+	for i := range lr {
+		if lr[i].Seq != fr[i].Seq || lr[i].CRC != fr[i].CRC || string(lr[i].Data) != string(fr[i].Data) {
+			t.Fatalf("record %d differs: leader=%+v follower=%+v", i, lr[i], fr[i])
+		}
+	}
+}
+
+func TestAppendReplicaIdempotentAndGapChecked(t *testing.T) {
+	leader, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	r1, _ := leader.AppendEntry("a", 1)
+	r2, _ := leader.AppendEntry("b", 2)
+	r3, _ := leader.AppendEntry("c", 3)
+
+	if err := follower.AppendReplica(r1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-shipping a durable record is a no-op, not an error.
+	if err := follower.AppendReplica(r1); err != nil {
+		t.Fatalf("duplicate replica append: %v", err)
+	}
+	// A gap (skipping r2) must be rejected.
+	if err := follower.AppendReplica(r3); err == nil {
+		t.Fatalf("gap append accepted; follower would hold a hole")
+	}
+	if err := follower.AppendReplica(r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.AppendReplica(r3); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := follower.NextSeq(), leader.NextSeq(); got != want {
+		t.Fatalf("follower next=%d, want %d", got, want)
+	}
+}
+
+func TestAppendReplicaRejectsBadChecksum(t *testing.T) {
+	j, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	rec := Record{Seq: 1, Kind: "x", Data: []byte(`"y"`), CRC: 0xdeadbeef}
+	if err := j.AppendReplica(rec); err == nil {
+		t.Fatal("corrupt replica record accepted")
+	}
+}
+
+func TestCatchUpFeedAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < 4; i++ {
+		r, err := leader.AppendEntry("k", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	// A follower that only saw the first two records catches up from the
+	// leader's RecordsAfter feed.
+	follower, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+	for _, r := range recs[:2] {
+		if err := follower.AppendReplica(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	missing, err := leader.RecordsAfter(follower.NextSeq() - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("catch-up feed returned %d records, want 2", len(missing))
+	}
+	for _, r := range missing {
+		if err := follower.AppendReplica(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := follower.NextSeq(), leader.NextSeq(); got != want {
+		t.Fatalf("follower next=%d, want %d", got, want)
+	}
+	leader.Close()
+	// The follower's WAL must replay like the leader's would.
+	reopened, err := Open(follower.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	n := 0
+	if _, _, err := reopened.Replay(nil, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("follower replayed %d records, want 4", n)
+	}
+}

@@ -52,6 +52,13 @@ const (
 	// telling the (recovered or lagging) controller what epoch currently
 	// fences its tables.
 	MsgEpochReport
+	// MsgBFDControl carries one BFD-style session control packet (state,
+	// poll/final/demand flags, discriminators, timing parameters) in either
+	// direction of a controller↔switch pair. The async session state
+	// machines in internal/bfd drive these over the control channel to
+	// detect failures within a detect-multiplier of the (millisecond-class)
+	// transmit interval instead of multiple heartbeat intervals.
+	MsgBFDControl
 )
 
 var msgNames = map[MsgType]string{
@@ -60,6 +67,7 @@ var msgNames = map[MsgType]string{
 	MsgBarrierReq: "barrier-req", MsgBarrierReply: "barrier-reply",
 	MsgStatsReq: "stats-req", MsgStatsReply: "stats-reply", MsgError: "error",
 	MsgHeartbeat: "heartbeat", MsgEpochReport: "epoch-report",
+	MsgBFDControl: "bfd-control",
 }
 
 func (t MsgType) String() string {
@@ -210,6 +218,31 @@ type EpochReport struct {
 	Epoch uint64
 }
 
+// BFD control-packet flag bits (BFDControl.Flags).
+const (
+	// BFDPoll asks the peer for an immediate BFDFinal-flagged response.
+	BFDPoll uint8 = 1 << iota
+	// BFDFinal answers a poll, closing the poll sequence.
+	BFDFinal
+	// BFDDemand advertises that the sender goes quiescent once Up.
+	BFDDemand
+)
+
+// BFDControl is one BFD session control packet. Node routes the packet to
+// the right per-switch session on the controller side; the remaining
+// fields mirror internal/bfd's Packet (State uses bfd.State's encoding,
+// intervals are nanoseconds).
+type BFDControl struct {
+	Node          uint32
+	State         uint8
+	Flags         uint8
+	MyDiscr       uint32
+	YourDiscr     uint32
+	DesiredMinTx  uint64
+	RequiredMinRx uint64
+	DetectMult    uint8
+}
+
 func (*Hello) Type() MsgType        { return MsgHello }
 func (*FlowMod) Type() MsgType      { return MsgFlowMod }
 func (*PacketIn) Type() MsgType     { return MsgPacketIn }
@@ -222,6 +255,7 @@ func (*StatsReply) Type() MsgType   { return MsgStatsReply }
 func (*Error) Type() MsgType        { return MsgError }
 func (*Heartbeat) Type() MsgType    { return MsgHeartbeat }
 func (*EpochReport) Type() MsgType  { return MsgEpochReport }
+func (*BFDControl) Type() MsgType   { return MsgBFDControl }
 
 // --- Encoding helpers -------------------------------------------------------
 
@@ -523,6 +557,28 @@ func (m *EpochReport) decodePayload(b []byte) error {
 	return r.err
 }
 
+func (m *BFDControl) appendPayload(b []byte) []byte {
+	b = appendU32(b, m.Node)
+	b = append(b, m.State, m.Flags)
+	b = appendU32(b, m.MyDiscr)
+	b = appendU32(b, m.YourDiscr)
+	b = appendU64(b, m.DesiredMinTx)
+	b = appendU64(b, m.RequiredMinRx)
+	return append(b, m.DetectMult)
+}
+func (m *BFDControl) decodePayload(b []byte) error {
+	r := &reader{b: b}
+	m.Node = r.u32()
+	m.State = r.u8()
+	m.Flags = r.u8()
+	m.MyDiscr = r.u32()
+	m.YourDiscr = r.u32()
+	m.DesiredMinTx = r.u64()
+	m.RequiredMinRx = r.u64()
+	m.DetectMult = r.u8()
+	return r.err
+}
+
 // --- Framing ----------------------------------------------------------------
 
 // Encode appends the framed message to b.
@@ -628,6 +684,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &Heartbeat{}, nil
 	case MsgEpochReport:
 		return &EpochReport{}, nil
+	case MsgBFDControl:
+		return &BFDControl{}, nil
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownType, t)
 	}

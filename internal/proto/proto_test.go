@@ -46,6 +46,13 @@ func allMessages() []Message {
 		&FlowMod{Table: TableAuthority, Op: OpAdd, Rule: sampleRule(5), Epoch: 3},
 		&EpochReport{Node: 2, Epoch: 7},
 		&EpochReport{},
+		&BFDControl{
+			Node: 3, State: 3, Flags: BFDPoll | BFDDemand,
+			MyDiscr: 0x1001, YourDiscr: 0x2002,
+			DesiredMinTx: 2_000_000, RequiredMinRx: 2_000_000, DetectMult: 3,
+		},
+		&BFDControl{Node: 1, State: 1, Flags: BFDFinal},
+		&BFDControl{},
 	}
 }
 

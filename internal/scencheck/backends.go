@@ -482,6 +482,20 @@ func wireClusterConfig(sc Scenario, policy []flowspace.Rule) wire.ClusterConfig 
 			Interval:      20 * time.Millisecond,
 			MissThreshold: 25,
 		},
+		// Same reasoning for BFD: 25ms × 20 = 500ms detect time, far past
+		// any -race scheduler stall. Real kills still detect instantly via
+		// the killed flag.
+		BFD: wire.BFDConfig{
+			Interval:   25 * time.Millisecond,
+			DetectMult: 20,
+		},
+		// Three controller replicas: kill-controller steps kill the leader
+		// and an automatic election restores service, exercising verdict
+		// stability with elections in flight.
+		HA: wire.HAConfig{
+			Replicas:      3,
+			ElectionDelay: 10 * time.Millisecond,
+		},
 		Retry: wire.RetryPolicy{
 			MaxAttempts: 4,
 			BaseDelay:   time.Millisecond,
@@ -571,9 +585,10 @@ func (b *wireBackend) killController() error {
 }
 
 func (b *wireBackend) restoreController() error {
-	if !b.d.C.ControllerDown() {
-		return nil
-	}
+	// Under HA the election already restored service (ControllerDown is
+	// usually false again by now); RestoreController revives the killed
+	// replica so later kill steps still find standbys. Either way the
+	// epoch must have advanced past the killed incarnation's.
 	b.d.C.RestoreController()
 	if e := b.d.C.Epoch(); e <= b.lastEpoch {
 		return fmt.Errorf("epoch %d after restore, want > %d", e, b.lastEpoch)

@@ -154,6 +154,49 @@ func TestParallelSeedDeterminism(t *testing.T) {
 	}
 }
 
+// TestChaosSmoke is the chaos companion to TestDifferential, aimed at the
+// wire prototype's failure machinery: it sweeps only scenarios whose
+// schedules kill switches AND controllers, so every run exercises BFD
+// detection, backup promotion, leader elections (the wire backend runs
+// three controller replicas), and epoch fencing — and still demands zero
+// verdict divergence from the oracle. CI runs it under -race as the
+// chaos-smoke job.
+func TestChaosSmoke(t *testing.T) {
+	want := 4
+	if raceEnabled {
+		want = 3
+	}
+	cfg := Config{Packets: 20, Faults: true, Updates: true}
+	ran := 0
+	for seed := int64(1); seed <= 200 && ran < want; seed++ {
+		sc := Generate(seed, cfg)
+		ctlKills, swKills := 0, 0
+		for _, st := range sc.Steps {
+			switch st.Kind {
+			case StepKillController:
+				ctlKills++
+			case StepKillSwitch:
+				swKills++
+			}
+		}
+		if ctlKills == 0 || swKills == 0 {
+			continue
+		}
+		ran++
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res := Check(sc, Options{Modes: []string{ModeWire}})
+			if res.Failed() {
+				t.Fatalf("chaos scenario diverged:\n%s%s", res.Report(), describe(sc))
+			}
+		})
+	}
+	if ran < want {
+		t.Fatalf("only %d of %d chaos scenarios found in 200 seeds", ran, want)
+	}
+}
+
 // TestInjectedPriorityInversionCaught proves the harness can actually
 // catch a planted bug: deployments get a policy whose priorities are
 // inverted (the oracle keeps the original), and the checker must flag a

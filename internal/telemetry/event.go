@@ -47,6 +47,11 @@ const (
 	EvReconnect      // a switch re-established its control connection
 	EvControllerDown // the controller was lost; switches buffer control traffic
 	EvControllerUp   // the controller came back; outage buffers drain
+
+	// BFD failure detection and controller HA.
+	EvBFDUp         // a BFD session reached Up (Peer = remote discriminator)
+	EvBFDDown       // an established BFD session left Up
+	EvLeaderElected // a controller replica won an election (Peer = id, Value = epoch)
 )
 
 var kindNames = map[EventKind]string{
@@ -68,6 +73,9 @@ var kindNames = map[EventKind]string{
 	EvReconnect:      "reconnect",
 	EvControllerDown: "controller-down",
 	EvControllerUp:   "controller-up",
+	EvBFDUp:          "bfd-up",
+	EvBFDDown:        "bfd-down",
+	EvLeaderElected:  "leader-elected",
 }
 
 // String returns the kind's wire name (used in JSON and difanectl output).

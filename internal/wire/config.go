@@ -30,8 +30,15 @@ type ClusterConfig struct {
 	// Fabric tunes the data plane: burst and ring geometry of the
 	// in-process path, plus the optional batched loopback-TCP carrier.
 	Fabric FabricConfig
-	// Heartbeat tunes the controller↔switch failure detector.
+	// Heartbeat tunes the coarse heartbeat failure detector (now the
+	// fallback behind BFD).
 	Heartbeat HeartbeatConfig
+	// BFD tunes the millisecond-class BFD-style failure detector that runs
+	// session state machines over every control channel.
+	BFD BFDConfig
+	// HA configures replicated controllers: WAL log shipping between
+	// replicas, automatic leader election fenced by the epoch mechanism.
+	HA HAConfig
 	// Retry bounds control-plane retries: reconnect backoff and FlowMod
 	// installs.
 	Retry RetryPolicy
@@ -132,6 +139,82 @@ func (h *HeartbeatConfig) applyDefaults() {
 	}
 	if h.RedirectTimeout <= 0 {
 		h.RedirectTimeout = 2 * time.Duration(h.MissThreshold) * h.Interval
+	}
+}
+
+// BFDConfig tunes the BFD-style failure detector: per-switch async
+// session state machines (internal/bfd) exchanged as proto.BFDControl
+// messages over the control channels, in both directions. Detection time
+// is DetectMult × Interval — milliseconds at the defaults, versus
+// MissThreshold × Interval (hundreds of ms) for the heartbeat detector it
+// replaces as the primary liveness signal. The heartbeat detector keeps
+// running as a coarse fallback; BFD receive traffic feeds its clocks, so
+// it stays quiet while BFD is healthy.
+type BFDConfig struct {
+	// Disable turns BFD off, reverting liveness entirely to the heartbeat
+	// detector (the pre-BFD behavior).
+	Disable bool
+	// Interval is the desired transmit interval (default 2ms).
+	Interval time.Duration
+	// DetectMult is the detection multiplier (default 3).
+	DetectMult int
+	// Demand enables demand mode: sessions go quiescent once Up and
+	// re-prove liveness with poll sequences every PollInterval instead of
+	// periodic transmission. Detection latency becomes poll-bounded, so
+	// leave it off when millisecond detection matters more than idle
+	// control traffic.
+	Demand bool
+	// PollInterval is demand mode's probe cadence (default 10×Interval).
+	PollInterval time.Duration
+}
+
+func (b *BFDConfig) applyDefaults() {
+	if b.Interval <= 0 {
+		b.Interval = 2 * time.Millisecond
+	}
+	if b.DetectMult <= 0 {
+		b.DetectMult = 3
+	}
+	if b.PollInterval <= 0 {
+		b.PollInterval = 10 * b.Interval
+	}
+}
+
+// DetectTime is the configured detection timeout (Interval × DetectMult).
+func (b BFDConfig) DetectTime() time.Duration {
+	return time.Duration(b.DetectMult) * b.Interval
+}
+
+// HAConfig configures controller replication. With Replicas ≥ 2 the
+// cluster runs that many controller replicas, each owning a WAL journal;
+// the leader ships every appended record to live followers, and when the
+// leader is killed the most caught-up live follower is elected leader
+// after ElectionDelay, raises the fencing epoch (so the dead leader's
+// straggling FlowMods are rejected), and the switches' control channels
+// fail over to it automatically — no RestoreController call required.
+type HAConfig struct {
+	// Replicas is the controller replica count (0 or 1 = single
+	// controller, the legacy KillController/RestoreController behavior).
+	Replicas int
+	// Dir roots the replicas' journal directories (default: a temp dir
+	// removed on Close).
+	Dir string
+	// ElectionDelay is how long surviving replicas wait after a leader
+	// death before electing (default: the BFD detect time, or the
+	// heartbeat detect time when BFD is disabled).
+	ElectionDelay time.Duration
+}
+
+func (h *HAConfig) applyDefaults(bfd BFDConfig, hb HeartbeatConfig) {
+	if h.Replicas < 0 {
+		h.Replicas = 0
+	}
+	if h.ElectionDelay <= 0 {
+		if bfd.Disable {
+			h.ElectionDelay = time.Duration(hb.MissThreshold) * hb.Interval
+		} else {
+			h.ElectionDelay = bfd.DetectTime()
+		}
 	}
 }
 
@@ -253,6 +336,8 @@ func (cfg *ClusterConfig) Validate() error {
 		cfg.QueueDepth = 1024
 	}
 	cfg.Heartbeat.applyDefaults()
+	cfg.BFD.applyDefaults()
+	cfg.HA.applyDefaults(cfg.BFD, cfg.Heartbeat)
 	cfg.Retry.applyDefaults()
 	cfg.Overload.applyDefaults()
 	if err := cfg.Fabric.applyDefaults(cfg.QueueDepth); err != nil {

@@ -82,14 +82,22 @@ func (c *Cluster) checkLiveness(n *node, now time.Time) {
 	}
 }
 
-// markDead records a death verdict and kicks off backup promotion.
+// markDead records a death verdict and kicks off backup promotion. When
+// the death traces back to a stamped fault injection, the fault→verdict
+// latency lands in the FailoverDetection distribution — the number the
+// BFD-vs-heartbeat bench guard compares.
 func (c *Cluster) markDead(n *node) {
 	if !n.alive.CompareAndSwap(true, false) {
 		return
 	}
-	n.deadAt.Store(time.Now().UnixNano())
+	now := time.Now()
+	n.deadAt.Store(now.UnixNano())
+	if at := n.faultAt.Swap(0); at != 0 {
+		c.cold.recordDetection(now.Sub(time.Unix(0, at)).Seconds())
+	}
 	c.clearPending(n.id)
 	c.cold.authorityDeaths.Add(1)
+	c.journalAppend("death", map[string]any{"switch": n.id})
 	if c.rec.Enabled() {
 		c.rec.Publish(telemetry.Event{Kind: telemetry.EvDeath, Node: n.id})
 	}
@@ -112,6 +120,7 @@ func (c *Cluster) markAlive(n *node) {
 		return
 	}
 	n.lastBeat.Store(time.Now().UnixNano())
+	c.journalAppend("revive", map[string]any{"switch": n.id})
 	if c.rec.Enabled() {
 		c.rec.Publish(telemetry.Event{Kind: telemetry.EvRevive, Node: n.id})
 	}

@@ -15,6 +15,7 @@ func (c *Cluster) KillSwitch(id uint32) bool {
 		return false
 	}
 	n.killOnce.Do(func() {
+		n.faultAt.Store(time.Now().UnixNano())
 		n.killed.Store(true)
 		close(n.done)
 		n.closeConns()
@@ -32,6 +33,7 @@ func (c *Cluster) PartitionControl(id uint32) bool {
 	if !ok {
 		return false
 	}
+	n.faultAt.Store(time.Now().UnixNano())
 	n.partitioned.Store(true)
 	n.closeConns()
 	return true
@@ -46,6 +48,7 @@ func (c *Cluster) HealControl(id uint32) bool {
 		return false
 	}
 	n.partitioned.Store(false)
+	n.faultAt.Store(0)
 	return true
 }
 

@@ -1,0 +1,356 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"difane/internal/core"
+	"difane/internal/proto"
+	"difane/internal/testutil"
+)
+
+// newHACluster builds a cluster with three controller replicas and a fast
+// election, over the failover topology (two authorities, so a leader kill
+// can be combined with switch kills).
+func newHACluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		Switches:    []uint32{0, 1, 2, 3, 4},
+		Authorities: []uint32{2, 3},
+		Policy:      failoverPolicy(),
+		Strategy:    core.StrategyExact,
+		HA:          HAConfig{Replicas: 3, ElectionDelay: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// awaitLeader waits for some replica to hold office.
+func awaitLeader(t *testing.T, c *Cluster) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if lid := c.Leader(); lid >= 0 && !c.ControllerDown() {
+			return lid
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader elected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLeaderKillAutoFailover is the HA acceptance scenario: killing the
+// leader needs no RestoreController — the surviving replicas elect a new
+// leader, the epoch fences the dead one out, and the control plane (rule
+// installs) works again without manual intervention.
+func TestLeaderKillAutoFailover(t *testing.T) {
+	c := newHACluster(t)
+	if lid := awaitLeader(t, c); lid != 0 {
+		t.Fatalf("initial leader = %d, want 0", lid)
+	}
+	epochBefore := c.Epoch()
+
+	if !c.KillController() {
+		t.Fatal("KillController failed")
+	}
+	if c.ReplicaAlive(0) {
+		t.Error("killed leader replica still alive")
+	}
+
+	// No RestoreController: the election must seat a new leader on its own.
+	newLeader := awaitLeader(t, c)
+	if newLeader == 0 {
+		t.Fatalf("leadership did not move off the killed replica")
+	}
+	if e := c.Epoch(); e <= epochBefore {
+		t.Errorf("epoch = %d after election, want > %d", e, epochBefore)
+	}
+	m := c.Measurements()
+	if m.LeaderElections != 1 {
+		t.Errorf("LeaderElections = %d, want 1", m.LeaderElections)
+	}
+	if m.LeaderElection.N() == 0 {
+		t.Error("no election duration recorded")
+	}
+	if m.ControllerOutages != 1 {
+		t.Errorf("ControllerOutages = %d, want 1", m.ControllerOutages)
+	}
+
+	// The new leader's control plane works: an install round-trips, and
+	// traffic (including the authority detour) still flows.
+	mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd,
+		Rule: failoverPolicy()[0]}
+	mod.Rule.ID = 999_999
+	if err := c.InstallRule(0, mod); err != nil {
+		t.Fatalf("install under new leader: %v", err)
+	}
+	if !c.Inject(0, httpHeader(1), 100) {
+		t.Fatal("inject failed")
+	}
+	if d := awaitDelivery(t, c); d.Egress != 4 {
+		t.Fatalf("delivery after failover: %+v", d)
+	}
+
+	// A second kill moves leadership again.
+	if !c.KillController() {
+		t.Fatal("second KillController failed")
+	}
+	third := awaitLeader(t, c)
+	if third == newLeader {
+		t.Fatalf("leadership did not move off second killed replica")
+	}
+	if m := c.Measurements(); m.LeaderElections != 2 {
+		t.Errorf("LeaderElections = %d after second kill, want 2", m.LeaderElections)
+	}
+}
+
+// TestKillAllReplicasNeedsRestore: with every replica dead there is nobody
+// to elect; RestoreController revives the set and promotes a leader.
+func TestKillAllReplicasNeedsRestore(t *testing.T) {
+	c := newHACluster(t)
+	for kills := 0; kills < 3; kills++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for !c.KillController() {
+			// Elections are in flight; wait for a leader to kill.
+			if time.Now().After(deadline) {
+				t.Fatalf("kill %d never found a leader", kills)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !c.ControllerDown() {
+		t.Fatal("controller not down with all replicas killed")
+	}
+	if c.Leader() >= 0 {
+		t.Fatalf("leader = %d with all replicas killed, want none", c.Leader())
+	}
+	epochBefore := c.Epoch()
+	if !c.RestoreController() {
+		t.Fatal("RestoreController failed")
+	}
+	awaitLeader(t, c)
+	if e := c.Epoch(); e <= epochBefore {
+		t.Errorf("epoch = %d after full restore, want > %d", e, epochBefore)
+	}
+	for id := 0; id < 3; id++ {
+		if !c.ReplicaAlive(id) {
+			t.Errorf("replica %d not revived", id)
+		}
+	}
+}
+
+// TestLeaderChurnNoGoroutineLeak hammers kill/restore cycles and asserts
+// the cluster tears down to the baseline goroutine count — elections,
+// BFD writers, and reconnect loops must all terminate.
+func TestLeaderChurnNoGoroutineLeak(t *testing.T) {
+	check := testutil.CheckGoroutineLeaks(t, 4)
+	c, err := NewCluster(ClusterConfig{
+		Switches:    []uint32{0, 1, 2, 3, 4},
+		Authorities: []uint32{2, 3},
+		Policy:      failoverPolicy(),
+		Strategy:    core.StrategyExact,
+		HA:          HAConfig{Replicas: 3, ElectionDelay: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		deadline := time.Now().Add(5 * time.Second)
+		for !c.KillController() {
+			if time.Now().After(deadline) {
+				t.Fatal("no leader to kill")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		awaitLeader(t, c)
+		c.RestoreController() // revive the dead replica for the next round
+		// Traffic keeps flowing across the churn.
+		if !c.Inject(0, httpHeader(uint32(i+1)), 100) {
+			t.Fatal("inject failed")
+		}
+		awaitDelivery(t, c)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	check()
+}
+
+// TestStaleLeaderInstallFenced: after an election the old leader's epoch
+// is stale; a FlowMod stamped with it must be rejected by every switch.
+func TestStaleLeaderInstallFenced(t *testing.T) {
+	c := newHACluster(t)
+	awaitLeader(t, c)
+	staleEpoch := c.Epoch()
+
+	if !c.KillController() {
+		t.Fatal("KillController failed")
+	}
+	awaitLeader(t, c)
+
+	// First push a current-epoch install so the switch's fence has
+	// observed the new epoch.
+	mod := proto.FlowMod{Table: proto.TablePartition, Op: proto.OpAdd,
+		Rule: failoverPolicy()[0]}
+	mod.Rule.ID = 999_998
+	if err := c.InstallRule(1, mod); err != nil {
+		t.Fatalf("fresh install: %v", err)
+	}
+
+	// Now replay the dead leader's stamp.
+	rejBefore := c.Measurements().StaleInstallsRejected
+	stale := mod
+	stale.Rule.ID = 999_997
+	stale.Epoch = staleEpoch
+	_ = c.InstallRule(1, stale)
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Measurements().StaleInstallsRejected == rejBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("stale-epoch install was not rejected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBFDDetectionTenfoldFaster is the bench guard from the issue: with
+// BFD on (defaults: 2ms interval, multiplier 3) a killed switch is
+// detected at least ten times faster than with the heartbeat detector
+// alone at its defaults-scale configuration.
+func TestBFDDetectionTenfoldFaster(t *testing.T) {
+	hb := HeartbeatConfig{Interval: 100 * time.Millisecond, MissThreshold: 3}
+	measure := func(disableBFD bool) float64 {
+		cfg := ClusterConfig{
+			Switches:    []uint32{0, 1, 2, 3, 4},
+			Authorities: []uint32{2, 3},
+			Policy:      failoverPolicy(),
+			Strategy:    core.StrategyExact,
+			Heartbeat:   hb,
+			BFD:         BFDConfig{Disable: disableBFD},
+		}
+		c, err := NewCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Let the BFD handshakes establish (and heartbeats flow) first.
+		time.Sleep(50 * time.Millisecond)
+		if !c.KillSwitch(2) {
+			t.Fatal("kill failed")
+		}
+		awaitDead(t, c, 2)
+		d := c.Measurements().FailoverDetection
+		if d.N() == 0 {
+			t.Fatal("no detection latency recorded")
+		}
+		return d.Mean()
+	}
+
+	bfdSec := measure(false)
+	hbSec := measure(true)
+	t.Logf("detection: bfd=%.1fms heartbeat=%.1fms (%.0fx)",
+		bfdSec*1e3, hbSec*1e3, hbSec/bfdSec)
+	if bfdSec > hbSec/10 {
+		t.Errorf("BFD detection %.1fms not ≤ 1/10 of heartbeat %.1fms",
+			bfdSec*1e3, hbSec*1e3)
+	}
+}
+
+// TestHAStatusSurface exercises the /ha snapshot: replica set, leader,
+// and per-switch BFD session states.
+func TestHAStatusSurface(t *testing.T) {
+	c := newHACluster(t)
+	awaitLeader(t, c)
+	// Wait for the BFD handshakes so states are meaningful.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		up := 0
+		for _, info := range c.BFDSessions() {
+			if info.State.String() == "up" {
+				up++
+			}
+		}
+		if up == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("BFD sessions never established (%d/5 up)", up)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := c.HAStatus()
+	if st.Leader != 0 {
+		t.Errorf("leader = %d, want 0", st.Leader)
+	}
+	if len(st.Replicas) != 3 {
+		t.Fatalf("replicas = %d, want 3", len(st.Replicas))
+	}
+	if !st.Replicas[0].Leader || st.Replicas[1].Leader {
+		t.Errorf("leader flags wrong: %+v", st.Replicas)
+	}
+	for _, r := range st.Replicas {
+		if !r.Alive {
+			t.Errorf("replica %d not alive", r.ID)
+		}
+		if r.NextSeq == 0 {
+			t.Errorf("replica %d journal empty (no boot record shipped)", r.ID)
+		}
+	}
+	if len(st.BFD) != 5 {
+		t.Fatalf("bfd sessions = %d, want 5", len(st.BFD))
+	}
+	for _, s := range st.BFD {
+		if s.State != "up" {
+			t.Errorf("switch %d session = %s, want up", s.Switch, s.State)
+		}
+		if s.DetectUsec <= 0 {
+			t.Errorf("switch %d detect time not reported", s.Switch)
+		}
+	}
+}
+
+// TestJournalReplicationAcrossElection: control-plane events journaled by
+// the first leader survive onto the next one (log shipping), and the
+// election itself lands as a durable epoch record.
+func TestJournalReplicationAcrossElection(t *testing.T) {
+	c := newHACluster(t)
+	awaitLeader(t, c)
+
+	// Generate a journaled event under leader 0: a switch death.
+	if !c.KillSwitch(4) {
+		t.Fatal("kill failed")
+	}
+	awaitDead(t, c, 4)
+
+	if !c.KillController() {
+		t.Fatal("KillController failed")
+	}
+	lid := awaitLeader(t, c)
+
+	// The new leader's journal must contain the pre-election death record
+	// (shipped while replica 0 led) plus its own epoch record.
+	c.haMu.Lock()
+	recs, err := c.replicas[lid].jrnl.RecordsAfter(0)
+	c.haMu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawBoot, sawDeath, sawEpoch bool
+	for _, r := range recs {
+		switch r.Kind {
+		case "boot":
+			sawBoot = true
+		case "death":
+			sawDeath = true
+		case "epoch":
+			sawEpoch = true
+		}
+	}
+	if !sawBoot || !sawDeath || !sawEpoch {
+		t.Errorf("new leader journal missing records: boot=%v death=%v epoch=%v (%d records)",
+			sawBoot, sawDeath, sawEpoch, len(recs))
+	}
+}

@@ -15,10 +15,17 @@ import (
 // When the controller returns, heartbeats resume, outboxes drain in order,
 // and the restarted controller fences the old one out with a higher epoch.
 
-// KillController simulates a controller crash: probing stops, every
-// control connection drops, and reconnection holds until
-// RestoreController. Returns false if the controller is already down.
+// KillController simulates a controller crash. In single-controller mode
+// probing stops, every control connection drops, and reconnection holds
+// until RestoreController. With HA replicas (cfg.HA.Replicas ≥ 2) it
+// kills the current LEADER replica; the surviving replicas elect a new
+// leader automatically and the switches fail their control channels over
+// to it — no RestoreController call required. Returns false if the
+// controller is already down (or, under HA, no leader holds office).
 func (c *Cluster) KillController() bool {
+	if len(c.replicas) > 0 {
+		return c.killLeader()
+	}
 	if !c.ctrlDown.CompareAndSwap(false, true) {
 		return false
 	}
@@ -40,8 +47,14 @@ func (c *Cluster) KillController() bool {
 // switch's liveness clock is reset so the returning probes don't race a
 // spurious death verdict, and the connection managers re-establish control
 // connections (draining the switches' outage buffers as heartbeats
-// resume). Returns false if the controller was not down.
+// resume). Returns false if the controller was not down. With HA replicas
+// it instead revives dead replicas (catching them up from the leader's
+// journal) — elections already restored service without it — and promotes
+// a leader itself only if every replica was killed.
 func (c *Cluster) RestoreController() bool {
+	if len(c.replicas) > 0 {
+		return c.restoreReplicas()
+	}
 	if !c.ctrlDown.CompareAndSwap(true, false) {
 		return false
 	}
@@ -52,6 +65,7 @@ func (c *Cluster) RestoreController() bool {
 			Value: newEpoch,
 		})
 	}
+	c.resetBFD()
 	now := time.Now().UnixNano()
 	for _, n := range c.switches {
 		n.lastBeat.Store(now)

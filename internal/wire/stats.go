@@ -114,6 +114,30 @@ type coldStats struct {
 	outageDrained         atomic.Uint64
 	outageDropped         atomic.Uint64
 	staleInstallsRejected atomic.Uint64
+	leaderElections       atomic.Uint64
+
+	// haMu orders the lazy first-Add initialization of the two HA timing
+	// distributions against concurrent Measurements readers (Dist is
+	// internally synchronized once initialized).
+	haMu sync.Mutex
+	// failoverDetect samples fault→death-verdict latency (seconds).
+	failoverDetect metrics.Dist
+	// electionTime samples leader-kill→new-leader-seated latency (seconds).
+	electionTime metrics.Dist
+}
+
+// recordDetection samples one fault→verdict detection latency.
+func (s *coldStats) recordDetection(sec float64) {
+	s.haMu.Lock()
+	s.failoverDetect.Add(sec)
+	s.haMu.Unlock()
+}
+
+// recordElection samples one leader-election duration.
+func (s *coldStats) recordElection(sec float64) {
+	s.haMu.Lock()
+	s.electionTime.Add(sec)
+	s.haMu.Unlock()
 }
 
 // mergeInto folds the cold counters into a snapshot.
@@ -126,4 +150,12 @@ func (s *coldStats) mergeInto(m *core.Measurements) {
 	m.OutageDrained += s.outageDrained.Load()
 	m.OutageDropped += s.outageDropped.Load()
 	m.StaleInstallsRejected += s.staleInstallsRejected.Load()
+	m.LeaderElections += s.leaderElections.Load()
+
+	s.haMu.Lock()
+	detect := s.failoverDetect.Clone()
+	elect := s.electionTime.Clone()
+	s.haMu.Unlock()
+	m.FailoverDetection.Merge(&detect)
+	m.LeaderElection.Merge(&elect)
 }

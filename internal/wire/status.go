@@ -77,6 +77,87 @@ func (c *Cluster) Status() Status {
 //
 //	http.Handle("/status", cluster.StatusHandler())
 func (c *Cluster) StatusHandler() http.Handler {
+	return jsonHandler(func() any { return c.Status() })
+}
+
+// ReplicaStatus is one controller replica's state in the HA report.
+type ReplicaStatus struct {
+	ID      int    `json:"id"`
+	Alive   bool   `json:"alive"`
+	Leader  bool   `json:"leader"`
+	NextSeq uint64 `json:"next_seq"`
+}
+
+// BFDSessionStatus is one switch's controller-side BFD session in the HA
+// report.
+type BFDSessionStatus struct {
+	Switch      uint32 `json:"switch"`
+	State       string `json:"state"`
+	RemoteState string `json:"remote_state"`
+	RemoteDiscr uint32 `json:"remote_discr,omitempty"`
+	DetectUsec  int64  `json:"detect_usec"`
+	Demand      bool   `json:"demand,omitempty"`
+	Transitions uint64 `json:"transitions"`
+}
+
+// HAStatus is the failure-detection and controller-HA report served at
+// /ha and rendered by difanectl ha.
+type HAStatus struct {
+	Leader          int                `json:"leader"`
+	Epoch           uint64             `json:"epoch"`
+	ControllerDown  bool               `json:"controller_down"`
+	LeaderElections uint64             `json:"leader_elections"`
+	Replicas        []ReplicaStatus    `json:"replicas,omitempty"`
+	BFD             []BFDSessionStatus `json:"bfd,omitempty"`
+}
+
+// HAStatus snapshots the controller replica set and every switch's BFD
+// session state.
+func (c *Cluster) HAStatus() HAStatus {
+	st := HAStatus{
+		Leader:          c.Leader(),
+		Epoch:           c.epoch.Load(),
+		ControllerDown:  c.ctrlDown.Load(),
+		LeaderElections: c.cold.leaderElections.Load(),
+	}
+	c.haMu.Lock()
+	lid := int(c.leaderID.Load())
+	for _, r := range c.replicas {
+		rs := ReplicaStatus{ID: r.id, Alive: r.alive, Leader: r.id == lid}
+		if r.alive && r.jrnl != nil {
+			rs.NextSeq = r.jrnl.NextSeq()
+		}
+		st.Replicas = append(st.Replicas, rs)
+	}
+	c.haMu.Unlock()
+	sessions := c.BFDSessions()
+	ids := make([]uint32, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		info := sessions[id]
+		st.BFD = append(st.BFD, BFDSessionStatus{
+			Switch:      id,
+			State:       info.State.String(),
+			RemoteState: info.RemoteState.String(),
+			RemoteDiscr: info.RemoteDiscr,
+			DetectUsec:  info.DetectTime.Microseconds(),
+			Demand:      info.Demand,
+			Transitions: info.Transitions,
+		})
+	}
+	return st
+}
+
+// HAHandler returns an http.Handler serving the HA status as JSON.
+func (c *Cluster) HAHandler() http.Handler {
+	return jsonHandler(func() any { return c.HAStatus() })
+}
+
+// jsonHandler serves one snapshot function as indented GET-only JSON.
+func jsonHandler(snap func() any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -85,7 +166,7 @@ func (c *Cluster) StatusHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(c.Status()); err != nil {
+		if err := enc.Encode(snap()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

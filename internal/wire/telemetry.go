@@ -104,7 +104,7 @@ func (c *Cluster) startTelemetryServer() error {
 		return nil
 	}
 	srv, err := telemetry.Serve(c.cfg.Telemetry.Addr, c.reg, c.rec,
-		map[string]http.Handler{"/status": c.StatusHandler()})
+		map[string]http.Handler{"/status": c.StatusHandler(), "/ha": c.HAHandler()})
 	if err != nil {
 		return err
 	}
@@ -224,7 +224,11 @@ func (c *Cluster) buildRegistry() {
 		func() float64 { return float64(c.cold.outageDropped.Load()) })
 	counter("difane_stale_installs_rejected_total", "FlowMods refused by epoch fencing.",
 		func() float64 { return float64(c.cold.staleInstallsRejected.Load()) })
+	counter("difane_leader_elections_total", "Controller leader elections completed.",
+		func() float64 { return float64(c.cold.leaderElections.Load()) })
 
+	gauge("difane_ha_leader", "Current leader replica id (-1 when none holds office).",
+		func() float64 { return float64(c.Leader()) })
 	gauge("difane_epoch", "Controller fencing epoch.",
 		func() float64 { return float64(c.epoch.Load()) })
 	gauge("difane_controller_down", "1 while a simulated controller outage is active.",
@@ -299,6 +303,22 @@ func (c *Cluster) buildRegistry() {
 		"Delivery latency of cache-hit packets.",
 		func() telemetry.SummaryView {
 			return c.mergedDelay(func(s *nodeStats) *metrics.Dist { return &s.laterDelay })
+		})
+	reg.RegisterSummary("difane_failover_detection_seconds",
+		"Fault-injection to death-verdict detection latency.",
+		func() telemetry.SummaryView {
+			c.cold.haMu.Lock()
+			d := c.cold.failoverDetect.Clone()
+			c.cold.haMu.Unlock()
+			return telemetry.DistSummary(&d)
+		})
+	reg.RegisterSummary("difane_leader_election_seconds",
+		"Leader-kill to new-leader-seated election duration.",
+		func() telemetry.SummaryView {
+			c.cold.haMu.Lock()
+			d := c.cold.electionTime.Clone()
+			c.cold.haMu.Unlock()
+			return telemetry.DistSummary(&d)
 		})
 
 	// The recorder's own accounting.

@@ -19,6 +19,7 @@ import (
 	"time"
 	"unsafe"
 
+	"difane/internal/bfd"
 	"difane/internal/core"
 	"difane/internal/flowspace"
 	"difane/internal/metrics"
@@ -90,6 +91,17 @@ type Cluster struct {
 	// epoch is older than the highest they have accepted, so a dead
 	// controller's straggling writes cannot clobber its successor's.
 	epoch atomic.Uint64
+	// replicas holds the controller replica set when cfg.HA.Replicas ≥ 2;
+	// empty means single-controller (legacy) mode. leaderID is the index
+	// of the current leader replica (-1 while no leader holds office) and
+	// haMu serializes replica-set mutations: journal append+ship, leader
+	// kill, election, revival. haDir roots the replica journals; it is
+	// removed on Close when the cluster created it (haDirOwned).
+	replicas   []*ctrlReplica
+	leaderID   atomic.Int32
+	haMu       sync.Mutex
+	haDir      string
+	haDirOwned bool
 	// ctrlDown simulates a controller crash (KillController): switches
 	// keep serving from cached and authority rules, buffer
 	// controller-bound events, and drain them on RestoreController.
@@ -170,6 +182,18 @@ type node struct {
 	ctrlDelay   atomic.Int64 // injected per-control-write delay, ns
 	lastBeat    atomic.Int64 // unix nanos of the last heartbeat echo
 	deadAt      atomic.Int64 // unix nanos of the last death, for holddown
+	// faultAt is stamped when a fault hook (KillSwitch, PartitionControl)
+	// makes this switch undetectably dead; markDead swaps it out to
+	// measure fault→verdict detection latency.
+	faultAt atomic.Int64
+
+	// bfdCtrl is the controller-side BFD session watching this switch;
+	// bfdSw the switch-side session watching the controller. Both nil when
+	// BFD is disabled. bfdQ feeds the node's BFD writer goroutine; full
+	// means the packet is dropped (BFD tolerates loss by design).
+	bfdCtrl *bfd.Session
+	bfdSw   *bfd.Session
+	bfdQ    chan bfdSend
 
 	// epoch is the switch's install fence: the highest epoch it has
 	// accepted a fenced FlowMod under. Epoch-0 FlowMods (data-plane cache
@@ -326,10 +350,21 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		n.alive.Store(true)
 		n.lastBeat.Store(now.UnixNano())
 		n.lastProbe.Store(now.UnixNano())
+		c.initNodeBFD(n)
 		c.switches[id] = n
 		c.nodes = append(c.nodes, n)
 	}
 	c.epoch.Store(1)
+	c.leaderID.Store(-1)
+	if err := c.initHA(); err != nil {
+		cancel()
+		c.trans.close()
+		for _, n := range c.switches {
+			n.ctrl.Close()
+			n.ctrlPeer.Close()
+		}
+		return nil, err
+	}
 	if err := c.installAssignment(); err != nil {
 		cancel()
 		c.trans.close()
@@ -382,9 +417,17 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		go c.dataLoop(n)
 		go c.ctrlManager(n)
 		go c.installWriter(n)
+		if n.bfdQ != nil {
+			c.wg.Add(1)
+			go c.bfdWriter(n)
+		}
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()
+	if !cfg.BFD.Disable {
+		c.wg.Add(1)
+		go c.bfdLoop()
+	}
 	return c, nil
 }
 
@@ -885,6 +928,8 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 			if len(n.outbox) > 0 {
 				go c.drainOutbox(n)
 			}
+		case *proto.BFDControl:
+			c.handleBFDAtSwitch(n, m)
 		}
 	}
 }
@@ -925,6 +970,8 @@ func (c *Cluster) relayRead(n *node, conn net.Conn) {
 			go func() { _ = c.writeToSwitch(dst, install) }()
 		case *proto.Heartbeat:
 			n.lastBeat.Store(time.Now().UnixNano())
+		case *proto.BFDControl:
+			c.handleBFDAtController(n, m)
 		case *proto.EpochReport:
 			// A switch rejected a stale install and is telling us its
 			// current fence — surfaced in Status for the operator.
@@ -961,11 +1008,17 @@ func (c *Cluster) writeToController(n *node, msg proto.Message) error {
 	return c.writeControl(n, msg, true)
 }
 
-// controllerUnreachable is the switch-side outage verdict: either the
-// controller was explicitly killed, or its heartbeat probes have been
-// silent past the miss threshold.
+// controllerUnreachable is the switch-side outage verdict: the controller
+// was explicitly killed, the switch's BFD session toward it detected a
+// failure (an established session that is no longer Up), or — the coarse
+// fallback — its heartbeat probes have been silent past the miss
+// threshold. BFD receive traffic stamps lastProbe, so while BFD runs the
+// heartbeat term stays quiet and the verdict flips within a detect time.
 func (c *Cluster) controllerUnreachable(n *node) bool {
 	if c.ctrlDown.Load() {
+		return true
+	}
+	if n.bfdSw != nil && n.bfdSw.EverUp() && !n.bfdSw.Up() {
 		return true
 	}
 	hb := c.cfg.Heartbeat
@@ -1139,6 +1192,7 @@ func (c *Cluster) Close() error {
 		if c.tsrv != nil {
 			_ = c.tsrv.Close()
 		}
+		c.closeHA()
 	})
 	return nil
 }
