@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke trace-demo fuzz-smoke check chaos-smoke soak regen-golden
+.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke trace-demo fuzz-smoke check chaos-smoke soak soak-smoke soak-diff regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -60,10 +60,29 @@ chaos-smoke:
 	go test -race ./internal/wire -timeout 10m \
 		-run 'TestLeaderKillAutoFailover|TestKillAllReplicasNeedsRestore|TestLeaderChurnNoGoroutineLeak|TestStaleLeaderInstallFenced|TestBFDDetectionTenfoldFaster|TestJournalReplicationAcrossElection'
 
+# Subscriber-scale soak — not part of tier-1. Streams ≥1M modeled
+# subscriber sessions (Poisson churn, host mobility, a flash crowd and a
+# cache-thrashing scan) through a live wire cluster, sampling 1-in-4096
+# packet verdicts against the oracle; exits nonzero on any divergence or
+# accounting-identity break. The JSON report (phase summaries plus
+# miss-rate / TCAM-occupancy / redirect-load time series) lands in
+# bench-out/.
+soak:
+	go run ./cmd/difane-soak -subscribers 2097152 -rate 25000 -duration 50 \
+		-sample 4096 -out bench-out/SOAK_report.json
+
+# CI-sized soak: the same engine with flash-crowd and churn phases on a
+# 30-second wall budget, gated on zero sampled-verdict divergences. CI
+# uploads bench-out/SOAK_smoke.json as an artifact when it fails.
+soak-smoke:
+	go run ./cmd/difane-soak -smoke -subscribers 262144 -rate 4000 \
+		-duration 16 -sample 1024 -wall-budget 30s \
+		-out bench-out/SOAK_smoke.json
+
 # Long differential soak — not part of tier-1. Failing-seed reports land in
 # artifacts/ with a minimal shrunk repro each.
 SOAK_SEEDS ?= 256
-soak:
+soak-diff:
 	go test ./internal/scencheck -run TestDifferential -seeds $(SOAK_SEEDS) \
 		-artifacts artifacts -timeout 30m
 

@@ -1,0 +1,119 @@
+// Command difane-soak runs the subscriber-scale soak: a BNG-style
+// session engine (Zipf popularity, Poisson churn, host mobility, diurnal
+// swings, flash crowds, cache-thrashing scans) streamed through a live
+// wire deployment while a sampling checker diffs ~1-in-N packet verdicts
+// against the oracle and the telemetry registry reports cache miss rate,
+// TCAM occupancy, and redirect load as time series per phase.
+//
+// Usage:
+//
+//	difane-soak [-subscribers N] [-rate R] [-duration SEC] [-sample N]
+//	            [-smoke] [-wall-budget DUR] [-out FILE] [-seed N]
+//
+// The default script is steady → churn-spike → flash-crowd → scan →
+// steady over -duration modeled seconds; -smoke swaps in the CI-sized
+// script (steady, churn, flash crowd, settle). Exit status is nonzero
+// when any sampled verdict diverged from the oracle or the end-of-run
+// accounting identity broke; -out always receives the JSON report so CI
+// can upload it as a failure artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"difane/internal/subscriber"
+	"difane/internal/wire"
+)
+
+func main() {
+	subscribers := flag.Int("subscribers", 1<<21, "modeled subscriber population")
+	rate := flag.Float64("rate", 25000, "session arrival rate per modeled second")
+	life := flag.Float64("life", 2, "mean session lifetime in modeled seconds")
+	pktRate := flag.Float64("pkt-rate", 2, "per-session packet rate per modeled second")
+	mobility := flag.Float64("mobility", 500, "session moves per modeled second")
+	duration := flag.Float64("duration", 50, "modeled script length in seconds")
+	sample := flag.Int("sample", 4096, "check one packet verdict per this many packets (0 disables)")
+	switches := flag.Int("switches", 8, "edge switch count")
+	rules := flag.Int("rules", 96, "policy rule count")
+	cache := flag.Int("cache", 2048, "per-switch ingress cache capacity (0 = unlimited)")
+	seed := flag.Int64("seed", 42, "seed for policy, sessions, and phases")
+	smoke := flag.Bool("smoke", false, "run the CI-sized smoke script (steady, churn, flash crowd, settle)")
+	wallBudget := flag.Duration("wall-budget", 0, "stop after this much real time (0 = run the script out)")
+	out := flag.String("out", "bench-out/SOAK_report.json", "where the JSON report is written")
+	metricsAddr := flag.String("metrics", "", "serve the cluster ops surface on this address during the soak")
+	flag.Parse()
+
+	setup := subscriber.Setup{
+		Switches:      *switches,
+		Rules:         *rules,
+		CacheCapacity: *cache,
+		Seed:          *seed,
+		Telemetry:     wire.TelemetryConfig{Addr: *metricsAddr},
+	}
+	d, spec, err := setup.Deploy()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difane-soak: deploy: %v\n", err)
+		os.Exit(2)
+	}
+	defer d.Close()
+
+	phases := subscriber.DefaultScript(*duration)
+	if *smoke {
+		phases = subscriber.SmokeScript(*duration)
+	}
+	cfg := subscriber.SoakConfig{
+		Engine: subscriber.Config{
+			Subscribers:     *subscribers,
+			ArrivalRate:     *rate,
+			MeanSessionLife: *life,
+			PacketRate:      *pktRate,
+			MobilityRate:    *mobility,
+			DiurnalAmp:      0.3,
+			DiurnalPeriod:   *duration,
+			Seed:            *seed,
+		},
+		Phases:      phases,
+		SampleEvery: *sample,
+		WallBudget:  *wallBudget,
+	}
+
+	start := time.Now()
+	rep, err := subscriber.RunSoak(d, spec, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difane-soak: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.Render())
+	fmt.Printf("total wall time %.1fs\n", time.Since(start).Seconds())
+
+	if *out != "" {
+		if err := writeReport(*out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "difane-soak: write report: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "difane-soak: FAILED — %d divergences, accounting=%q (seed %d)\n",
+			len(rep.Divergences), rep.AccountingError, *seed)
+		os.Exit(1)
+	}
+}
+
+func writeReport(path string, rep *subscriber.Report) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

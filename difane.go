@@ -37,6 +37,7 @@ import (
 	"difane/internal/oracle"
 	"difane/internal/policyio"
 	"difane/internal/scencheck"
+	"difane/internal/subscriber"
 	"difane/internal/telemetry"
 	"difane/internal/topo"
 	"difane/internal/wire"
@@ -480,3 +481,51 @@ func CheckSeed(seed int64, cfg ScenarioConfig, opt CheckOptions) *CheckResult {
 // ShrinkScenario greedily minimizes a failing scenario while it keeps
 // failing, for compact bug repros.
 func ShrinkScenario(sc Scenario, opt CheckOptions) Scenario { return scencheck.Shrink(sc, opt) }
+
+// --- Subscriber-scale soaking -------------------------------------------------
+
+// SubscriberConfig tunes the BNG-style session engine: population size,
+// Zipf popularity, Poisson churn, host mobility, and diurnal swings.
+type SubscriberConfig = subscriber.Config
+
+// SubscriberEngine streams a modeled subscriber population — arrivals,
+// departures, moves, and per-session traffic — as deterministic packet
+// batches.
+type SubscriberEngine = subscriber.Engine
+
+// SoakPhase is one segment of a soak script (steady, churn spike, flash
+// crowd, or cache-thrashing scan).
+type SoakPhase = subscriber.Phase
+
+// SoakConfig tunes a soak run: the engine, the phase script, the verdict
+// sampling rate, and the wall-clock budget.
+type SoakConfig = subscriber.SoakConfig
+
+// SoakSetup describes the deterministic soak test-bed (switch chain,
+// policy size, cache capacity).
+type SoakSetup = subscriber.Setup
+
+// SoakReport is a finished soak: phase summaries, telemetry time series,
+// sampled-verdict divergences, and the accounting audit.
+type SoakReport = subscriber.Report
+
+// NewSubscriberEngine builds a session engine over a spec's policy and
+// edge switches.
+func NewSubscriberEngine(spec *Spec, cfg SubscriberConfig, phases []SoakPhase) *SubscriberEngine {
+	return subscriber.NewEngine(spec, cfg, phases)
+}
+
+// RunSoak streams the subscriber workload through a live wire deployment,
+// sampling ~1-in-N packet verdicts against the oracle and reporting cache
+// miss rate, TCAM occupancy, and redirect load as time series per phase.
+func RunSoak(d *WireDeployment, spec *Spec, cfg SoakConfig) (*SoakReport, error) {
+	return subscriber.RunSoak(d, spec, cfg)
+}
+
+// DefaultSoakScript is the standard soak storyline: steady → churn spike
+// → flash crowd → scan → settle, over the given modeled duration.
+func DefaultSoakScript(total float64) []SoakPhase { return subscriber.DefaultScript(total) }
+
+// SmokeSoakScript is the CI-sized storyline: steady, churn, flash crowd,
+// settle.
+func SmokeSoakScript(total float64) []SoakPhase { return subscriber.SmokeScript(total) }

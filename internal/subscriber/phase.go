@@ -1,0 +1,143 @@
+package subscriber
+
+// PhaseKind discriminates the soak's workload phases.
+type PhaseKind uint8
+
+// Phase kinds.
+const (
+	// PhaseSteady is the ordinary diurnal mix: Zipf-popular subscribers
+	// arriving and departing at the base churn rate.
+	PhaseSteady PhaseKind = iota
+	// PhaseChurnSpike multiplies arrivals and shortens session lifetimes —
+	// same active population, several times the cache-invalidation rate.
+	PhaseChurnSpike
+	// PhaseFlashCrowd concentrates arrivals on a small hot key set inside
+	// one policy rule's region, so one partition's authority switches soak
+	// the misses while everyone's caches fill with the same few entries.
+	PhaseFlashCrowd
+	// PhaseScan is the cache-thrashing adversary: every arrival carries a
+	// never-seen flow key, so every packet is a miss and every install an
+	// eviction once caches are full.
+	PhaseScan
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseSteady:
+		return "steady"
+	case PhaseChurnSpike:
+		return "churn-spike"
+	case PhaseFlashCrowd:
+		return "flash-crowd"
+	case PhaseScan:
+		return "scan"
+	default:
+		return "phase(?)"
+	}
+}
+
+// Phase is one segment of the soak script.
+type Phase struct {
+	Kind PhaseKind
+	Name string
+	// Duration is the phase length in modeled seconds.
+	Duration float64
+	// ArrivalBoost multiplies the session arrival rate (default 1).
+	ArrivalBoost float64
+	// TrafficBoost multiplies per-session packet rates (default 1).
+	TrafficBoost float64
+	// LifeScale multiplies session lifetimes (default 1; churn spikes use
+	// <1 so the active set stays level while turnover multiplies).
+	LifeScale float64
+	// HotKeys is the flash crowd's distinct hot key count (default 64).
+	HotKeys int
+}
+
+func (p *Phase) arrivalBoost() float64 {
+	if p.ArrivalBoost <= 0 {
+		return 1
+	}
+	return p.ArrivalBoost
+}
+
+func (p *Phase) trafficBoost() float64 {
+	if p.TrafficBoost <= 0 {
+		return 1
+	}
+	return p.TrafficBoost
+}
+
+func (p *Phase) lifeScale() float64 {
+	if p.LifeScale <= 0 {
+		return 1
+	}
+	return p.LifeScale
+}
+
+func (p *Phase) hotKeys() int {
+	if p.HotKeys <= 0 {
+		return 64
+	}
+	return p.HotKeys
+}
+
+// Steady returns a steady phase of the given duration.
+func Steady(d float64) Phase {
+	return Phase{Kind: PhaseSteady, Name: "steady", Duration: d}
+}
+
+// ChurnSpike returns a churn phase: boost× the arrivals at 1/boost the
+// session lifetime — the active set holds level while cache turnover
+// multiplies.
+func ChurnSpike(d, boost float64) Phase {
+	return Phase{
+		Kind: PhaseChurnSpike, Name: "churn-spike", Duration: d,
+		ArrivalBoost: boost, LifeScale: 1 / boost,
+	}
+}
+
+// FlashCrowd returns a flash-crowd phase: boost× the arrivals, all of
+// them converging on hotKeys distinct flows inside one rule's region.
+func FlashCrowd(d, boost float64, hotKeys int) Phase {
+	return Phase{
+		Kind: PhaseFlashCrowd, Name: "flash-crowd", Duration: d,
+		ArrivalBoost: boost, HotKeys: hotKeys,
+	}
+}
+
+// Scan returns a cache-thrashing scan phase: boost× the arrivals, every
+// session a unique never-repeated key, one packet each (LifeScale pins
+// lifetimes short so the scanner doesn't linger).
+func Scan(d, boost float64) Phase {
+	return Phase{
+		Kind: PhaseScan, Name: "scan", Duration: d,
+		ArrivalBoost: boost, LifeScale: 0.25,
+	}
+}
+
+// DefaultScript is the standard soak storyline: warm up steady, spike the
+// churn, hit a flash crowd, run a scan, and settle back down. The total
+// modeled duration is split 3:2:2:2:1.
+func DefaultScript(total float64) []Phase {
+	u := total / 10
+	return []Phase{
+		Steady(3 * u),
+		ChurnSpike(2*u, 3),
+		FlashCrowd(2*u, 4, 64),
+		Scan(2*u, 2),
+		Steady(1 * u),
+	}
+}
+
+// SmokeScript is the CI-sized storyline the soak-smoke gate runs: steady,
+// churn, flash crowd, settle — the phases the acceptance gate names,
+// sized for a bounded wall-clock budget.
+func SmokeScript(total float64) []Phase {
+	u := total / 8
+	return []Phase{
+		Steady(3 * u),
+		ChurnSpike(2*u, 3),
+		FlashCrowd(2*u, 4, 32),
+		Steady(1 * u),
+	}
+}

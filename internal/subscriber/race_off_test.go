@@ -1,0 +1,5 @@
+//go:build !race
+
+package subscriber
+
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package subscriber
+
+// raceEnabled steers test defaults: the race detector slows the wire
+// soak several-fold, so TestSoakSmoke and the engine scale tests trim
+// their modeled durations and session rates to stay inside go test's
+// per-package timeout. CI's soak-smoke job runs the full size through
+// cmd/difane-soak instead.
+const raceEnabled = true

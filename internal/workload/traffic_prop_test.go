@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"difane/internal/flowspace"
+)
+
+// These are property tests for the trace generator's two statistical
+// contracts: flow popularity follows the configured Zipf exponent, and
+// flow arrivals form a Poisson process. Both are what the soak engine
+// and the paper's cache-miss experiments assume — a silent regression
+// here (a swapped parameter, a non-exponential gap) would skew every
+// downstream miss-rate figure without failing any existing test.
+
+// rankFrequencySlope fits the log-log rank→count line over the sorted
+// per-key packet counts, returning the (negative) slope. Head rank 1 and
+// the count-1 tail are excluded: rand.Zipf's P(k) ∝ (1+k)^(-alpha) bends
+// the extreme head away from the pure power law, and the tail is
+// quantization noise.
+func rankFrequencySlope(counts []int) (slope float64, ranks int) {
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	var xs, ys []float64
+	for i, c := range counts {
+		rank := i + 1
+		if rank < 2 {
+			continue
+		}
+		if c < 5 {
+			break
+		}
+		xs = append(xs, math.Log(float64(rank)))
+		ys = append(ys, math.Log(float64(c)))
+	}
+	if len(xs) < 10 {
+		return 0, len(xs)
+	}
+	// Least squares.
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx), len(xs)
+}
+
+func TestTrafficZipfSlopeMatchesAlpha(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	for _, alpha := range []float64{1.2, 1.6} {
+		flows := GenerateTraffic(spec, TrafficConfig{
+			Flows: 150000, Rate: 10000, ZipfAlpha: alpha,
+			Population: 4096, Seed: 99,
+		})
+		byKey := map[flowspace.Key]int{}
+		for _, f := range flows {
+			byKey[f.Key]++
+		}
+		counts := make([]int, 0, len(byKey))
+		for _, c := range byKey {
+			counts = append(counts, c)
+		}
+		slope, ranks := rankFrequencySlope(counts)
+		if ranks < 10 {
+			t.Fatalf("alpha=%.1f: only %d usable ranks", alpha, ranks)
+		}
+		// The fitted slope of a Zipf(alpha) sample is -alpha.
+		if got := -slope; math.Abs(got-alpha) > 0.3 {
+			t.Errorf("alpha=%.1f: fitted rank-frequency slope %.3f (over %d ranks), want within 0.3",
+				alpha, got, ranks)
+		}
+	}
+}
+
+func TestTrafficPoissonDispersion(t *testing.T) {
+	spec := VPNNetwork(13, ScaleTest)
+	const (
+		nFlows = 40000
+		rate   = 2000.0
+		window = 0.1
+	)
+	flows := GenerateTraffic(spec, TrafficConfig{
+		Flows: nFlows, Rate: rate, Seed: 7,
+	})
+	if len(flows) != nFlows {
+		t.Fatalf("generated %d flows, want %d", len(flows), nFlows)
+	}
+
+	// Dispersion: for a Poisson process, windowed arrival counts have
+	// variance ≈ mean (index of dispersion 1). Clumped arrivals push it
+	// above 1, regular spacing below.
+	span := flows[len(flows)-1].Start
+	nWin := int(span / window)
+	if nWin < 50 {
+		t.Fatalf("trace too short for a dispersion check: %d windows", nWin)
+	}
+	counts := make([]float64, nWin)
+	for _, f := range flows {
+		if w := int(f.Start / window); w < nWin {
+			counts[w]++
+		}
+	}
+	var mean float64
+	for _, c := range counts {
+		mean += c
+	}
+	mean /= float64(nWin)
+	var variance float64
+	for _, c := range counts {
+		variance += (c - mean) * (c - mean)
+	}
+	variance /= float64(nWin - 1)
+	if d := variance / mean; d < 0.7 || d > 1.3 {
+		t.Errorf("index of dispersion %.3f over %d windows (mean %.1f), want ≈1",
+			d, nWin, mean)
+	}
+
+	// Inter-arrival shape: exponential gaps have coefficient of variation
+	// 1; a deterministic or uniform spacing would show up here even if
+	// the window counts happened to pass.
+	var gaps []float64
+	for i := 1; i < len(flows); i++ {
+		gaps = append(gaps, flows[i].Start-flows[i-1].Start)
+	}
+	var gm float64
+	for _, g := range gaps {
+		gm += g
+	}
+	gm /= float64(len(gaps))
+	var gv float64
+	for _, g := range gaps {
+		gv += (g - gm) * (g - gm)
+	}
+	gv /= float64(len(gaps) - 1)
+	if cv := math.Sqrt(gv) / gm; cv < 0.85 || cv > 1.15 {
+		t.Errorf("inter-arrival CV %.3f, want ≈1 (exponential)", cv)
+	}
+	// And the realized rate matches the configured one.
+	if got := float64(len(flows)-1) / span; math.Abs(got-rate)/rate > 0.05 {
+		t.Errorf("realized arrival rate %.0f/s, configured %.0f/s", got, rate)
+	}
+}
