@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke trace-demo fuzz-smoke check chaos-smoke soak soak-smoke soak-diff regen-golden
+.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke cache-ablation-smoke trace-demo fuzz-smoke check chaos-smoke soak soak-smoke soak-diff regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -33,6 +33,14 @@ perf-smoke:
 telemetry-smoke:
 	go run ./cmd/difane-bench -telemetry-smoke -quick \
 		-compare BENCH_wire.baseline.json
+
+# The adaptive-caching gate: the short F6b eviction ablation on a fixed
+# seed — a flash-crowd + scan workload under hard TCAM budgets — fails
+# unless the cost-aware policy's miss rate is at or below LRU's at every
+# budget. On failure the rendered table lands in bench-out/ for CI's
+# artifact upload.
+cache-ablation-smoke:
+	go run ./cmd/difane-bench -cache-ablation-smoke -quick
 
 # Boot an 8-switch wire cluster with the telemetry endpoint live, scrape
 # it, and shut down — the quickest look at the ops surface.

@@ -49,10 +49,14 @@ func main() {
 	compare := flag.String("compare", "", "baseline report to diff the -wire run against (exit 1 on regression)")
 	allocBudget := flag.Float64("alloc-budget", perf.DefaultAllocBudget, "absolute cache-hit wire allocs/op ceiling for -wire (0 disables)")
 	telemetrySmoke := flag.Bool("telemetry-smoke", false, "price the telemetry layer: cache-hit/wire with tracing off vs on, 2% disabled-overhead gate vs -compare")
+	cacheSmoke := flag.Bool("cache-ablation-smoke", false, "run the F6b eviction ablation and fail unless cost-aware miss rate <= LRU at every TCAM budget")
 	flag.Parse()
 
 	if *telemetrySmoke {
 		os.Exit(runTelemetrySmoke(*quick, *seed, *compare))
+	}
+	if *cacheSmoke {
+		os.Exit(runCacheAblationSmoke(*quick, *seed, *out))
 	}
 	if *wireBench {
 		os.Exit(runWireBench(*quick, *seed, *out, *compare, *allocBudget))
@@ -75,6 +79,7 @@ func main() {
 		{"F4", func(o experiments.Options) renderer { return experiments.FigPartitionTCAM(o) }},
 		{"F5", func(o experiments.Options) renderer { return experiments.FigSplitOverhead(o) }},
 		{"F6", func(o experiments.Options) renderer { return experiments.FigCacheMiss(o) }},
+		{"F6B", func(o experiments.Options) renderer { return experiments.FigCacheBudget(o) }},
 		{"F7", func(o experiments.Options) renderer { return experiments.FigStretch(o) }},
 		{"F8", func(o experiments.Options) renderer { return experiments.FigFailover(o) }},
 		{"F9", func(o experiments.Options) renderer { return experiments.FigPolicyChange(o) }},
@@ -199,6 +204,57 @@ func writeReport(rep *perf.Report, out string) int {
 		return 1
 	}
 	fmt.Printf("report written to %s\n", out)
+	return 0
+}
+
+// runCacheAblationSmoke is the CI gate on the adaptive-caching claim: it
+// runs the F6b eviction ablation (fixed seed, so the comparison is exact,
+// not statistical) and fails unless the cost-aware policy's miss rate is
+// at or below LRU's at every TCAM budget in the sweep. On failure the
+// rendered table lands next to the -out report for the CI artifact upload.
+func runCacheAblationSmoke(quick bool, seed int64, out string) int {
+	opts := experiments.Bench()
+	if quick {
+		opts = experiments.Quick()
+	}
+	opts.Seed = seed
+	start := time.Now()
+	r := experiments.FigCacheBudget(opts)
+	fmt.Println(r.Render())
+	fmt.Printf("(cache ablation smoke completed in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	miss := map[int]map[string]float64{}
+	for _, p := range r.Points {
+		if miss[p.Budget] == nil {
+			miss[p.Budget] = map[string]float64{}
+		}
+		miss[p.Budget][p.Policy.String()] = p.MissRate
+	}
+	var fails []string
+	for budget, m := range miss {
+		if m["cost"] > m["lru"] {
+			fails = append(fails, fmt.Sprintf(
+				"budget %d: cost-aware miss rate %.4f > lru %.4f at equal budget",
+				budget, m["cost"], m["lru"]))
+		}
+	}
+	if len(fails) > 0 {
+		fmt.Fprintln(os.Stderr, "CACHE ABLATION GATE FAILED:")
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		if dir := filepath.Dir(out); out != "" {
+			if err := os.MkdirAll(dir, 0o755); err == nil {
+				path := filepath.Join(dir, "cache_ablation_smoke.txt")
+				report := r.Render() + "\n" + strings.Join(fails, "\n") + "\n"
+				if err := os.WriteFile(path, []byte(report), 0o644); err == nil {
+					fmt.Fprintf(os.Stderr, "report written to %s\n", path)
+				}
+			}
+		}
+		return 1
+	}
+	fmt.Println("cost-aware miss rate <= lru at every budget")
 	return 0
 }
 

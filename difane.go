@@ -147,6 +147,9 @@ const (
 	EvictLRU  = core.EvictDefaultLRU
 	EvictLFU  = core.EvictLFU
 	EvictNone = core.EvictNone
+	// EvictCostAware scores victims by predicted miss cost and enables
+	// per-region idle-timeout adaptation and cover-rule aggregation.
+	EvictCostAware = core.EvictCostAware
 )
 
 // Cache-rule generation strategies.

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"difane/internal/core"
 )
 
 func TestFigCacheTimeoutShape(t *testing.T) {
@@ -85,7 +87,7 @@ func TestAblationRebalanceShape(t *testing.T) {
 
 func TestAblationEvictionShape(t *testing.T) {
 	r := AblationEviction(Quick())
-	if len(r.Rows) != 2 {
+	if len(r.Rows) != 3 {
 		t.Fatalf("rows = %d", len(r.Rows))
 	}
 	for _, row := range r.Rows {
@@ -97,6 +99,40 @@ func TestAblationEvictionShape(t *testing.T) {
 		}
 	}
 	if out := r.Render(); !strings.Contains(out, "A3") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+// TestFigCacheBudgetShape is the adaptive-caching gate: at every TCAM
+// budget in the sweep, the cost-aware policy's miss rate must not exceed
+// LRU's on the same (fixed-seed) flash-crowd + scan workload.
+func TestFigCacheBudgetShape(t *testing.T) {
+	r := FigCacheBudget(Quick())
+	if len(r.Points) != 6 { // 2 budgets x 3 policies
+		t.Fatalf("points = %d, want 6: %+v", len(r.Points), r.Points)
+	}
+	miss := map[int]map[core.EvictionChoice]float64{}
+	for _, p := range r.Points {
+		if p.MissRate <= 0 || p.MissRate > 1 {
+			t.Fatalf("implausible miss rate: %+v", p)
+		}
+		if m := miss[p.Budget]; m == nil {
+			miss[p.Budget] = map[core.EvictionChoice]float64{}
+		}
+		miss[p.Budget][p.Policy] = p.MissRate
+		// The tightest budget must actually thrash; otherwise the sweep
+		// proves nothing about eviction.
+		if p.Budget == 16 && p.Evictions == 0 {
+			t.Fatalf("budget 16 produced no evictions: %+v", p)
+		}
+	}
+	for budget, m := range miss {
+		if m[core.EvictCostAware] > m[core.EvictDefaultLRU] {
+			t.Errorf("budget %d: cost-aware miss %.4f > lru %.4f at equal budget",
+				budget, m[core.EvictCostAware], m[core.EvictDefaultLRU])
+		}
+	}
+	if out := r.Render(); !strings.Contains(out, "F6b") {
 		t.Fatalf("render:\n%s", out)
 	}
 }

@@ -15,7 +15,6 @@ import (
 	"difane/internal/proto"
 	"difane/internal/sim"
 	"difane/internal/switchsim"
-	"difane/internal/tcam"
 	"difane/internal/telemetry"
 	"difane/internal/topo"
 )
@@ -36,6 +35,14 @@ type Config struct {
 	SetupOverhead float64
 	// CacheCapacity bounds the per-switch microflow table (0 = unlimited).
 	CacheCapacity int
+	// CacheEviction picks victims for full microflow tables (default LRU;
+	// EvictCostAware degrades to LRU here — the baseline has no
+	// region-partitioned flow space to score against).
+	CacheEviction core.EvictionChoice
+	// TCAMBudget, when >0, bounds a switch's total TCAM occupancy; the
+	// baseline installs only microflow cache rules, so it acts as an
+	// additional cache cap (see switchsim.Config.TCAMBudget).
+	TCAMBudget int
 	// RuleIdle / RuleHard are the microflow rule timeouts.
 	RuleIdle float64
 	RuleHard float64
@@ -93,7 +100,8 @@ func NewNetwork(g *topo.Graph, policy []flowspace.Rule, cfg Config) (*Network, e
 	for _, id := range g.Nodes() {
 		n.Switches[uint32(id)] = switchsim.New(uint32(id), switchsim.Config{
 			CacheCapacity: cfg.CacheCapacity,
-			CacheEviction: tcam.EvictLRU,
+			CacheEviction: cfg.CacheEviction.TCAMPolicy(),
+			TCAMBudget:    cfg.TCAMBudget,
 		})
 	}
 	return n, nil

@@ -1,0 +1,138 @@
+package cachepolicy
+
+import (
+	"sort"
+
+	"difane/internal/flowspace"
+	"difane/internal/tcam"
+)
+
+// Region pairs one flow-space partition with its clipped rules in TCAM
+// order — the authority-side ground truth aggregation must stay sound
+// against.
+type Region struct {
+	Index int
+	Match flowspace.Match
+	Rules []flowspace.Rule
+}
+
+// Plan is one aggregation step: install Cover and delete the Replace
+// entries it subsumes. The cover is computed by the same CoverFor
+// subtraction StrategyCover installs from, so it satisfies the oracle's
+// CacheRuleSound invariant by construction.
+type Plan struct {
+	Region  int
+	Cover   flowspace.Rule
+	Replace []uint64
+}
+
+// aggGroup accumulates the exact-match entries that collapse into one
+// cover.
+type aggGroup struct {
+	region   int
+	cover    flowspace.Match
+	priority int32
+	action   flowspace.Action
+	ids      []uint64
+}
+
+// PlanAggregation scans a switch's cache entries for groups of at least
+// AggregateMin exact-match entries whose keys yield the same CoverFor
+// cover inside one region — near-microflow shards of a single wildcard
+// decision (the exact-strategy and cover-sliver fallback paths mint
+// these) — and returns one plan per such group. allocID mints each cover
+// rule's table ID. Deterministic: plans are ordered by (region, smallest
+// replaced ID).
+func (p *Policy) PlanAggregation(entries []tcam.Entry, regions []Region, allocID func() uint64) []Plan {
+	type groupKey struct {
+		region int
+		cover  flowspace.Match
+	}
+	groups := make(map[groupKey]*aggGroup)
+	for _, e := range entries {
+		k, ok := exactKeyOf(e.Rule.Match)
+		if !ok {
+			continue
+		}
+		var reg *Region
+		for i := range regions {
+			if regions[i].Match.Matches(k) {
+				reg = &regions[i]
+				break
+			}
+		}
+		if reg == nil {
+			continue
+		}
+		hitRule, ok := flowspace.EvalTable(reg.Rules, k)
+		if !ok || hitRule.Action != e.Rule.Action {
+			continue // stale or foreign entry; aggregation must not launder it
+		}
+		hit := -1
+		for i := range reg.Rules {
+			if reg.Rules[i].ID == hitRule.ID {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			continue
+		}
+		cover, ok := flowspace.CoverFor(reg.Rules, hit, reg.Match, k)
+		if !ok || cover == e.Rule.Match {
+			continue // no wider cover exists for this key
+		}
+		gk := groupKey{region: reg.Index, cover: cover}
+		g := groups[gk]
+		if g == nil {
+			g = &aggGroup{region: reg.Index, cover: cover,
+				priority: hitRule.Priority, action: hitRule.Action}
+			groups[gk] = g
+		}
+		g.ids = append(g.ids, e.Rule.ID)
+	}
+
+	var picked []*aggGroup
+	for _, g := range groups {
+		if len(g.ids) >= p.cfg.AggregateMin {
+			sort.Slice(g.ids, func(i, j int) bool { return g.ids[i] < g.ids[j] })
+			picked = append(picked, g)
+		}
+	}
+	sort.Slice(picked, func(i, j int) bool {
+		if picked[i].region != picked[j].region {
+			return picked[i].region < picked[j].region
+		}
+		return picked[i].ids[0] < picked[j].ids[0]
+	})
+
+	var plans []Plan
+	for _, g := range picked {
+		plans = append(plans, Plan{
+			Region: g.region,
+			Cover: flowspace.Rule{
+				ID:       allocID(),
+				Priority: g.priority,
+				Match:    g.cover,
+				Action:   g.action,
+			},
+			Replace: g.ids,
+		})
+		p.aggregations.Add(1)
+		p.aggReplaced.Add(uint64(len(g.ids)))
+	}
+	return plans
+}
+
+// exactKeyOf extracts the concrete key of a fully exact match, or false
+// when any field carries a wildcard bit.
+func exactKeyOf(m flowspace.Match) (flowspace.Key, bool) {
+	var k flowspace.Key
+	for f := flowspace.FieldID(0); f < flowspace.NumFields; f++ {
+		if !m.Fields[f].IsExact(f.Width()) {
+			return k, false
+		}
+		k[f] = m.Fields[f].Value
+	}
+	return k, true
+}

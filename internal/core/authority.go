@@ -51,8 +51,15 @@ type Authority struct {
 	Partition Partition
 	// Strategy picks the cache-rule generation scheme.
 	Strategy CacheStrategy
+	// RegionIndex is the partition's index in the network assignment (−1
+	// when unknown): the key the cost-aware cache policy tracks per-region
+	// statistics and adapted idle timeouts under.
+	RegionIndex int
 	// CacheIdleTimeout / CacheHardTimeout are applied to generated cache
-	// rules (seconds, 0 = none).
+	// rules (seconds, 0 = none). Change them only through
+	// SetCacheTimeouts: memoized HandleMiss results bake the values into
+	// their FlowMods, so a bare field write silently keeps issuing the old
+	// timeouts for every already-seen flow.
 	CacheIdleTimeout float64
 	CacheHardTimeout float64
 
@@ -85,11 +92,26 @@ const memoCap = 8192
 // NewAuthority builds the authority logic for a partition.
 func NewAuthority(switchID uint32, p Partition, strategy CacheStrategy) *Authority {
 	return &Authority{
-		SwitchID:  switchID,
-		Partition: p,
-		Strategy:  strategy,
-		originOf:  make(map[uint64]uint64),
+		SwitchID:    switchID,
+		Partition:   p,
+		Strategy:    strategy,
+		RegionIndex: -1,
+		originOf:    make(map[uint64]uint64),
 	}
+}
+
+// SetCacheTimeouts updates the timeouts stamped onto generated cache
+// rules. On a material change the miss memo is flushed: its entries carry
+// fully-built FlowMods with the old Idle/Hard baked in, and serving those
+// would pin every known flow to the superseded timeouts until the memo
+// happened to cycle.
+func (a *Authority) SetCacheTimeouts(idle, hard float64) {
+	if a.CacheIdleTimeout == idle && a.CacheHardTimeout == hard {
+		return
+	}
+	a.CacheIdleTimeout = idle
+	a.CacheHardTimeout = hard
+	clear(a.memo)
 }
 
 // OriginOf maps a generated cache-rule ID back to its policy rule ID (the

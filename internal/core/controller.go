@@ -150,8 +150,8 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 		for i, p := range staged.Partitions {
 			for _, host := range staged.ReplicasFor(i) {
 				auth := NewAuthority(host, p, n.cfg.Strategy)
-				auth.CacheIdleTimeout = n.cfg.CacheIdle
-				auth.CacheHardTimeout = n.cfg.CacheHard
+				auth.RegionIndex = i
+				n.configureAuthority(auth)
 				n.authorityAt[host] = append(n.authorityAt[host], auth)
 			}
 		}

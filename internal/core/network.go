@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"difane/internal/cachepolicy"
 	"difane/internal/flowspace"
 	"difane/internal/metrics"
 	"difane/internal/packet"
@@ -27,6 +28,15 @@ type NetworkConfig struct {
 	CacheHard float64
 	// CacheEviction picks the victim policy for full caches.
 	CacheEviction EvictionChoice
+	// TCAMBudget, when >0, bounds each switch's *total* TCAM occupancy
+	// (cache + authority + partition rules share one physical table); the
+	// cache's capacity is continuously derived as the budget minus the
+	// mandatory-rule footprint. See switchsim.Config.TCAMBudget.
+	TCAMBudget int
+	// CacheAdaptInterval is the period of the cost-aware policy's
+	// adaptation tick — per-region idle-timeout tuning and cover-rule
+	// aggregation (default 0.25s; only runs under EvictCostAware).
+	CacheAdaptInterval float64
 	// AuthorityRate is each authority switch's miss-handling capacity in
 	// flows per second (0 = infinitely fast). The paper's software-assisted
 	// authority switch sustains on the order of several hundred thousand
@@ -62,9 +72,17 @@ const (
 	EvictDefaultLRU EvictionChoice = iota
 	EvictLFU
 	EvictNone
+	// EvictCostAware scores victims by predicted miss cost (observed
+	// redirect latency × region hit rate × entry re-reference rate) via
+	// internal/cachepolicy, falling back to LRU ordering when the scorer
+	// declines.
+	EvictCostAware
 )
 
-func (e EvictionChoice) tcamPolicy() tcam.EvictionPolicy {
+// TCAMPolicy maps the deployment-level choice onto the TCAM's built-in
+// victim ordering. EvictCostAware maps to LRU: the cost scorer is plugged
+// in as a custom VictimFunc on top, and LRU is its declared fallback.
+func (e EvictionChoice) TCAMPolicy() tcam.EvictionPolicy {
 	switch e {
 	case EvictLFU:
 		return tcam.EvictLFU
@@ -81,6 +99,8 @@ func (e EvictionChoice) String() string {
 		return "lfu"
 	case EvictNone:
 		return "none"
+	case EvictCostAware:
+		return "cost"
 	default:
 		return "lru"
 	}
@@ -248,6 +268,12 @@ type Network struct {
 	// LinkLoads counts packets per directed link when cfg.HopByHop is set.
 	LinkLoads LinkLoads
 
+	// cachePol is the cost-aware caching policy (nil unless
+	// cfg.CacheEviction == EvictCostAware); aggSeq mints aggregation
+	// cover-rule IDs.
+	cachePol *cachepolicy.Policy
+	aggSeq   uint64
+
 	// Observer, when non-nil, receives exactly one VerdictEvent per
 	// injected packet at its terminal outcome. The differential checker
 	// (internal/scencheck) uses it to compare per-packet behaviour against
@@ -284,10 +310,15 @@ func NewNetwork(g *topo.Graph, authorities []uint32, policy []flowspace.Rule, cf
 		cfg:         cfg,
 		LinkLoads:   make(LinkLoads),
 	}
+	if cfg.CacheEviction == EvictCostAware {
+		n.cachePol = cachepolicy.New(cachepolicy.Config{})
+	}
 	for _, id := range g.Nodes() {
 		n.Switches[uint32(id)] = switchsim.New(uint32(id), switchsim.Config{
 			CacheCapacity: cfg.CacheCapacity,
-			CacheEviction: cfg.CacheEviction.tcamPolicy(),
+			CacheEviction: cfg.CacheEviction.TCAMPolicy(),
+			CacheVictim:   n.cacheVictimFn(),
+			TCAMBudget:    cfg.TCAMBudget,
 		})
 	}
 	for _, id := range authorities {
@@ -297,6 +328,7 @@ func NewNetwork(g *topo.Graph, authorities []uint32, policy []flowspace.Rule, cf
 		n.authSt[id] = sim.NewStation(n.Eng, cfg.AuthorityRate, cfg.AuthorityQueue)
 	}
 	n.installAssignment()
+	n.startCacheAdaptation()
 	return n, nil
 }
 
@@ -499,6 +531,9 @@ func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace
 		n.emit(VerdictUnreachable, k, seq, 0, false)
 		return
 	}
+	if n.cachePol != nil && res.Table == proto.TableCache {
+		n.cachePol.ObserveTraffic(n.regionOfKey(k), 1, 0)
+	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
 		n.M.Drops.Policy++
@@ -570,6 +605,12 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 		n.M.Drops.Hole++
 		n.emit(VerdictHole, k, seq, 0, false)
 		return
+	}
+	if n.cachePol != nil {
+		// The detour to here is the cost a miss in this region actually
+		// paid; the return leg roughly mirrors it.
+		n.cachePol.ObserveRedirect(auth.RegionIndex, now-injected)
+		n.cachePol.ObserveTraffic(auth.RegionIndex, 0, 1)
 	}
 	// Register the hit on the authority switch's TCAM so its counters
 	// reflect the redirected traffic it serves.

@@ -163,8 +163,8 @@ func (n *Network) applyAssignment(assign Assignment) {
 	for i, p := range assign.Partitions {
 		for _, host := range assign.ReplicasFor(i) {
 			auth := NewAuthority(host, p, n.cfg.Strategy)
-			auth.CacheIdleTimeout = n.cfg.CacheIdle
-			auth.CacheHardTimeout = n.cfg.CacheHard
+			auth.RegionIndex = i
+			n.configureAuthority(auth)
 			n.authorityAt[host] = append(n.authorityAt[host], auth)
 			sw := n.Switches[host]
 			for _, r := range p.Rules {

@@ -267,8 +267,8 @@ func (c *Controller) Reconcile() (installed, deleted int) {
 	for i, p := range n.Assignment.Partitions {
 		for _, host := range n.Assignment.ReplicasFor(i) {
 			auth := NewAuthority(host, p, n.cfg.Strategy)
-			auth.CacheIdleTimeout = n.cfg.CacheIdle
-			auth.CacheHardTimeout = n.cfg.CacheHard
+			auth.RegionIndex = i
+			n.configureAuthority(auth)
 			n.authorityAt[host] = append(n.authorityAt[host], auth)
 		}
 	}

@@ -116,6 +116,9 @@ func (n *Network) Telemetry() *telemetry.Snapshot {
 		reg.RegisterFunc("difane_switches",
 			"Switches in the simulated topology.", telemetry.TypeGauge,
 			func() float64 { return float64(len(n.Switches)) })
+		if n.cachePol != nil {
+			n.cachePol.RegisterMetrics(reg)
+		}
 		n.telReg = reg
 	})
 	return &telemetry.Snapshot{Metrics: n.telReg.Snapshot()}

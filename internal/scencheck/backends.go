@@ -80,8 +80,14 @@ func simNetworkConfig(sc Scenario) core.NetworkConfig {
 	return core.NetworkConfig{
 		Strategy:      sc.Strategy,
 		CacheCapacity: cacheCapacity,
+		CacheEviction: sc.Eviction,
+		TCAMBudget:    sc.TCAMBudget,
 		Replication:   replication,
 		Partition:     core.PartitionConfig{MaxRulesPerPartition: maxRulesPerPartition},
+		// Adapt fast relative to the per-packet 1s quiescence windows, so
+		// timeout adaptation and cover aggregation fire mid-scenario where
+		// the oracle diff and cache-soundness audit can see their effects.
+		CacheAdaptInterval: 0.05,
 	}
 }
 
@@ -365,6 +371,8 @@ func (b *baselineBackend) deploy(policy []flowspace.Rule) error {
 	n, err := baseline.NewNetwork(buildGraph(b.sc), policy, baseline.Config{
 		ControllerNode: b.sc.Switches[0],
 		CacheCapacity:  cacheCapacity,
+		CacheEviction:  b.sc.Eviction,
+		TCAMBudget:     b.sc.TCAMBudget,
 	})
 	if err != nil {
 		return err
@@ -474,6 +482,11 @@ func wireClusterConfig(sc Scenario, policy []flowspace.Rule) wire.ClusterConfig 
 		Policy:        policy,
 		Strategy:      sc.Strategy,
 		CacheCapacity: cacheCapacity,
+		CacheEviction: sc.Eviction,
+		TCAMBudget:    sc.TCAMBudget,
+		// Several adaptation rounds fit inside each packet's quiescence
+		// wait, mirroring the simulator backend's fast-adapt setting.
+		CacheAdaptInterval: 50 * time.Millisecond,
 		// Generous liveness windows: differential seeds run massively in
 		// parallel, and a scheduler stall must not read as a switch death
 		// (real kills short-circuit the detector via the killed flag, so

@@ -88,8 +88,15 @@ type Scenario struct {
 	Links       []Link
 	Authorities []uint32
 	Strategy    core.CacheStrategy
-	Policy      []flowspace.Rule
-	Steps       []Step
+	// Eviction selects the cache-eviction policy every deployment runs
+	// under (zero value: the default LRU).
+	Eviction core.EvictionChoice
+	// TCAMBudget, when positive, caps each switch's total TCAM occupancy
+	// (cache + authority + partition); the cache gets whatever the
+	// mandatory tables leave over, possibly nothing.
+	TCAMBudget int
+	Policy     []flowspace.Rule
+	Steps      []Step
 }
 
 // Packets counts the packet steps in the schedule.
@@ -111,10 +118,21 @@ type Config struct {
 	Faults bool
 	// Updates enables policy-update steps.
 	Updates bool
+	// Adaptive makes the scenario exercise adaptive caching: a randomized
+	// eviction policy under a tight per-switch TCAM budget, plus a
+	// flash-crowd / region-scan / revisit packet workload appended to the
+	// schedule — the traffic shape that makes eviction decisions (and
+	// cover-rule aggregation) actually fire.
+	Adaptive bool
 }
 
 // DefaultConfig generates scenarios exercising everything.
 func DefaultConfig() Config { return Config{Packets: 16, Faults: true, Updates: true} }
+
+// AdaptiveConfig generates budget-constrained adaptive-caching scenarios:
+// policy updates stay on (stale aggregated covers must not survive an
+// update), faults stay off (cache churn, not failover, is under test).
+func AdaptiveConfig() Config { return Config{Packets: 8, Updates: true, Adaptive: true} }
 
 func (c *Config) defaults() {
 	if c.Packets <= 0 {
@@ -134,6 +152,19 @@ func Generate(seed int64, cfg Config) Scenario {
 
 	nsw := 4 + rng.Intn(5) // 4..8 switches
 	sc := Scenario{Seed: seed, Strategy: core.CacheStrategy(rng.Intn(3))}
+	if cfg.Adaptive {
+		// Cost-aware most of the time (it is the policy under test), with
+		// LRU/LFU sprinkled in so the harness also replays the ablation
+		// baselines under the same budgets.
+		sc.Eviction = []core.EvictionChoice{
+			core.EvictCostAware, core.EvictCostAware,
+			core.EvictDefaultLRU, core.EvictLFU,
+		}[rng.Intn(4)]
+		// Tight enough that authority switches squeeze their caches — during
+		// a consistent update's generation overlap, sometimes to nothing.
+		// Verdicts must not care: an uncacheable flow just keeps detouring.
+		sc.TCAMBudget = 16 + rng.Intn(16)
+	}
 	for i := 0; i < nsw; i++ {
 		sc.Switches = append(sc.Switches, uint32(i))
 	}
@@ -208,7 +239,48 @@ func Generate(seed int64, cfg Config) Scenario {
 	if deadSwitch >= 0 {
 		sc.Steps = append(sc.Steps, Step{Kind: StepHealSwitch, Switch: uint32(deadSwitch)})
 	}
+	if cfg.Adaptive {
+		appendAdaptivePhases(rng, &sc, curPolicy, nsw)
+	}
 	return sc
+}
+
+// appendAdaptivePhases adds the cache-churn workload adaptive scenarios
+// run after the random schedule: a flash crowd (a few hot keys injected
+// repeatedly — repeat hits are what the cost scorer prices), a region scan
+// (a run of never-repeating keys manufacturing eviction pressure), and a
+// hot revisit (the flash crowd again — under cost-aware eviction these
+// should still be cheap, but whatever the policy did, every verdict must
+// still match the oracle). All phases are ordinary packet steps, so the
+// existing per-packet oracle diff and the end-of-scenario cache-soundness
+// audit (which now sees adapted timeouts and aggregated cover rules) apply
+// unchanged.
+func appendAdaptivePhases(rng *rand.Rand, sc *Scenario, policy []flowspace.Rule, nsw int) {
+	type hotFlow struct {
+		ingress uint32
+		key     flowspace.Key
+	}
+	hot := make([]hotFlow, 3)
+	for i := range hot {
+		hot[i] = hotFlow{ingress: uint32(rng.Intn(nsw)), key: genKey(rng, policy)}
+	}
+	crowd := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for _, h := range hot {
+				sc.Steps = append(sc.Steps, Step{Kind: StepPacket, Ingress: h.ingress, Key: h.key})
+			}
+		}
+	}
+	crowd(4)
+	// The scan: fresh keys, one packet each — pure cache-fill churn.
+	for i := 0; i < 10; i++ {
+		sc.Steps = append(sc.Steps, Step{
+			Kind:    StepPacket,
+			Ingress: uint32(rng.Intn(nsw)),
+			Key:     genKey(rng, policy),
+		})
+	}
+	crowd(2)
 }
 
 // The address pool: a handful of /24s under 10.0.0.0/16 plus a few hosts

@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"testing"
 
+	"difane/internal/core"
 	"difane/internal/flowspace"
 )
 
@@ -194,6 +195,71 @@ func TestChaosSmoke(t *testing.T) {
 	}
 	if ran < want {
 		t.Fatalf("only %d of %d chaos scenarios found in 200 seeds", ran, want)
+	}
+}
+
+// TestAdaptiveCaching sweeps budget-constrained adaptive-caching scenarios
+// — flash-crowd / region-scan / revisit packet phases under a hard TCAM
+// budget with randomized eviction policies — through the virtual-time
+// deployments, demanding the usual zero-divergence bar: every verdict
+// matches the oracle, and the end-of-scenario audit holds CacheRuleSound
+// over whatever the adaptation loop left behind (re-timed entries and
+// aggregated cover rules included).
+func TestAdaptiveCaching(t *testing.T) {
+	seeds := 12
+	if raceEnabled {
+		seeds = 6
+	}
+	sawCostAware, sawBudgetSqueeze := false, false
+	for s := int64(1); s <= int64(seeds); s++ {
+		sc := Generate(s, AdaptiveConfig())
+		if sc.TCAMBudget <= 0 {
+			t.Fatalf("seed %d: adaptive scenario generated without a TCAM budget", s)
+		}
+		sawCostAware = sawCostAware || sc.Eviction == core.EvictCostAware
+		sawBudgetSqueeze = sawBudgetSqueeze || sc.TCAMBudget < cacheCapacity+2*len(sc.Policy)
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			res := Check(sc, Options{Modes: []string{ModeSim, ModeBaseline}})
+			if !res.Failed() {
+				return
+			}
+			report := res.Report()
+			mode := res.Failures[0].Mode
+			shrunk := Shrink(res.Scenario, Options{Modes: []string{mode}})
+			if small := Check(shrunk, Options{Modes: []string{mode}}); small.Failed() {
+				report += "shrunk repro:\n" + small.Report() + describe(shrunk)
+			}
+			t.Fatalf("\n%s", report)
+		})
+	}
+	if !sawCostAware {
+		t.Errorf("no seed in 1..%d ran the cost-aware policy", seeds)
+	}
+	if !sawBudgetSqueeze {
+		t.Errorf("no seed in 1..%d generated a cache-squeezing budget", seeds)
+	}
+}
+
+// TestAdaptiveCachingWire replays a couple of adaptive scenarios through
+// the wire prototype, whose adaptation loop runs on real time against live
+// goroutines — the cross-check that budget enforcement and cover
+// aggregation stay verdict-neutral outside virtual time.
+func TestAdaptiveCachingWire(t *testing.T) {
+	seeds := []int64{2, 5}
+	if raceEnabled {
+		seeds = seeds[:1]
+	}
+	for _, s := range seeds {
+		s := s
+		t.Run(fmt.Sprintf("seed=%d", s), func(t *testing.T) {
+			t.Parallel()
+			res := CheckSeed(s, AdaptiveConfig(), Options{Modes: []string{ModeWire}})
+			if res.Failed() {
+				t.Fatalf("\n%s%s", res.Report(), describe(res.Scenario))
+			}
+		})
 	}
 }
 

@@ -1,0 +1,80 @@
+package switchsim
+
+import (
+	"testing"
+
+	"difane/internal/flowspace"
+	"difane/internal/proto"
+	"difane/internal/tcam"
+)
+
+// The TCAM-budget tests: cache capacity is derived from the budget minus
+// the mandatory authority/partition footprint, continuously.
+
+func TestBudgetDerivesCacheCapacity(t *testing.T) {
+	s := New(1, Config{TCAMBudget: 4, CacheEviction: tcam.EvictLRU})
+	add(t, s, proto.TablePartition, mkRule(100, 0, 0, flowspace.ActRedirect))
+	// Budget 4 − 1 partition rule = 3 cache slots.
+	for i := uint64(1); i <= 3; i++ {
+		add(t, s, proto.TableCache, mkRule(i, 10, 79+i, flowspace.ActForward))
+	}
+	if n := s.Table(proto.TableCache).Len(); n != 3 {
+		t.Fatalf("cache len = %d, want 3", n)
+	}
+	// A fourth cache insert must evict, not grow past the budget.
+	add(t, s, proto.TableCache, mkRule(4, 10, 90, flowspace.ActForward))
+	if n := s.Table(proto.TableCache).Len(); n != 3 {
+		t.Fatalf("cache len after overflow insert = %d, want 3", n)
+	}
+}
+
+func TestMandatoryInstallSqueezesCache(t *testing.T) {
+	s := New(1, Config{TCAMBudget: 4, CacheEviction: tcam.EvictLRU})
+	add(t, s, proto.TablePartition, mkRule(100, 0, 0, flowspace.ActRedirect))
+	for i := uint64(1); i <= 3; i++ {
+		add(t, s, proto.TableCache, mkRule(i, 10, 79+i, flowspace.ActForward))
+	}
+	// An authority-rule install claims TCAM ahead of the cache: one cache
+	// entry must go.
+	add(t, s, proto.TableAuthority, mkRule(200, 5, 80, flowspace.ActForward))
+	if n := s.Table(proto.TableCache).Len(); n != 2 {
+		t.Fatalf("cache len after authority install = %d, want 2", n)
+	}
+	total := s.Table(proto.TableCache).Len() +
+		s.Table(proto.TableAuthority).Len() + s.Table(proto.TablePartition).Len()
+	if total != 4 {
+		t.Fatalf("total TCAM occupancy = %d, want budget 4", total)
+	}
+	// Withdrawing the authority rule hands the slot back to the cache.
+	err := s.ApplyFlowMod(0, &proto.FlowMod{Table: proto.TableAuthority, Op: proto.OpDelete,
+		Rule: flowspace.Rule{ID: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add(t, s, proto.TableCache, mkRule(5, 10, 95, flowspace.ActForward))
+	if n := s.Table(proto.TableCache).Len(); n != 3 {
+		t.Fatalf("cache len after authority withdraw = %d, want 3", n)
+	}
+}
+
+func TestBudgetFullyConsumedByMandatoryRules(t *testing.T) {
+	s := New(1, Config{TCAMBudget: 2, CacheEviction: tcam.EvictLRU})
+	add(t, s, proto.TablePartition, mkRule(100, 0, 0, flowspace.ActRedirect))
+	add(t, s, proto.TableAuthority, mkRule(200, 5, 80, flowspace.ActForward))
+	// No TCAM left: cache inserts must fail (capacity −1, not unlimited 0).
+	mod := proto.FlowMod{Table: proto.TableCache, Op: proto.OpAdd,
+		Rule: mkRule(1, 10, 81, flowspace.ActForward)}
+	if err := s.ApplyFlowMod(0, &mod); err == nil {
+		t.Fatal("cache insert succeeded with the budget fully consumed")
+	}
+}
+
+func TestCacheCapacityStillCapsUnderLargeBudget(t *testing.T) {
+	s := New(1, Config{TCAMBudget: 100, CacheCapacity: 2, CacheEviction: tcam.EvictLRU})
+	for i := uint64(1); i <= 3; i++ {
+		add(t, s, proto.TableCache, mkRule(i, 10, 79+i, flowspace.ActForward))
+	}
+	if n := s.Table(proto.TableCache).Len(); n != 2 {
+		t.Fatalf("cache len = %d, want CacheCapacity cap 2", n)
+	}
+}

@@ -56,6 +56,11 @@ type Switch struct {
 	authority *tcam.Table
 	partition *tcam.Table
 
+	// tcamBudget / cacheCap back the shared-TCAM budget enforcement (see
+	// Config.TCAMBudget); immutable after New.
+	tcamBudget int
+	cacheCap   int
+
 	Stats Stats
 }
 
@@ -65,18 +70,62 @@ type Config struct {
 	CacheCapacity int
 	// CacheEviction picks victims when the cache is full.
 	CacheEviction tcam.EvictionPolicy
+	// CacheVictim, when non-nil, overrides the eviction policy's victim
+	// ordering with a custom picker (cost-aware caching). Like the tcam
+	// hooks, set it before the switch is shared across goroutines.
+	CacheVictim tcam.VictimFunc
 	// AuthorityCapacity bounds the authority table (0 = unlimited).
 	AuthorityCapacity int
+	// TCAMBudget, when >0, bounds the switch's *total* TCAM occupancy: one
+	// physical table holds cache, authority, and partition rules, so the
+	// cache's capacity is continuously derived as budget minus the
+	// mandatory authority and partition entries (mandatory installs squeeze
+	// the cache, evicting via CacheEviction/CacheVictim). CacheCapacity
+	// still applies as an additional cap when set.
+	TCAMBudget int
 }
 
 // New creates a switch with the given table sizing.
 func New(id uint32, cfg Config) *Switch {
-	return &Switch{
-		ID:        id,
-		cache:     tcam.New(fmt.Sprintf("sw%d/cache", id), cfg.CacheCapacity, cfg.CacheEviction),
-		authority: tcam.New(fmt.Sprintf("sw%d/authority", id), cfg.AuthorityCapacity, tcam.EvictNone),
-		partition: tcam.New(fmt.Sprintf("sw%d/partition", id), 0, tcam.EvictNone),
+	s := &Switch{
+		ID:         id,
+		cache:      tcam.New(fmt.Sprintf("sw%d/cache", id), cfg.CacheCapacity, cfg.CacheEviction),
+		authority:  tcam.New(fmt.Sprintf("sw%d/authority", id), cfg.AuthorityCapacity, tcam.EvictNone),
+		partition:  tcam.New(fmt.Sprintf("sw%d/partition", id), 0, tcam.EvictNone),
+		tcamBudget: cfg.TCAMBudget,
+		cacheCap:   cfg.CacheCapacity,
 	}
+	if cfg.CacheVictim != nil {
+		s.cache.SetVictimFn(cfg.CacheVictim)
+	}
+	s.EnforceBudget(0)
+	return s
+}
+
+// TCAMBudget returns the switch's shared-TCAM budget (0 = unbounded).
+func (s *Switch) TCAMBudget() int { return s.tcamBudget }
+
+// EnforceBudget recomputes the cache table's capacity from the TCAM
+// budget and the current mandatory-rule footprint, evicting cache entries
+// when the budget shrank. Called automatically after FlowMods and timeout
+// expiry on the mandatory tables; exported so control logic that writes
+// those tables directly (wholesale withdrawals) can resquare the budget.
+// Returns the number of cache entries evicted.
+func (s *Switch) EnforceBudget(now float64) int {
+	if s.tcamBudget <= 0 {
+		return 0
+	}
+	avail := s.tcamBudget - s.authority.Len() - s.partition.Len()
+	if s.cacheCap > 0 && s.cacheCap < avail {
+		avail = s.cacheCap
+	}
+	if avail <= 0 {
+		avail = -1 // tcam: negative capacity admits nothing (0 = unlimited)
+	}
+	if s.cache.Capacity() == avail {
+		return 0
+	}
+	return s.cache.SetCapacity(now, avail)
 }
 
 // Table returns the named table (for inspection and installs).
@@ -211,9 +260,17 @@ func (s *Switch) ApplyFlowMod(now float64, m *proto.FlowMod) error {
 	}
 	switch m.Op {
 	case proto.OpAdd:
+		if m.Table != proto.TableCache {
+			// Mandatory rules claim TCAM ahead of the cache: shrink the
+			// cache's share first so the insert lands inside the budget.
+			defer s.EnforceBudget(now)
+		}
 		return tb.Insert(now, m.Rule, m.Idle, m.Hard)
 	case proto.OpDelete:
 		tb.Delete(m.Rule.ID)
+		if m.Table != proto.TableCache {
+			s.EnforceBudget(now)
+		}
 		return nil
 	default:
 		return fmt.Errorf("switch %d: unknown flow-mod op %d", s.ID, m.Op)
@@ -225,6 +282,7 @@ func (s *Switch) Advance(now float64) {
 	s.cache.Advance(now)
 	s.authority.Advance(now)
 	s.partition.Advance(now)
+	s.EnforceBudget(now) // mandatory-table expiry frees TCAM back to the cache
 }
 
 // Counters answers a stats request by searching all tables.

@@ -1,0 +1,135 @@
+package tcam
+
+import "testing"
+
+// Tests for the budget-driven extension points: refcounted pins, custom
+// victim selection, and shrink-on-SetCapacity.
+
+func TestPinProtectsFromEviction(t *testing.T) {
+	tb := New("test", 2, EvictLRU)
+	mustInsert(t, tb, 0, rule(1, 10, 80))
+	mustInsert(t, tb, 1, rule(2, 10, 81))
+	tb.Pin(1)
+	if !tb.Pinned(1) || tb.Pinned(2) {
+		t.Fatalf("Pinned(1)=%v Pinned(2)=%v", tb.Pinned(1), tb.Pinned(2))
+	}
+	// Entry 1 is LRU but pinned; inserting a third entry must evict 2.
+	mustInsert(t, tb, 2, rule(3, 10, 82))
+	if _, _, ok := tb.Counters(1); !ok {
+		t.Fatal("pinned entry 1 was evicted")
+	}
+	if _, _, ok := tb.Counters(2); ok {
+		t.Fatal("entry 2 survived; expected it evicted instead of pinned 1")
+	}
+	// Refcounting: two pins need two unpins.
+	tb.Pin(1)
+	tb.Unpin(1)
+	if !tb.Pinned(1) {
+		t.Fatal("entry 1 unpinned after one of two Unpins")
+	}
+	tb.Unpin(1)
+	if tb.Pinned(1) {
+		t.Fatal("entry 1 still pinned after matching Unpins")
+	}
+}
+
+func TestInsertFailsWhenAllPinned(t *testing.T) {
+	tb := New("test", 1, EvictLRU)
+	mustInsert(t, tb, 0, rule(1, 10, 80))
+	tb.Pin(1)
+	if err := tb.Insert(1, rule(2, 10, 81), 0, 0); err == nil {
+		t.Fatal("insert succeeded with every slot pinned")
+	}
+}
+
+func TestVictimFuncOverridesPolicy(t *testing.T) {
+	tb := New("test", 2, EvictLRU)
+	picked := -1
+	tb.SetVictimFn(func(now float64, cands []VictimCandidate) int {
+		// Pick the MRU entry — the opposite of the built-in LRU order.
+		best, bestHit := -1, -1.0
+		for i, c := range cands {
+			if c.LastHit > bestHit {
+				best, bestHit = i, c.LastHit
+			}
+		}
+		picked = best
+		return best
+	})
+	mustInsert(t, tb, 0, rule(1, 10, 80))
+	mustInsert(t, tb, 1, rule(2, 10, 81))
+	tb.Lookup(2, keyPort(81), 64) // entry 2 is now MRU
+	mustInsert(t, tb, 3, rule(3, 10, 82))
+	if picked < 0 {
+		t.Fatal("victim fn was never consulted")
+	}
+	if _, _, ok := tb.Counters(2); ok {
+		t.Fatal("MRU entry 2 survived; custom picker should have evicted it")
+	}
+	if _, _, ok := tb.Counters(1); !ok {
+		t.Fatal("LRU entry 1 evicted despite custom picker choosing MRU")
+	}
+}
+
+func TestVictimFuncDeclineFallsBack(t *testing.T) {
+	tb := New("test", 1, EvictLRU)
+	tb.SetVictimFn(func(now float64, cands []VictimCandidate) int { return -1 })
+	mustInsert(t, tb, 0, rule(1, 10, 80))
+	// Decline → built-in LRU picks entry 1; the insert must still land.
+	mustInsert(t, tb, 1, rule(2, 10, 81))
+	if _, _, ok := tb.Counters(2); !ok {
+		t.Fatal("insert failed after victim fn declined")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestVictimFuncNeverSeesPinned(t *testing.T) {
+	tb := New("test", 2, EvictLRU)
+	mustInsert(t, tb, 0, rule(1, 10, 80))
+	mustInsert(t, tb, 1, rule(2, 10, 81))
+	tb.Pin(1)
+	tb.SetVictimFn(func(now float64, cands []VictimCandidate) int {
+		for _, c := range cands {
+			if c.ID == 1 {
+				t.Error("pinned entry 1 offered to victim fn")
+			}
+		}
+		return 0
+	})
+	mustInsert(t, tb, 2, rule(3, 10, 82))
+}
+
+func TestSetCapacityShrinksAndGrows(t *testing.T) {
+	tb := New("test", 0, EvictLRU)
+	for i := uint64(1); i <= 4; i++ {
+		mustInsert(t, tb, float64(i), rule(i, 10, 79+i))
+	}
+	var evicted []uint64
+	tb.OnEvict = func(e Entry) { evicted = append(evicted, e.Rule.ID) }
+	if n := tb.SetCapacity(5, 2); n != 2 {
+		t.Fatalf("SetCapacity evicted %d, want 2", n)
+	}
+	if tb.Len() != 2 || tb.Capacity() != 2 {
+		t.Fatalf("Len=%d Capacity=%d, want 2/2", tb.Len(), tb.Capacity())
+	}
+	// LRU order: oldest last-hit (= install time here) go first.
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("evicted %v, want [1 2]", evicted)
+	}
+	// Growing never evicts.
+	if n := tb.SetCapacity(6, 10); n != 0 {
+		t.Fatalf("grow evicted %d entries", n)
+	}
+	// Negative capacity: admits nothing, and shrink-to-zero evicts all.
+	if n := tb.SetCapacity(7, -1); n != 2 {
+		t.Fatalf("SetCapacity(-1) evicted %d, want 2", n)
+	}
+	if err := tb.Insert(8, rule(9, 10, 99), 0, 0); err == nil {
+		t.Fatal("insert succeeded into a negative-capacity table")
+	}
+	// Zero stays "unlimited".
+	tb.SetCapacity(9, 0)
+	mustInsert(t, tb, 10, rule(9, 10, 99))
+}

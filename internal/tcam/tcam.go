@@ -60,6 +60,13 @@ type Entry struct {
 	lastHit   float64
 }
 
+// Installed returns the entry's install time in table seconds.
+func (e Entry) Installed() float64 { return e.installed }
+
+// LastHit returns the entry's last-hit time (the install time when the
+// entry has never matched a packet).
+func (e Entry) LastHit() float64 { return e.lastHit }
+
 // entry is the live representation: immutable rule and timeouts, atomic
 // counters so lock-free lookups can update them concurrently.
 type entry struct {
@@ -115,6 +122,24 @@ const (
 	EvictLFU
 )
 
+// VictimCandidate is one eviction candidate handed to a VictimFunc: the
+// installed rule plus the runtime state a cost model scores with. Pinned
+// entries are filtered out before the picker ever sees them.
+type VictimCandidate struct {
+	ID        uint64
+	Rule      flowspace.Rule
+	Packets   uint64
+	LastHit   float64
+	Installed float64
+}
+
+// VictimFunc picks which candidate to evict when the table is over
+// capacity, returning an index into cands or a negative value to decline
+// (the table then falls back to its built-in policy ordering). It is
+// called with the table mutex held, so implementations must not call
+// back into the table.
+type VictimFunc func(now float64, cands []VictimCandidate) int
+
 // Table is a TCAM-semantics rule table with a lock-free lookup path and
 // mutex-serialized mutations (see the package comment for the model).
 type Table struct {
@@ -136,6 +161,12 @@ type Table struct {
 	lastDirtyRead uint64
 	view          atomic.Pointer[[]viewEntry]
 	dirty         atomic.Bool
+
+	// pins refcounts rule IDs protected from eviction (in-flight installs);
+	// victimFn, when set, overrides the policy's victim ordering. Both are
+	// owned by mu.
+	pins     map[uint64]int
+	victimFn VictimFunc
 
 	// OnExpire, if non-nil, is invoked for each entry removed by Advance.
 	// Set it before the table is shared across goroutines.
@@ -235,6 +266,94 @@ func (t *Table) loadView() ([]viewEntry, bool) {
 // Name returns the table's diagnostic name.
 func (t *Table) Name() string { return t.name }
 
+// SetVictimFn installs a custom eviction picker consulted before the
+// built-in policy ordering (cost-aware caching). Set it before the table
+// is shared across goroutines.
+func (t *Table) SetVictimFn(fn VictimFunc) {
+	t.mu.Lock()
+	t.victimFn = fn
+	t.mu.Unlock()
+}
+
+// Pin protects rule id from eviction until a matching Unpin. Pins are
+// refcounted, may be taken before the rule is installed (an in-flight
+// install), and never block expiry or explicit deletion — only capacity
+// eviction skips pinned entries.
+func (t *Table) Pin(id uint64) {
+	t.mu.Lock()
+	if t.pins == nil {
+		t.pins = make(map[uint64]int)
+	}
+	t.pins[id]++
+	t.mu.Unlock()
+}
+
+// Unpin releases one Pin reference on rule id.
+func (t *Table) Unpin(id uint64) {
+	t.mu.Lock()
+	if c := t.pins[id]; c <= 1 {
+		delete(t.pins, id)
+	} else {
+		t.pins[id] = c - 1
+	}
+	t.mu.Unlock()
+}
+
+// Pinned reports whether rule id currently holds at least one pin.
+func (t *Table) Pinned(id uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pins[id] > 0
+}
+
+// SetCapacity changes the entry limit at time now and evicts down to the
+// new limit via the eviction ordering (OnEvict fires for each victim,
+// outside the mutex). Capacity 0 is unlimited; a negative capacity
+// admits nothing — the TCAM-budget enforcement uses it when mandatory
+// rules consume the whole budget. Returns the number of entries evicted.
+func (t *Table) SetCapacity(now float64, capacity int) int {
+	t.mu.Lock()
+	t.capacity = capacity
+	var evicted []*entry
+	if capacity != 0 {
+		limit := capacity
+		if limit < 0 {
+			limit = 0
+		}
+		for len(t.entries) > limit {
+			victim := t.pickVictimLocked(now)
+			if victim == nil {
+				break // everything left is pinned
+			}
+			t.removeEntryLocked(victim)
+			t.Evictions.Add(1)
+			evicted = append(evicted, victim)
+		}
+		if len(evicted) > 0 {
+			t.markDirtyLocked()
+		}
+	}
+	t.mu.Unlock()
+	if t.OnEvict != nil {
+		for _, e := range evicted {
+			t.OnEvict(e.snapshot())
+		}
+	}
+	return len(evicted)
+}
+
+// atLimitLocked reports whether an insert would exceed the entry limit.
+func (t *Table) atLimitLocked() bool {
+	if t.capacity == 0 {
+		return false
+	}
+	limit := t.capacity
+	if limit < 0 {
+		limit = 0
+	}
+	return len(t.entries) >= limit
+}
+
 // Len returns the number of installed entries.
 func (t *Table) Len() int {
 	if view, ok := t.loadView(); ok {
@@ -244,8 +363,13 @@ func (t *Table) Len() int {
 	return len(t.entries)
 }
 
-// Capacity returns the entry limit (0 = unlimited).
-func (t *Table) Capacity() int { return t.capacity }
+// Capacity returns the entry limit (0 = unlimited, negative = admits
+// nothing; see SetCapacity).
+func (t *Table) Capacity() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.capacity
+}
 
 // Insert installs a rule at time now. If a rule with the same ID exists it
 // is replaced in place (counters reset, as an OpenFlow flow-mod would). If
@@ -257,13 +381,13 @@ func (t *Table) Insert(now float64, r flowspace.Rule, idle, hard float64) error 
 	if old, ok := t.byID[r.ID]; ok {
 		t.removeEntryLocked(old)
 	}
-	if t.capacity > 0 && len(t.entries) >= t.capacity {
+	if t.atLimitLocked() {
 		if t.policy == EvictNone {
 			t.markDirtyLocked()
 			t.mu.Unlock()
 			return ErrFull
 		}
-		victim := t.pickVictimLocked()
+		victim := t.pickVictimLocked(now)
 		if victim == nil {
 			t.markDirtyLocked()
 			t.mu.Unlock()
@@ -346,8 +470,34 @@ func (t *Table) removeEntryLocked(e *entry) {
 
 // pickVictimLocked returns the entry to evict under a total order, so
 // eviction is deterministic: LRU orders by (lastHit, packets, ID)
-// ascending, LFU by (packets, lastHit, ID) ascending.
-func (t *Table) pickVictimLocked() *entry {
+// ascending, LFU by (packets, lastHit, ID) ascending. Pinned entries
+// (in-flight installs) are never selected. When a VictimFunc is set it is
+// consulted first over the unpinned candidates; the built-in ordering is
+// the fallback when it declines.
+func (t *Table) pickVictimLocked(now float64) *entry {
+	if t.victimFn != nil {
+		var cands []VictimCandidate
+		var live []*entry
+		for _, e := range t.entries {
+			if t.pins[e.rule.ID] > 0 {
+				continue
+			}
+			cands = append(cands, VictimCandidate{
+				ID:        e.rule.ID,
+				Rule:      e.rule,
+				Packets:   e.packets.Load(),
+				LastHit:   e.lastHit(),
+				Installed: e.installed,
+			})
+			live = append(live, e)
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		if i := t.victimFn(now, cands); i >= 0 && i < len(live) {
+			return live[i]
+		}
+	}
 	var victim *entry
 	better := func(a, b *entry) bool {
 		switch t.policy {
@@ -369,6 +519,9 @@ func (t *Table) pickVictimLocked() *entry {
 		return a.rule.ID < b.rule.ID
 	}
 	for _, e := range t.entries {
+		if t.pins[e.rule.ID] > 0 {
+			continue
+		}
 		if victim == nil || better(e, victim) {
 			victim = e
 		}
@@ -596,7 +749,7 @@ func (t *Table) String() string {
 	live := t.liveEntries()
 	var b strings.Builder
 	fmt.Fprintf(&b, "table %s (%d/%d entries, %d hits, %d misses)\n",
-		t.name, len(live), t.capacity, t.Hits.Load(), t.Misses.Load())
+		t.name, len(live), t.Capacity(), t.Hits.Load(), t.Misses.Load())
 	for _, e := range live {
 		fmt.Fprintf(&b, "  %v pkts=%d\n", e.rule, e.packets.Load())
 	}

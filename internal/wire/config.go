@@ -21,6 +21,22 @@ type ClusterConfig struct {
 	Strategy core.CacheStrategy
 	// CacheCapacity bounds ingress caches (0 = unlimited).
 	CacheCapacity int
+	// CacheEviction picks victims for full ingress caches. The default is
+	// LRU (earlier builds rejected inserts into a full cache outright);
+	// core.EvictCostAware additionally runs the cost-aware scorer and the
+	// adaptation loop from internal/cachepolicy.
+	CacheEviction core.EvictionChoice
+	// TCAMBudget, when >0, bounds each switch's total TCAM occupancy —
+	// cache capacity is continuously derived as the budget minus the
+	// authority/partition-rule footprint (see switchsim.Config.TCAMBudget).
+	TCAMBudget int
+	// CacheIdle / CacheHard are the timeouts authorities stamp onto
+	// generated cache rules, in seconds (0 = none).
+	CacheIdle float64
+	CacheHard float64
+	// CacheAdaptInterval paces the cost-aware adaptation loop (default
+	// 250ms; only runs under core.EvictCostAware).
+	CacheAdaptInterval time.Duration
 	// QueueDepth sizes the delivery-notification channel and is the default
 	// depth of each per-producer data ring (see FabricConfig.RingDepth).
 	QueueDepth int
@@ -342,6 +358,9 @@ func (cfg *ClusterConfig) Validate() error {
 	cfg.Overload.applyDefaults()
 	if err := cfg.Fabric.applyDefaults(cfg.QueueDepth); err != nil {
 		return err
+	}
+	if cfg.CacheAdaptInterval <= 0 {
+		cfg.CacheAdaptInterval = 250 * time.Millisecond
 	}
 	cfg.Telemetry.applyDefaults()
 	return nil

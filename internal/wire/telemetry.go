@@ -65,6 +65,9 @@ func (c *Cluster) initTelemetry() {
 	}
 	c.reg = telemetry.NewRegistry()
 	c.buildRegistry()
+	if c.cachePol != nil {
+		c.cachePol.RegisterMetrics(c.reg)
+	}
 }
 
 // attachTableHooks publishes install/evict/expire trace events for one

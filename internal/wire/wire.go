@@ -20,6 +20,7 @@ import (
 	"unsafe"
 
 	"difane/internal/bfd"
+	"difane/internal/cachepolicy"
 	"difane/internal/core"
 	"difane/internal/flowspace"
 	"difane/internal/metrics"
@@ -114,6 +115,12 @@ type Cluster struct {
 	rec  *telemetry.Recorder
 	reg  *telemetry.Registry
 	tsrv *telemetry.Server
+
+	// cachePol is the cost-aware caching policy (nil unless
+	// cfg.CacheEviction == core.EvictCostAware); aggSeq mints aggregation
+	// cover-rule IDs.
+	cachePol *cachepolicy.Policy
+	aggSeq   atomic.Uint64
 
 	closed    atomic.Bool
 	closeOnce sync.Once
@@ -282,6 +289,9 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 	for i := range assign.Partitions {
 		c.failover[i] = assign.FailoverList(i)
 	}
+	if cfg.CacheEviction == core.EvictCostAware {
+		c.cachePol = cachepolicy.New(cachepolicy.Config{})
+	}
 	switch {
 	case cfg.trans != nil:
 		c.trans = cfg.trans
@@ -328,6 +338,9 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 			slot: slot,
 			sw: switchsim.New(id, switchsim.Config{
 				CacheCapacity: cfg.CacheCapacity,
+				CacheEviction: cfg.CacheEviction.TCAMPolicy(),
+				CacheVictim:   c.cacheVictimFn(),
+				TCAMBudget:    cfg.TCAMBudget,
 			}),
 			stats:      &nodeStats{},
 			in:         make([]atomic.Pointer[frameRing], len(cfg.Switches)+1),
@@ -428,6 +441,10 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 		c.wg.Add(1)
 		go c.bfdLoop()
 	}
+	if c.cachePol != nil {
+		c.wg.Add(1)
+		go c.cacheAdaptLoop()
+	}
 	return c, nil
 }
 
@@ -452,7 +469,10 @@ func (c *Cluster) installAssignment() error {
 			if !ok {
 				return fmt.Errorf("wire: authority %d not a cluster switch", h)
 			}
-			n.auths = append(n.auths, core.NewAuthority(h, p, c.cfg.Strategy))
+			auth := core.NewAuthority(h, p, c.cfg.Strategy)
+			auth.RegionIndex = i
+			auth.SetCacheTimeouts(c.cfg.CacheIdle, c.cfg.CacheHard)
+			n.auths = append(n.auths, auth)
 			for _, r := range p.Rules {
 				// Band the partition index into the entry ID so clips of
 				// the same policy rule from two partitions hosted here
