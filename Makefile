@@ -1,5 +1,5 @@
 # The one-command check CI and contributors run before merging.
-.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke cache-ablation-smoke trace-demo fuzz-smoke check chaos-smoke soak soak-smoke soak-diff regen-golden
+.PHONY: verify fmt vet build test bench perf-smoke telemetry-smoke forensics-smoke cache-ablation-smoke trace-demo fuzz-smoke check chaos-smoke soak soak-smoke soak-diff regen-golden
 
 verify: fmt vet build test fuzz-smoke
 
@@ -32,6 +32,15 @@ perf-smoke:
 # flight recorder is one atomic load when disabled.
 telemetry-smoke:
 	go run ./cmd/difane-bench -telemetry-smoke -quick \
+		-compare BENCH_wire.baseline.json
+
+# Price journey sampling: the cache-hit/wire cell with sampling off (held
+# to the same 2% baseline gate — the sampler is one atomic load when off)
+# and at 1-in-256 (held to 5% of the sampling-off run). On failure the
+# journeys a sampled run assembles land in bench-out/ for CI's artifact
+# upload.
+forensics-smoke:
+	go run ./cmd/difane-bench -forensics-smoke -quick \
 		-compare BENCH_wire.baseline.json
 
 # The adaptive-caching gate: the short F6b eviction ablation on a fixed
@@ -80,11 +89,14 @@ soak:
 		-sample 4096 -out bench-out/SOAK_report.json
 
 # CI-sized soak: the same engine with flash-crowd and churn phases on a
-# 30-second wall budget, gated on zero sampled-verdict divergences. CI
-# uploads bench-out/SOAK_smoke.json as an artifact when it fails.
+# 30-second wall budget, gated on zero sampled-verdict divergences plus
+# the forensics gates — 1-in-64 journey sampling must assemble ≥ 99% of
+# sampled packets into complete journeys, and no critical SLO rule may be
+# firing at the end. CI uploads bench-out/SOAK_smoke.json when it fails.
 soak-smoke:
 	go run ./cmd/difane-soak -smoke -subscribers 262144 -rate 4000 \
 		-duration 16 -sample 1024 -wall-budget 30s \
+		-trace-sample 64 -journey-gate 0.99 \
 		-out bench-out/SOAK_smoke.json
 
 # Long differential soak — not part of tier-1. Failing-seed reports land in

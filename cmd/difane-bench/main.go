@@ -23,9 +23,18 @@
 // measurable when it is disabled:
 //
 //	difane-bench -telemetry-smoke [-quick] [-seed N] [-compare BENCH_wire.baseline.json]
+//
+// With -forensics-smoke it prices journey sampling: the cache-hit/wire
+// cell with sampling off (held to the same 2% baseline gate) and at
+// 1-in-256 (held to 5% of the sampling-off run). On a gate failure the
+// assembled journeys of a sampled run land next to -out for CI's
+// artifact upload:
+//
+//	difane-bench -forensics-smoke [-quick] [-seed N] [-compare BENCH_wire.baseline.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,11 +58,15 @@ func main() {
 	compare := flag.String("compare", "", "baseline report to diff the -wire run against (exit 1 on regression)")
 	allocBudget := flag.Float64("alloc-budget", perf.DefaultAllocBudget, "absolute cache-hit wire allocs/op ceiling for -wire (0 disables)")
 	telemetrySmoke := flag.Bool("telemetry-smoke", false, "price the telemetry layer: cache-hit/wire with tracing off vs on, 2% disabled-overhead gate vs -compare")
+	forensicsSmoke := flag.Bool("forensics-smoke", false, "price journey sampling: cache-hit/wire with sampling off (2% gate vs -compare) and at 1-in-256 (5% gate vs off)")
 	cacheSmoke := flag.Bool("cache-ablation-smoke", false, "run the F6b eviction ablation and fail unless cost-aware miss rate <= LRU at every TCAM budget")
 	flag.Parse()
 
 	if *telemetrySmoke {
 		os.Exit(runTelemetrySmoke(*quick, *seed, *compare))
+	}
+	if *forensicsSmoke {
+		os.Exit(runForensicsSmoke(*quick, *seed, *compare, *out))
 	}
 	if *cacheSmoke {
 		os.Exit(runCacheAblationSmoke(*quick, *seed, *out))
@@ -305,17 +318,7 @@ func runTelemetrySmoke(quick bool, seed int64, compare string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	// The smoke measures one cell; drop the baseline's other rows so
-	// Compare doesn't flag them as missing.
-	filtered := &perf.Report{
-		Version: base.Version, Quick: base.Quick, Seed: base.Seed,
-		GoMaxProcs: base.GoMaxProcs,
-	}
-	for _, r := range base.Results {
-		if r.Workload == perf.WorkloadCacheHit && r.Backend == perf.BackendWire {
-			filtered.Results = append(filtered.Results, r)
-		}
-	}
+	filtered := filterCacheHitWire(base)
 	if len(filtered.Results) == 0 {
 		fmt.Fprintf(os.Stderr, "telemetry smoke: %s has no %s/%s row to gate against\n",
 			compare, perf.WorkloadCacheHit, perf.BackendWire)
@@ -345,4 +348,165 @@ func runTelemetrySmoke(quick bool, seed int64, compare string) int {
 	}
 	fmt.Printf("tracing-off overhead within gate vs %s\n", compare)
 	return 0
+}
+
+// filterCacheHitWire keeps only the cache-hit/wire row of a baseline
+// report — the one-cell smokes gate against a full report, and Compare
+// would flag every other row as missing.
+func filterCacheHitWire(base *perf.Report) *perf.Report {
+	filtered := &perf.Report{
+		Version: base.Version, Quick: base.Quick, Seed: base.Seed,
+		GoMaxProcs: base.GoMaxProcs,
+	}
+	for _, r := range base.Results {
+		if r.Workload == perf.WorkloadCacheHit && r.Backend == perf.BackendWire {
+			filtered.Results = append(filtered.Results, r)
+		}
+	}
+	return filtered
+}
+
+// runForensicsSmoke prices journey sampling on the cache-hit/wire cell:
+// the sampling-off run must hold the telemetry layer's 2% gate against
+// the committed baseline, and 1-in-256 sampling may cost at most 5%
+// against the sampling-off run. When a gate fails, the journeys a sampled
+// run assembles are written next to -out so CI uploads them as the
+// debugging artifact.
+func runForensicsSmoke(quick bool, seed int64, compare, out string) int {
+	const (
+		sampleN    = 256
+		sampleGate = 0.05
+	)
+	cfg := perf.Full()
+	if quick {
+		cfg = perf.Quick()
+	}
+	cfg.Seed = seed
+	cfg.Backends = []string{perf.BackendWire}
+	cfg.Workloads = []string{perf.WorkloadCacheHit}
+
+	start := time.Now()
+	off, err := perf.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cfgOn := cfg
+	cfgOn.Telemetry = wire.TelemetryConfig{Tracing: true, TraceSample: sampleN, TraceBuffer: 1 << 16}
+	on, err := perf.Run(cfgOn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	overhead := func() float64 {
+		offR, onR := off.Results[0], on.Results[0]
+		if offR.PktsPerSec <= 0 {
+			return 0
+		}
+		return (offR.PktsPerSec - onR.PktsPerSec) / offR.PktsPerSec
+	}
+	fmt.Printf("forensics smoke (cache-hit/wire, seed %d):\n", seed)
+	fmt.Printf("  sampling off:    %10.0f pkts/s  %6.1f allocs/op\n",
+		off.Results[0].PktsPerSec, off.Results[0].AllocsPerOp)
+	fmt.Printf("  sampling 1/%d:  %10.0f pkts/s  %6.1f allocs/op  (%.1f%% overhead)\n",
+		sampleN, on.Results[0].PktsPerSec, on.Results[0].AllocsPerOp, 100*overhead())
+
+	// Confirm-on-failure for the 5% sampled gate: wall-clock ratios on
+	// shared hardware need fresh measurements of both sides before they
+	// may fail the build.
+	for attempt := 0; overhead() > sampleGate && attempt < 2; attempt++ {
+		fmt.Printf("possible sampling overhead; re-measuring to confirm (attempt %d/3)\n", attempt+2)
+		offAgain, err := perf.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		off = perf.MergeBest(off, offAgain)
+		onAgain, err := perf.Run(cfgOn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		on = perf.MergeBest(on, onAgain)
+	}
+	failed := false
+	if ov := overhead(); ov > sampleGate {
+		fmt.Fprintf(os.Stderr, "FORENSICS GATE: 1-in-%d sampling costs %.1f%% on cache-hit/wire (gate %.0f%%)\n",
+			sampleN, 100*ov, 100*sampleGate)
+		failed = true
+	}
+
+	if compare != "" {
+		// The sampling-off run must also hold the telemetry layer's 2%
+		// disabled gate — the sampler is one atomic load when off.
+		base, err := perf.LoadReport(compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		filtered := filterCacheHitWire(base)
+		if len(filtered.Results) == 0 {
+			fmt.Fprintf(os.Stderr, "forensics smoke: %s has no %s/%s row to gate against\n",
+				compare, perf.WorkloadCacheHit, perf.BackendWire)
+			return 1
+		}
+		tol := perf.DefaultTolerance()
+		tol.Throughput, tol.Allocs = 0.02, 0.02
+		regs := perf.Compare(filtered, off, tol)
+		for attempt := 0; len(regs) > 0 && attempt < 2; attempt++ {
+			fmt.Printf("possible sampling-off overhead; re-measuring to confirm (attempt %d/3)\n", attempt+2)
+			again, err := perf.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+			off = perf.MergeBest(off, again)
+			regs = perf.Compare(filtered, off, tol)
+		}
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "FORENSICS GATE (sampling off) vs %s:\n", compare)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			failed = true
+		}
+	}
+	fmt.Printf("(forensics smoke completed in %v)\n", time.Since(start).Round(time.Millisecond))
+
+	if failed {
+		writeJourneyArtifact(cfg, sampleN, out)
+		return 1
+	}
+	fmt.Printf("sampling-off within gate; 1-in-%d sampling %.1f%% (gate %.0f%%)\n",
+		sampleN, 100*overhead(), 100*sampleGate)
+	return 0
+}
+
+// writeJourneyArtifact replays one sampled cache-hit run and drops the
+// assembled journeys next to -out for the CI artifact upload.
+func writeJourneyArtifact(cfg perf.Config, sampleN int, out string) {
+	art, err := perf.JourneyArtifact(cfg, sampleN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	dir := "bench-out"
+	if out != "" {
+		dir = filepath.Dir(out)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	path := filepath.Join(dir, "forensics_journeys.json")
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "journey artifact written to %s\n", path)
 }

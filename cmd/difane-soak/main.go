@@ -9,6 +9,7 @@
 //
 //	difane-soak [-subscribers N] [-rate R] [-duration SEC] [-sample N]
 //	            [-smoke] [-wall-budget DUR] [-out FILE] [-seed N]
+//	            [-trace-sample N] [-journey-gate FRAC]
 //
 // The default script is steady → churn-spike → flash-crowd → scan →
 // steady over -duration modeled seconds; -smoke swaps in the CI-sized
@@ -43,6 +44,9 @@ func main() {
 	cache := flag.Int("cache", 2048, "per-switch ingress cache capacity (0 = unlimited)")
 	seed := flag.Int64("seed", 42, "seed for policy, sessions, and phases")
 	smoke := flag.Bool("smoke", false, "run the CI-sized smoke script (steady, churn, flash crowd, settle)")
+	traceSample := flag.Int("trace-sample", 0, "trace 1 in N packets into end-to-end journeys (0 disables)")
+	traceBuffer := flag.Int("trace-buffer", 1<<16, "per-node flight-recorder ring capacity in events")
+	journeyGate := flag.Float64("journey-gate", 0, "fail if journey completeness falls below this fraction (0 disables; needs -trace-sample)")
 	wallBudget := flag.Duration("wall-budget", 0, "stop after this much real time (0 = run the script out)")
 	out := flag.String("out", "bench-out/SOAK_report.json", "where the JSON report is written")
 	metricsAddr := flag.String("metrics", "", "serve the cluster ops surface on this address during the soak")
@@ -53,7 +57,12 @@ func main() {
 		Rules:         *rules,
 		CacheCapacity: *cache,
 		Seed:          *seed,
-		Telemetry:     wire.TelemetryConfig{Addr: *metricsAddr},
+		Telemetry: wire.TelemetryConfig{
+			Addr:        *metricsAddr,
+			Tracing:     *traceSample > 0,
+			TraceSample: *traceSample,
+			TraceBuffer: *traceBuffer,
+		},
 	}
 	d, spec, err := setup.Deploy()
 	if err != nil {
@@ -80,6 +89,11 @@ func main() {
 		Phases:      phases,
 		SampleEvery: *sample,
 		WallBudget:  *wallBudget,
+		TraceSample: *traceSample,
+		JourneyGate: *journeyGate,
+		Log: func(format string, args ...any) {
+			fmt.Printf("difane-soak: "+format+"\n", args...)
+		},
 	}
 
 	start := time.Now()
@@ -99,8 +113,12 @@ func main() {
 		fmt.Printf("report written to %s\n", *out)
 	}
 	if rep.Failed() {
-		fmt.Fprintf(os.Stderr, "difane-soak: FAILED — %d divergences, accounting=%q (seed %d)\n",
-			len(rep.Divergences), rep.AccountingError, *seed)
+		critical := 0
+		if rep.Health != nil {
+			critical = rep.Health.Critical
+		}
+		fmt.Fprintf(os.Stderr, "difane-soak: FAILED — %d divergences, accounting=%q, journey-gate=%q, %d critical health rules (seed %d)\n",
+			len(rep.Divergences), rep.AccountingError, rep.JourneyGateError, critical, *seed)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,137 @@
+package main
+
+// `difanectl journey` renders end-to-end packet journeys assembled by a
+// cluster's /journeys endpoint: every span a sampled packet left across
+// the nodes it touched, joined on trace ID and told as one story.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"difane/internal/telemetry"
+)
+
+// journeysResponse mirrors telemetry.JourneysResponse for decoding.
+type journeysResponse struct {
+	NowNS    int64                   `json:"now_ns"`
+	Enabled  bool                    `json:"enabled"`
+	Sampled  bool                    `json:"sampled"`
+	Stats    telemetry.JourneyStats  `json:"stats"`
+	Journeys []telemetry.JourneyJSON `json:"journeys"`
+}
+
+func fetchJourneys(addr string, params url.Values) (*journeysResponse, error) {
+	u := "http://" + addr + "/journeys"
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	resp, err := httpClient().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var jr journeysResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		return nil, fmt.Errorf("decoding /journeys response: %w", err)
+	}
+	return &jr, nil
+}
+
+// runJourney is `difanectl journey`: answer "why was this packet slow or
+// dropped" in one command.
+func runJourney(args []string) int {
+	fs := flag.NewFlagSet("journey", flag.ExitOnError)
+	addr := fs.String("addr", "", "telemetry endpoint (host:port), required")
+	flow := fs.Uint64("flow", 0, "only journeys of this flow hash")
+	trace := fs.Uint64("trace", 0, "only the journey with this trace ID")
+	dropped := fs.Bool("dropped", false, "only journeys that ended in a drop or shed")
+	slowest := fs.Bool("slowest", false, "order by delivery latency, slowest first")
+	limit := fs.Int("limit", 16, "max journeys to print (0 = all)")
+	asJSON := fs.Bool("json", false, "print the raw /journeys response")
+	_ = fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "journey: -addr is required (see `difanectl serve`)")
+		return 2
+	}
+
+	params := url.Values{}
+	if *flow != 0 {
+		params.Set("flow", fmt.Sprint(*flow))
+	}
+	if *trace != 0 {
+		params.Set("trace", fmt.Sprint(*trace))
+	}
+	if *dropped {
+		params.Set("dropped", "1")
+	}
+	if *slowest {
+		params.Set("slowest", "1")
+	}
+	params.Set("limit", fmt.Sprint(*limit))
+
+	jr, err := fetchJourneys(*addr, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "journey:", err)
+		return 1
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(jr)
+		return 0
+	}
+	if !jr.Enabled {
+		fmt.Println("(tracing is disabled on this cluster; enable Telemetry.Tracing and set TraceSample)")
+	}
+	if !jr.Sampled {
+		fmt.Println("no sampled journeys (set Telemetry.TraceSample, e.g. 64 for 1-in-64)")
+		return 0
+	}
+	s := jr.Stats
+	fmt.Printf("%d journeys: %d complete, %d gapped (ring wrapped), %d in flight, %d unexplained (%.1f%% completeness)\n",
+		s.Total, s.Complete, s.Gapped, s.InFlight, s.Unexplained, 100*s.Completeness())
+	for _, j := range jr.Journeys {
+		printJourney(j)
+	}
+	return 0
+}
+
+// printJourney renders one journey: a summary header plus its spans in
+// global timestamp order.
+func printJourney(j telemetry.JourneyJSON) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x", j.Trace)
+	if j.Src != "" || j.Dst != "" {
+		fmt.Fprintf(&b, "  %s -> %s", j.Src, j.Dst)
+	}
+	switch {
+	case j.Complete && !j.Dropped:
+		fmt.Fprintf(&b, "  delivered in %s", time.Duration(j.LatencyNS))
+	case j.Complete:
+		fmt.Fprintf(&b, "  %s after %s", j.Terminal, time.Duration(j.LatencyNS))
+	case j.Gap:
+		b.WriteString("  incomplete (ring wrapped over its window)")
+	case j.InFlight:
+		b.WriteString("  in flight")
+	default:
+		b.WriteString("  incomplete (unexplained)")
+	}
+	fmt.Println(b.String())
+	for _, e := range orderEvents(j.Events) {
+		fmt.Println("  " + formatEvent(e))
+	}
+}

@@ -13,13 +13,16 @@
 //	difanectl metrics -addr host:port [-json]
 //	difanectl ha -addr host:port [-json]
 //	difanectl trace -addr host:port [-follow] [-story] [filters...]
+//	difanectl journey -addr host:port [-flow H | -trace ID] [-slowest] [-dropped] [-limit N]
 //
 // serve boots a demo wire cluster with the telemetry HTTP endpoint bound
 // and traffic flowing; metrics scrapes its /metrics (Prometheus text) or
 // /vars (JSON); ha renders /ha — the controller replica set, leader and
 // fencing epoch, and every switch's BFD session; trace dumps the flight
 // recorder, follows it live, or — with -story and a flow filter —
-// reconstructs a single flow's hop-by-hop journey through the cluster.
+// reconstructs a single flow's hop-by-hop journey through the cluster;
+// journey renders /journeys — sampled packets' end-to-end stories joined
+// across nodes on trace ID, answering "why was this packet slow/dropped".
 //
 // Commands (stdin, one per line; (sim) marks simulator-only commands,
 // (wire) wire-only):
@@ -82,6 +85,8 @@ func main() {
 			os.Exit(runCheck(os.Args[2:]))
 		case "trace":
 			os.Exit(runTrace(os.Args[2:]))
+		case "journey":
+			os.Exit(runJourney(os.Args[2:]))
 		case "metrics":
 			os.Exit(runMetrics(os.Args[2:]))
 		case "ha":

@@ -148,6 +148,10 @@ func formatEvent(e telemetry.EventJSON) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%12.3fms  %-9s %-15s", float64(e.TS)/1e6, nodeName(e.Node), e.Kind)
 	switch e.Kind {
+	case "ingress":
+		b.WriteString(" packet entered the data plane")
+	case "install-triggered":
+		fmt.Fprintf(&b, " cache rule %d decided for sw%d", e.RuleID, e.Peer)
 	case "forward":
 		fmt.Fprintf(&b, " -> sw%d", e.Peer)
 		if e.Table != "" {
@@ -190,8 +194,29 @@ func nodeName(id uint32) string {
 	return fmt.Sprintf("sw%d", id)
 }
 
+// orderEvents returns evs merged into global timestamp order with a
+// stable node-ID tie-break (then per-node sequence). The server usually
+// sorts, but a story stitched from per-node rings must not depend on it:
+// without the node tie-break, same-timestamp events from different nodes
+// interleave in whatever order the rings were snapshotted.
+func orderEvents(evs []telemetry.EventJSON) []telemetry.EventJSON {
+	out := append([]telemetry.EventJSON(nil), evs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
 // printStory narrates a flow's events grouped by flow hash, so one filter
-// that matches several flows prints several stories.
+// that matches several flows prints several stories. Each story's events
+// are merged across nodes into global timestamp order.
 func printStory(tr *traceResponse) {
 	byFlow := make(map[uint64][]telemetry.EventJSON)
 	var order []uint64
@@ -207,6 +232,9 @@ func printStory(tr *traceResponse) {
 	if len(order) == 0 {
 		fmt.Println("no flow events matched (is tracing enabled and traffic flowing?)")
 		return
+	}
+	for h := range byFlow {
+		byFlow[h] = orderEvents(byFlow[h])
 	}
 	sort.Slice(order, func(i, j int) bool { return byFlow[order[i]][0].TS < byFlow[order[j]][0].TS })
 	for _, h := range order {
@@ -262,6 +290,7 @@ func runServe(args []string) int {
 	switches := fs.Int("switches", 8, "cluster size")
 	replicas := fs.Int("replicas", 3, "controller replicas (>= 2 enables leader election; /ha shows the set)")
 	tracing := fs.Bool("trace", true, "start with the flight recorder enabled")
+	traceSample := fs.Int("trace-sample", 64, "trace 1 in N packets into end-to-end journeys (0 disables)")
 	duration := fs.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
 	seed := fs.Int64("seed", 1, "traffic generator seed")
 	rate := fs.Int("rate", 2000, "injected packets per second")
@@ -294,7 +323,9 @@ func runServe(args []string) int {
 		CacheCapacity: 256,
 		QueueDepth:    8192,
 		HA:            difane.HAConfig{Replicas: *replicas},
-		Telemetry:     difane.TelemetryConfig{Addr: *addr, Tracing: *tracing},
+		Telemetry: difane.TelemetryConfig{
+			Addr: *addr, Tracing: *tracing, TraceSample: *traceSample,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -307,6 +338,9 @@ func runServe(args []string) int {
 	fmt.Printf("telemetry at http://%s  (try /metrics /vars /trace /status)\n", bound)
 	fmt.Printf("  difanectl metrics -addr %s\n", bound)
 	fmt.Printf("  difanectl trace -addr %s -follow\n", bound)
+	if *traceSample > 0 {
+		fmt.Printf("  difanectl journey -addr %s -slowest\n", bound)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)

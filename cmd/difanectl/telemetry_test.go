@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+
+	"difane/internal/telemetry"
+)
+
+// orderEvents must merge per-node event streams into global timestamp
+// order, breaking timestamp ties by node ID and then per-node sequence —
+// a stable total order no matter how the server interleaved the rings.
+func TestOrderEventsGlobalOrder(t *testing.T) {
+	in := []telemetry.EventJSON{
+		// Node 3's ring snapshotted first: its events arrive before node
+		// 1's despite carrying later timestamps.
+		{Seq: 10, TS: 500, Kind: "authority", Node: 3},
+		{Seq: 11, TS: 900, Kind: "verdict", Node: 3},
+		{Seq: 7, TS: 100, Kind: "ingress", Node: 1},
+		{Seq: 8, TS: 300, Kind: "redirect", Node: 1},
+		// A timestamp tie across nodes: node 1 must sort before node 2.
+		{Seq: 4, TS: 700, Kind: "install", Node: 2},
+		{Seq: 9, TS: 700, Kind: "forward", Node: 1},
+		// A tie within one node resolves by sequence.
+		{Seq: 3, TS: 700, Kind: "evict", Node: 2},
+	}
+	got := orderEvents(in)
+
+	wantKinds := []string{"ingress", "redirect", "authority", "forward", "evict", "install", "verdict"}
+	if len(got) != len(wantKinds) {
+		t.Fatalf("got %d events, want %d", len(got), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if got[i].Kind != k {
+			t.Errorf("position %d: got %s (node %d ts %d), want %s",
+				i, got[i].Kind, got[i].Node, got[i].TS, k)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a.TS > b.TS {
+			t.Errorf("timestamps out of order at %d: %d > %d", i, a.TS, b.TS)
+		}
+		if a.TS == b.TS && a.Node > b.Node {
+			t.Errorf("node tie-break violated at %d: node %d before %d at ts %d", i, a.Node, b.Node, a.TS)
+		}
+		if a.TS == b.TS && a.Node == b.Node && a.Seq > b.Seq {
+			t.Errorf("seq tie-break violated at %d", i)
+		}
+	}
+
+	// The input must not be mutated (printStory reuses the response).
+	if in[0].Kind != "authority" || in[2].Kind != "ingress" {
+		t.Error("orderEvents mutated its input")
+	}
+}

@@ -386,6 +386,39 @@ type MetricRegistry = telemetry.Registry
 // TraceNode wraps a switch ID for TraceFilter.Node (nil means any node).
 func TraceNode(id uint32) *uint32 { return telemetry.Node(id) }
 
+// Journey is one sampled packet's end-to-end story: its spans from every
+// node it touched, joined on a shared trace ID and told in causal order.
+type Journey = telemetry.Journey
+
+// JourneyFilter selects assembled journeys by flow, trace ID, and
+// outcome, and controls ordering and truncation.
+type JourneyFilter = telemetry.JourneyFilter
+
+// JourneyStats classifies one assembly pass — complete, gapped (a trace
+// ring wrapped over the window), in-flight, unexplained — and yields the
+// completeness ratio the soak gate enforces.
+type JourneyStats = telemetry.JourneyStats
+
+// EpochTimeline is one policy update's convergence window: first fenced
+// FlowMod to quiescence, with the installs, withdrawals, rejects, and
+// disturbed traffic attributed to it.
+type EpochTimeline = telemetry.EpochTimeline
+
+// HealthRule is one declarative SLO judged by the runtime watchdog over
+// windowed metric deltas.
+type HealthRule = telemetry.HealthRule
+
+// HealthConfig tunes the default watchdog rules' thresholds and floors.
+type HealthConfig = telemetry.HealthConfig
+
+// RuleStatus is a watchdog rule's latest verdict: firing, value, detail,
+// and since when.
+type RuleStatus = telemetry.RuleStatus
+
+// HealthSummary aggregates the watchdog's state — evals, firing, and
+// critical counts; soak runs fail on a critical rule still firing.
+type HealthSummary = telemetry.HealthSummary
+
 // --- Drivers -----------------------------------------------------------------
 
 // Deployment is the uniform driving surface of every backend — the

@@ -46,6 +46,16 @@ type Config struct {
 	// RuleIdle / RuleHard are the microflow rule timeouts.
 	RuleIdle float64
 	RuleHard float64
+
+	// Tracing enables the flight recorder from construction (also
+	// toggleable via SetTracing); TraceBuffer sizes each node's event ring
+	// (default 4096).
+	Tracing     bool
+	TraceBuffer int
+	// TraceSample is the 1-in-N per-packet trace-ID sampling rate feeding
+	// journey assembly (0 = off). The same hash as the DIFANE backends, so
+	// all three sample the same packets of a replayed workload.
+	TraceSample int
 }
 
 // Network is a reactive-controller deployment over a topology.
@@ -72,6 +82,10 @@ type Network struct {
 	// architectures through one code path.
 	Observer func(core.VerdictEvent)
 
+	// Forensics: flight recorder + per-packet trace sampler.
+	rec     *telemetry.Recorder
+	sampler *telemetry.Sampler
+
 	// telReg is the lazily-built metric registry behind Telemetry().
 	telOnce sync.Once
 	telReg  *telemetry.Registry
@@ -97,13 +111,17 @@ func NewNetwork(g *topo.Graph, policy []flowspace.Rule, cfg Config) (*Network, e
 		nextRuleID: 1 << 40,
 	}
 	n.ctrl = sim.NewStation(n.Eng, cfg.ControllerRate, cfg.ControllerQueue)
+	nodes := make([]uint32, 0, len(g.Nodes()))
 	for _, id := range g.Nodes() {
 		n.Switches[uint32(id)] = switchsim.New(uint32(id), switchsim.Config{
 			CacheCapacity: cfg.CacheCapacity,
 			CacheEviction: cfg.CacheEviction.TCAMPolicy(),
 			TCAMBudget:    cfg.TCAMBudget,
 		})
+		nodes = append(nodes, uint32(id))
 	}
+	n.rec = telemetry.NewRecorder(nodes, cfg.TraceBuffer, cfg.Tracing)
+	n.sampler = telemetry.NewSampler(cfg.TraceSample)
 	return n, nil
 }
 
@@ -122,43 +140,60 @@ func (n *Network) InjectBatch(batch []core.PacketIn) {
 
 func (n *Network) process(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
 	now := n.Eng.Now()
+	trace := n.traceID(k, seq)
+	if trace != 0 {
+		n.span(telemetry.Event{Kind: telemetry.EvIngress, Node: ingress, Trace: trace, Flow: tupleOfKey(k)})
+	}
 	sw, ok := n.Switches[ingress]
 	if !ok || !n.Topo.NodeUp(topo.NodeID(ingress)) {
 		n.M.Drops.Unreachable++
-		n.emit(core.VerdictUnreachable, k, seq, 0)
+		n.finish(core.VerdictUnreachable, ingress, k, seq, 0, trace, 0)
 		return
 	}
 	sw.Advance(now)
 	if res := sw.Classify(now, k, size); res.OK {
-		n.applyAction(injected, ingress, k, res.Rule.Action, seq)
+		if trace != 0 {
+			n.span(telemetry.Event{Kind: telemetry.EvForward, Node: ingress, Peer: res.Rule.Action.Arg,
+				Table: uint8(proto.TableCache), RuleID: res.Rule.ID, Trace: trace, Flow: tupleOfKey(k)})
+		}
+		n.applyAction(injected, ingress, k, res.Rule.Action, seq, trace)
 		return
 	}
 	// Miss: punt to the controller (packet-in), wait for service, then the
-	// rule comes back (flow-mod + packet-out) and the packet proceeds.
+	// rule comes back (flow-mod + packet-out) and the packet proceeds. In
+	// span vocabulary the punt is a redirect whose peer is the controller.
 	dIC, ok := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(n.cfg.ControllerNode))
 	if !ok {
 		n.M.Drops.Unreachable++
-		n.emit(core.VerdictUnreachable, k, seq, 0)
+		n.finish(core.VerdictUnreachable, ingress, k, seq, 0, trace, 0)
 		return
+	}
+	if trace != 0 {
+		n.span(telemetry.Event{Kind: telemetry.EvRedirect, Node: ingress, Peer: n.cfg.ControllerNode,
+			Trace: trace, Flow: tupleOfKey(k)})
 	}
 	n.Eng.At(now+dIC, func() {
 		accepted := n.ctrl.Submit(func(done float64) {
-			n.controllerHandle(injected, ingress, k, size, seq, dIC)
+			n.controllerHandle(injected, ingress, k, size, seq, dIC, trace)
 		})
 		if !accepted {
 			n.M.Drops.AuthorityQueue++ // controller queue, same bucket
-			n.emit(core.VerdictQueueDrop, k, seq, 0)
+			n.finish(core.VerdictQueueDrop, n.cfg.ControllerNode, k, seq, 0, trace, 0)
 		}
 	})
 }
 
-func (n *Network) controllerHandle(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64, dIC float64) {
+func (n *Network) controllerHandle(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64, dIC float64, trace uint64) {
 	n.ControllerSetups++
 	rule, ok := flowspace.EvalTable(n.policy, k)
 	if !ok {
 		n.M.Drops.Hole++
-		n.emit(core.VerdictHole, k, seq, 0)
+		n.finish(core.VerdictHole, n.cfg.ControllerNode, k, seq, 0, trace, 0)
 		return
+	}
+	if trace != 0 {
+		n.span(telemetry.Event{Kind: telemetry.EvAuthority, Node: n.cfg.ControllerNode, Peer: ingress,
+			RuleID: rule.ID, Trace: trace, Flow: tupleOfKey(k)})
 	}
 	// Exact-match microflow rule back to the ingress switch.
 	n.nextRuleID++
@@ -174,12 +209,16 @@ func (n *Network) controllerHandle(injected float64, ingress uint32, k flowspace
 		mod := proto.FlowMod{Table: proto.TableCache, Op: proto.OpAdd, Rule: exact,
 			Idle: n.cfg.RuleIdle, Hard: n.cfg.RuleHard}
 		_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
+		if trace != 0 {
+			n.span(telemetry.Event{Kind: telemetry.EvInstall, Node: ingress,
+				Table: uint8(proto.TableCache), RuleID: exact.ID, Trace: trace})
+		}
 		// The buffered packet is released and follows the rule.
-		n.applyAction(injected, ingress, k, rule.Action, seq)
+		n.applyAction(injected, ingress, k, rule.Action, seq, trace)
 	})
 }
 
-func (n *Network) applyAction(injected float64, ingress uint32, k flowspace.Key, a flowspace.Action, seq uint64) {
+func (n *Network) applyAction(injected float64, ingress uint32, k flowspace.Key, a flowspace.Action, seq uint64, trace uint64) {
 	now := n.Eng.Now()
 	switch a.Kind {
 	case flowspace.ActDrop:
@@ -187,18 +226,18 @@ func (n *Network) applyAction(injected float64, ingress uint32, k flowspace.Key,
 		if seq == 0 {
 			n.M.SetupsCompleted++
 		}
-		n.emit(core.VerdictPolicyDrop, k, seq, 0)
+		n.finish(core.VerdictPolicyDrop, ingress, k, seq, 0, trace, 0)
 	case flowspace.ActForward, flowspace.ActCount:
 		d, ok := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(a.Arg))
 		if !ok {
 			n.M.Drops.Unreachable++
-			n.emit(core.VerdictUnreachable, k, seq, 0)
+			n.finish(core.VerdictUnreachable, ingress, k, seq, 0, trace, 0)
 			return
 		}
 		n.Eng.At(now+d, func() {
 			n.M.Delivered++
-			n.emit(core.VerdictDelivered, k, seq, a.Arg)
 			delay := n.Eng.Now() - injected
+			n.finish(core.VerdictDelivered, a.Arg, k, seq, a.Arg, trace, uint64(delay*1e9))
 			if seq == 0 {
 				n.M.FirstPacketDelay.Add(delay)
 				n.M.SetupsCompleted++
@@ -208,7 +247,7 @@ func (n *Network) applyAction(injected float64, ingress uint32, k flowspace.Key,
 		})
 	default:
 		n.M.Drops.Hole++
-		n.emit(core.VerdictHole, k, seq, 0)
+		n.finish(core.VerdictHole, ingress, k, seq, 0, trace, 0)
 	}
 }
 

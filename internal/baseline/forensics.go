@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"difane/internal/core"
+	"difane/internal/flowspace"
+	"difane/internal/telemetry"
+)
+
+// The baseline carries the same forensics layer as the DIFANE backends —
+// flight recorder, trace sampler, journey assembly — so `difanectl journey`
+// reads a reactive deployment exactly like a DIFANE one. The span shapes
+// reuse the DIFANE vocabulary: the punt to the controller is a "redirect"
+// (Peer = the controller's node) and the controller's policy evaluation an
+// "authority" hit, which keeps one renderer honest for both architectures.
+
+// vnow is the recorder timestamp for the current virtual instant, floored
+// at 1 so Recorder.Publish never mistakes t=0 for "stamp me with wall time".
+func (n *Network) vnow() int64 {
+	ts := int64(n.Eng.Now() * 1e9)
+	if ts <= 0 {
+		ts = 1
+	}
+	return ts
+}
+
+func tupleOfKey(k flowspace.Key) telemetry.FlowTuple {
+	return telemetry.Tuple(
+		uint32(k[flowspace.FIPSrc]), uint32(k[flowspace.FIPDst]),
+		uint16(k[flowspace.FTPSrc]), uint16(k[flowspace.FTPDst]),
+		uint8(k[flowspace.FIPProto]))
+}
+
+// traceID mints the packet's trace ID, or 0 when unsampled. Cost with
+// sampling off: one atomic load.
+func (n *Network) traceID(k flowspace.Key, seq uint64) uint64 {
+	if n.sampler.Rate() == 0 {
+		return 0
+	}
+	return n.sampler.TraceID(tupleOfKey(k).Hash, seq)
+}
+
+// span publishes one trace event stamped with the current virtual time.
+func (n *Network) span(ev telemetry.Event) {
+	if !n.rec.Enabled() {
+		return
+	}
+	if ev.TS == 0 {
+		ev.TS = n.vnow()
+	}
+	n.rec.Publish(ev)
+}
+
+// finish reports a packet's terminal outcome: the Observer emit plus a
+// terminal verdict span at the deciding node when the packet is sampled.
+func (n *Network) finish(kind core.VerdictKind, node uint32, k flowspace.Key, seq uint64, egress uint32, trace uint64, latNS uint64) {
+	n.emit(kind, k, seq, egress)
+	if trace != 0 && n.rec.Enabled() {
+		n.span(telemetry.Event{
+			Kind:    telemetry.EvVerdict,
+			Node:    node,
+			Verdict: core.VerdictCode(kind),
+			Value:   latNS,
+			Trace:   trace,
+			Flow:    tupleOfKey(k),
+		})
+	}
+}
+
+// Recorder exposes the network's flight recorder.
+func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
+
+// SetTracing toggles the flight recorder at runtime.
+func (n *Network) SetTracing(on bool) { n.rec.SetEnabled(on) }
+
+// SetTraceSample changes the 1-in-N per-packet trace sampling rate at
+// runtime (0 = off).
+func (n *Network) SetTraceSample(rate int) { n.sampler.SetRate(rate) }
+
+// TraceSampleRate returns the current 1-in-N sampling rate (0 = off).
+func (n *Network) TraceSampleRate() int { return n.sampler.Rate() }
+
+// Journeys assembles end-to-end packet journeys from the flight recorder.
+// The filter's freshness clock defaults to the current virtual time.
+func (n *Network) Journeys(f telemetry.JourneyFilter) ([]telemetry.Journey, telemetry.JourneyStats) {
+	if f.NowNS == 0 {
+		f.NowNS = n.vnow()
+	}
+	return telemetry.AssembleJourneys(n.rec, f)
+}

@@ -7,8 +7,8 @@ import (
 
 // Telemetry returns one scrape of the baseline's metric registry — the
 // same schema core.RegisterMeasurements gives the DIFANE backends, plus
-// the reactive controller's own setup counter. The baseline has no flight
-// recorder, so the trace accounting in the snapshot is zero.
+// the reactive controller's own setup counter and the flight recorder's
+// trace accounting.
 func (n *Network) Telemetry() *telemetry.Snapshot {
 	n.telOnce.Do(func() {
 		reg := telemetry.NewRegistry()
@@ -16,7 +16,21 @@ func (n *Network) Telemetry() *telemetry.Snapshot {
 		reg.RegisterFunc("difane_controller_setups_total",
 			"Flow setups the reactive controller processed.", telemetry.TypeCounter,
 			func() float64 { return float64(n.ControllerSetups) })
+		reg.RegisterFunc("difane_trace_enabled",
+			"1 while the flight recorder accepts events.", telemetry.TypeGauge,
+			func() float64 {
+				if n.rec.Enabled() {
+					return 1
+				}
+				return 0
+			})
+		reg.RegisterFunc("difane_trace_writes_total",
+			"Events ever published to the flight recorder.", telemetry.TypeCounter,
+			func() float64 { return float64(n.rec.Stats().Writes) })
+		reg.RegisterFunc("difane_trace_sample",
+			"Per-packet trace sampling rate (1-in-N, 0 = off).", telemetry.TypeGauge,
+			func() float64 { return float64(n.sampler.Rate()) })
 		n.telReg = reg
 	})
-	return &telemetry.Snapshot{Metrics: n.telReg.Snapshot()}
+	return &telemetry.Snapshot{Metrics: n.telReg.Snapshot(), Trace: n.rec.Stats()}
 }

@@ -78,8 +78,14 @@ func (c *Controller) UpdatePolicy(policy []flowspace.Rule) (float64, error) {
 		return 0, err
 	}
 	at := c.net.Eng.Now() + c.PolicyPushDelay
+	c.gen++
+	generation := c.gen << 32
 	c.net.Eng.At(at, func() {
-		c.net.reinstall(policy, assign)
+		n := c.net
+		installs, deletes := n.M.PolicyRuleInstalls, n.M.PolicyRuleDeletes
+		n.reinstall(policy, assign)
+		n.noteMods(generation, false, n.M.PolicyRuleInstalls-installs)
+		n.noteMods(generation, true, n.M.PolicyRuleDeletes-deletes)
 		c.PolicyVersion++
 		c.logState()
 	})
@@ -130,6 +136,7 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 	generation := c.gen << 32
 	staged := stageAssignment(assign, generation)
 	n.Eng.At(installAt, func() {
+		var installed uint64
 		for i, p := range staged.Partitions {
 			for _, host := range staged.ReplicasFor(i) {
 				sw := n.Switches[host]
@@ -137,9 +144,11 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 					mod := authorityAdd(i, r)
 					_ = sw.ApplyFlowMod(n.Eng.Now(), &mod)
 					n.M.PolicyRuleInstalls++
+					installed++
 				}
 			}
 		}
+		n.noteMods(generation, false, installed)
 	})
 	// Phase 2: atomically switch partition rules + handlers + caches.
 	switchAt := installAt + c.PolicyPushDelay
@@ -165,11 +174,14 @@ func (c *Controller) UpdatePolicyConsistent(policy []flowspace.Rule) (float64, f
 	// Phase 3: garbage-collect the previous generation's authority rules.
 	cleanupAt := switchAt + c.PolicyPushDelay
 	n.Eng.At(cleanupAt, func() {
+		var removed uint64
 		for _, sw := range n.Switches {
-			n.M.PolicyRuleDeletes += uint64(sw.Table(proto.TableAuthority).DeleteWhere(func(e tcam.Entry) bool {
+			removed += uint64(sw.Table(proto.TableAuthority).DeleteWhere(func(e tcam.Entry) bool {
 				return AuthorityEntryRuleID(e.Rule.ID) < generation
 			}))
 		}
+		n.M.PolicyRuleDeletes += removed
+		n.noteMods(generation, true, removed)
 	})
 	return switchAt, cleanupAt, nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"difane/internal/flowspace"
+	"difane/internal/telemetry"
+)
+
+// This file is the simulator's half of the cross-backend forensics layer:
+// the same flight recorder, trace sampler, convergence tracker, and health
+// watchdog wire mode runs, with virtual-time timestamps. Span events are
+// published at the exact virtual instants the discrete-event engine
+// processes them, so a journey assembled from a simulation reads like one
+// assembled from a live cluster — only the clock base differs.
+
+// vnow is the recorder timestamp for the current virtual instant:
+// nanoseconds of simulated time, floored at 1 so Recorder.Publish never
+// mistakes a t=0 event for "stamp me with wall time".
+func (n *Network) vnow() int64 {
+	ts := int64(n.Eng.Now() * 1e9)
+	if ts <= 0 {
+		ts = 1
+	}
+	return ts
+}
+
+// tupleOfKey projects a flowspace key onto the telemetry flow tuple.
+func tupleOfKey(k flowspace.Key) telemetry.FlowTuple {
+	return telemetry.Tuple(
+		uint32(k[flowspace.FIPSrc]), uint32(k[flowspace.FIPDst]),
+		uint16(k[flowspace.FTPSrc]), uint16(k[flowspace.FTPDst]),
+		uint8(k[flowspace.FIPProto]))
+}
+
+// traceID mints the packet's trace ID, or 0 when unsampled. Cost with
+// sampling off: one atomic load, same as wire mode.
+func (n *Network) traceID(k flowspace.Key, seq uint64) uint64 {
+	if n.sampler.Rate() == 0 {
+		return 0
+	}
+	return n.sampler.TraceID(tupleOfKey(k).Hash, seq)
+}
+
+// span publishes one trace event stamped with the current virtual time.
+func (n *Network) span(ev telemetry.Event) {
+	if !n.rec.Enabled() {
+		return
+	}
+	if ev.TS == 0 {
+		ev.TS = n.vnow()
+	}
+	n.rec.Publish(ev)
+}
+
+// VerdictCode maps the simulator's terminal outcomes onto the shared
+// telemetry verdict codes (also used by the baseline backend's spans).
+func VerdictCode(kind VerdictKind) uint8 {
+	switch kind {
+	case VerdictDelivered:
+		return telemetry.VDelivered
+	case VerdictPolicyDrop:
+		return telemetry.VDropPolicy
+	case VerdictHole:
+		return telemetry.VDropHole
+	case VerdictQueueDrop:
+		return telemetry.VDropQueue
+	case VerdictUnreachable:
+		return telemetry.VUnreachable
+	default:
+		return telemetry.VNone
+	}
+}
+
+// finish reports a packet's terminal outcome: exactly one Observer emit
+// per injected packet (the accounting-identity bijection), plus a terminal
+// verdict span at the deciding node when the packet is sampled. latNS is
+// the delivery latency for delivered packets, 0 otherwise.
+func (n *Network) finish(kind VerdictKind, node uint32, k flowspace.Key, seq uint64, egress uint32, detour bool, trace uint64, latNS uint64) {
+	n.emit(kind, k, seq, egress, detour)
+	if trace != 0 && n.rec.Enabled() {
+		n.span(telemetry.Event{
+			Kind:    telemetry.EvVerdict,
+			Node:    node,
+			Verdict: VerdictCode(kind),
+			Value:   latNS,
+			Trace:   trace,
+			Flow:    tupleOfKey(k),
+		})
+	}
+}
+
+// noteMods records count fenced FlowMods of one staged generation on the
+// convergence tracker, all stamped at the current virtual instant.
+func (n *Network) noteMods(generation uint64, withdraw bool, count uint64) {
+	if count == 0 {
+		return
+	}
+	ts, totals := n.vnow(), n.counterTotals()
+	for i := uint64(0); i < count; i++ {
+		n.conv.NoteMod(generation, withdraw, ts, totals)
+	}
+}
+
+// counterTotals snapshots the counters the convergence tracker diffs
+// across a policy-update window.
+func (n *Network) counterTotals() telemetry.CounterTotals {
+	d := n.M.Drops
+	return telemetry.CounterTotals{
+		Redirects: n.M.Redirects,
+		Shed:      d.RedirectShed + n.M.CacheInstallsShed,
+		Dropped:   d.Policy + d.Hole + d.AuthorityQueue + d.RedirectShed + d.Unreachable,
+	}
+}
+
+// Recorder exposes the network's flight recorder.
+func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
+
+// SetTracing toggles the flight recorder at runtime.
+func (n *Network) SetTracing(on bool) { n.rec.SetEnabled(on) }
+
+// SetTraceSample changes the 1-in-N per-packet trace sampling rate at
+// runtime (0 = off).
+func (n *Network) SetTraceSample(rate int) { n.sampler.SetRate(rate) }
+
+// TraceSampleRate returns the current 1-in-N sampling rate (0 = off).
+func (n *Network) TraceSampleRate() int { return n.sampler.Rate() }
+
+// Convergence exposes the policy-update convergence tracker.
+func (n *Network) Convergence() *telemetry.Convergence { return n.conv }
+
+// Watchdog exposes the health watchdog, building the metric registry it
+// scrapes on first use. The simulator has no ticker; drive EvalOnce at
+// the virtual instants of interest (e.g. once per simulated second).
+func (n *Network) Watchdog() *telemetry.Watchdog {
+	n.Telemetry() // force registry + watchdog construction
+	return n.wd
+}
+
+// Journeys assembles end-to-end packet journeys from the flight recorder.
+// The filter's freshness clock defaults to the current virtual time.
+func (n *Network) Journeys(f telemetry.JourneyFilter) ([]telemetry.Journey, telemetry.JourneyStats) {
+	if f.NowNS == 0 {
+		f.NowNS = n.vnow()
+	}
+	return telemetry.AssembleJourneys(n.rec, f)
+}

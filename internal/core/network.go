@@ -61,6 +61,20 @@ type NetworkConfig struct {
 	HopByHop bool
 	// Partition tunes the flow-space partitioner.
 	Partition PartitionConfig
+
+	// Tracing enables the flight recorder from construction (also
+	// toggleable at runtime via SetTracing); TraceBuffer sizes each node's
+	// event ring (default 4096).
+	Tracing     bool
+	TraceBuffer int
+	// TraceSample is the 1-in-N per-packet trace-ID sampling rate feeding
+	// journey assembly (0 = off). The sampling decision is a pure hash of
+	// the flow tuple and packet sequence, so the simulated, baseline, and
+	// wire backends replaying the same workload sample the same packets.
+	TraceSample int
+	// Health tunes the watchdog SLO thresholds (zero values take the
+	// documented defaults).
+	Health telemetry.HealthConfig
 }
 
 // EvictionChoice selects the ingress-cache eviction policy. The zero
@@ -282,6 +296,13 @@ type Network struct {
 
 	M Measurements
 
+	// Forensics: flight recorder, per-packet trace sampler, policy-update
+	// convergence tracker, and (built with the registry) health watchdog.
+	rec     *telemetry.Recorder
+	sampler *telemetry.Sampler
+	conv    *telemetry.Convergence
+	wd      *telemetry.Watchdog
+
 	// telReg is the lazily-built metric registry behind Telemetry().
 	telOnce sync.Once
 	telReg  *telemetry.Registry
@@ -327,6 +348,13 @@ func NewNetwork(g *topo.Graph, authorities []uint32, policy []flowspace.Rule, cf
 		}
 		n.authSt[id] = sim.NewStation(n.Eng, cfg.AuthorityRate, cfg.AuthorityQueue)
 	}
+	nodes := make([]uint32, 0, len(n.Switches))
+	for id := range n.Switches {
+		nodes = append(nodes, id)
+	}
+	n.rec = telemetry.NewRecorder(nodes, cfg.TraceBuffer, cfg.Tracing)
+	n.sampler = telemetry.NewSampler(cfg.TraceSample)
+	n.conv = telemetry.NewConvergence(0)
 	n.installAssignment()
 	n.startCacheAdaptation()
 	return n, nil
@@ -516,10 +544,14 @@ func (n *Network) InjectBatch(batch []PacketIn) {
 
 func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
 	now := n.Eng.Now()
+	trace := n.traceID(k, seq)
+	if trace != 0 {
+		n.span(telemetry.Event{Kind: telemetry.EvIngress, Node: ingress, Trace: trace, Flow: tupleOfKey(k)})
+	}
 	sw, ok := n.Switches[ingress]
 	if !ok || !n.Topo.NodeUp(topo.NodeID(ingress)) {
 		n.M.Drops.Unreachable++
-		n.emit(VerdictUnreachable, k, seq, 0, false)
+		n.finish(VerdictUnreachable, ingress, k, seq, 0, false, trace, 0)
 		return
 	}
 	sw.Advance(now)
@@ -528,7 +560,7 @@ func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace
 		// No partition rule matched: with a full partition cover this only
 		// happens when partition rules were withdrawn (failover windows).
 		n.M.Drops.Unreachable++
-		n.emit(VerdictUnreachable, k, seq, 0, false)
+		n.finish(VerdictUnreachable, ingress, k, seq, 0, false, trace, 0)
 		return
 	}
 	if n.cachePol != nil && res.Table == proto.TableCache {
@@ -540,71 +572,83 @@ func (n *Network) processAtIngress(injected float64, ingress uint32, k flowspace
 		if seq == 0 {
 			n.M.SetupsCompleted++
 		}
-		n.emit(VerdictPolicyDrop, k, seq, 0, false)
+		n.finish(VerdictPolicyDrop, ingress, k, seq, 0, false, trace, 0)
 	case flowspace.ActForward, flowspace.ActCount:
 		egress := res.Rule.Action.Arg
-		n.deliverDirect(injected, ingress, egress, k, seq)
+		if trace != 0 {
+			n.span(telemetry.Event{Kind: telemetry.EvForward, Node: ingress, Peer: egress,
+				Table: uint8(res.Table), RuleID: res.Rule.ID, Trace: trace, Flow: tupleOfKey(k)})
+		}
+		n.deliverDirect(injected, ingress, egress, k, seq, trace)
 	case flowspace.ActRedirect:
-		n.redirect(injected, ingress, res.Rule.Action.Arg, k, size, seq)
+		if trace != 0 {
+			n.span(telemetry.Event{Kind: telemetry.EvRedirect, Node: ingress, Peer: res.Rule.Action.Arg,
+				Table: uint8(res.Table), RuleID: res.Rule.ID, Trace: trace, Flow: tupleOfKey(k)})
+		}
+		n.redirect(injected, ingress, res.Rule.Action.Arg, k, size, seq, trace)
 	case flowspace.ActController:
 		// DIFANE networks never punt to the controller; treat as a hole.
 		n.M.Drops.Hole++
-		n.emit(VerdictHole, k, seq, 0, false)
+		n.finish(VerdictHole, ingress, k, seq, 0, false, trace, 0)
 	}
 }
 
-func (n *Network) deliverDirect(injected float64, ingress, egress uint32, k flowspace.Key, seq uint64) {
+func (n *Network) deliverDirect(injected float64, ingress, egress uint32, k flowspace.Key, seq uint64, trace uint64) {
 	ok := n.sendAlong(ingress, egress, func() {
-		n.recordDelivery(injected, k, egress, seq, 0) // no detour: no stretch sample
+		n.recordDelivery(injected, k, egress, seq, 0, trace) // no detour: no stretch sample
 	})
 	if !ok {
 		n.M.Drops.Unreachable++
-		n.emit(VerdictUnreachable, k, seq, 0, false)
+		n.finish(VerdictUnreachable, ingress, k, seq, 0, false, trace, 0)
 	}
 }
 
-func (n *Network) redirect(injected float64, ingress, authority uint32, k flowspace.Key, size int, seq uint64) {
+func (n *Network) redirect(injected float64, ingress, authority uint32, k flowspace.Key, size int, seq uint64, trace uint64) {
 	n.M.Redirects++
 	dIA, okDist := n.Topo.Dist(topo.NodeID(ingress), topo.NodeID(authority))
 	if !okDist {
 		n.M.Drops.Unreachable++
-		n.emit(VerdictUnreachable, k, seq, 0, false)
+		n.finish(VerdictUnreachable, ingress, k, seq, 0, false, trace, 0)
 		return
 	}
 	sent := n.sendAlong(ingress, authority, func() {
 		st := n.authSt[authority]
 		if st == nil {
 			n.M.Drops.Unreachable++
-			n.emit(VerdictUnreachable, k, seq, 0, false)
+			n.finish(VerdictUnreachable, authority, k, seq, 0, false, trace, 0)
 			return
 		}
 		ok := st.Submit(func(done float64) {
-			n.authorityHandle(injected, ingress, authority, k, size, seq, dIA)
+			n.authorityHandle(injected, ingress, authority, k, size, seq, dIA, trace)
 		})
 		if !ok {
 			n.M.Drops.AuthorityQueue++
-			n.emit(VerdictQueueDrop, k, seq, 0, false)
+			n.finish(VerdictQueueDrop, authority, k, seq, 0, false, trace, 0)
 		}
 	})
 	if !sent {
 		n.M.Drops.Unreachable++
-		n.emit(VerdictUnreachable, k, seq, 0, false)
+		n.finish(VerdictUnreachable, ingress, k, seq, 0, false, trace, 0)
 	}
 }
 
-func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k flowspace.Key, size int, seq uint64, dIA float64) {
+func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k flowspace.Key, size int, seq uint64, dIA float64, trace uint64) {
 	now := n.Eng.Now()
 	auth := n.authorityFor(authority, k)
 	if auth == nil {
 		n.M.Drops.Hole++
-		n.emit(VerdictHole, k, seq, 0, false)
+		n.finish(VerdictHole, authority, k, seq, 0, false, trace, 0)
 		return
 	}
 	res := auth.HandleMiss(k)
 	if !res.OK {
 		n.M.Drops.Hole++
-		n.emit(VerdictHole, k, seq, 0, false)
+		n.finish(VerdictHole, authority, k, seq, 0, false, trace, 0)
 		return
+	}
+	if trace != 0 {
+		n.span(telemetry.Event{Kind: telemetry.EvAuthority, Node: authority, Peer: ingress,
+			Table: uint8(proto.TableAuthority), RuleID: res.Rule.ID, Trace: trace, Flow: tupleOfKey(k)})
 	}
 	if n.cachePol != nil {
 		// The detour to here is the cost a miss in this region actually
@@ -624,10 +668,18 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 		if okBack {
 			installAt := now + dAI + n.cfg.InstallDelay
 			mods := res.CacheMods
+			if trace != 0 {
+				n.span(telemetry.Event{Kind: telemetry.EvInstallTriggered, Node: authority, Peer: ingress,
+					Table: uint8(proto.TableCache), RuleID: mods[0].Rule.ID, Trace: trace, Flow: tupleOfKey(k)})
+			}
 			n.Eng.At(installAt, func() {
 				sw := n.Switches[ingress]
 				for i := range mods {
 					_ = sw.ApplyFlowMod(n.Eng.Now(), &mods[i])
+				}
+				if trace != 0 {
+					n.span(telemetry.Event{Kind: telemetry.EvInstall, Node: ingress,
+						Table: uint8(proto.TableCache), RuleID: mods[0].Rule.ID, Trace: trace})
 				}
 			})
 		}
@@ -639,13 +691,13 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 		if seq == 0 {
 			n.M.SetupsCompleted++
 		}
-		n.emit(VerdictPolicyDrop, k, seq, 0, false)
+		n.finish(VerdictPolicyDrop, authority, k, seq, 0, false, trace, 0)
 	case flowspace.ActForward, flowspace.ActCount:
 		egress := res.Rule.Action.Arg
 		dAE, ok := n.Topo.Dist(topo.NodeID(authority), topo.NodeID(egress))
 		if !ok {
 			n.M.Drops.Unreachable++
-			n.emit(VerdictUnreachable, k, seq, 0, false)
+			n.finish(VerdictUnreachable, authority, k, seq, 0, false, trace, 0)
 			return
 		}
 		stretch := 1.0
@@ -653,23 +705,23 @@ func (n *Network) authorityHandle(injected float64, ingress, authority uint32, k
 			stretch = (dIA + dAE) / direct
 		}
 		sent := n.sendAlong(authority, egress, func() {
-			n.recordDelivery(injected, k, egress, seq, stretch)
+			n.recordDelivery(injected, k, egress, seq, stretch, trace)
 		})
 		if !sent {
 			n.M.Drops.Unreachable++
-			n.emit(VerdictUnreachable, k, seq, 0, false)
+			n.finish(VerdictUnreachable, authority, k, seq, 0, false, trace, 0)
 		}
 	default:
 		n.M.Drops.Hole++
-		n.emit(VerdictHole, k, seq, 0, false)
+		n.finish(VerdictHole, authority, k, seq, 0, false, trace, 0)
 	}
 }
 
-func (n *Network) recordDelivery(injected float64, k flowspace.Key, egress uint32, seq uint64, stretch float64) {
+func (n *Network) recordDelivery(injected float64, k flowspace.Key, egress uint32, seq uint64, stretch float64, trace uint64) {
 	now := n.Eng.Now()
 	n.M.Delivered++
-	n.emit(VerdictDelivered, k, seq, egress, stretch > 0)
 	delay := now - injected
+	n.finish(VerdictDelivered, egress, k, seq, egress, stretch > 0, trace, uint64(delay*1e9))
 	if seq == 0 {
 		n.M.FirstPacketDelay.Add(delay)
 		n.M.SetupsCompleted++
@@ -681,8 +733,16 @@ func (n *Network) recordDelivery(injected float64, k flowspace.Key, egress uint3
 	}
 }
 
-// Run drives the simulation to the horizon.
-func (n *Network) Run(horizon float64) { n.Eng.Run(horizon) }
+// Run drives the simulation to the horizon. A drained event queue is the
+// simulator's quiesce point — every injected packet's event chain has
+// fully resolved — so any open policy-update convergence timelines are
+// stamped converged here, mirroring wire mode's accounting-identity check.
+func (n *Network) Run(horizon float64) {
+	n.Eng.Run(horizon)
+	if n.Eng.Pending() == 0 {
+		n.conv.NoteQuiesce(n.vnow(), n.counterTotals())
+	}
+}
 
 // Measurements returns the run's recorded statistics, completing the
 // Deployment driving surface shared with the baseline and wire mode.

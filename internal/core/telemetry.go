@@ -102,10 +102,10 @@ func RegisterMeasurements(reg *telemetry.Registry, snap func() *Measurements) {
 		func(m *Measurements) *metrics.Dist { return &m.LeaderElection })
 }
 
-// Telemetry returns one scrape of the network's metric registry. The
-// simulated network has no flight recorder, so the trace accounting in the
-// snapshot is zero. The registry is built on first call and collects from
-// the live Measurements on every scrape.
+// Telemetry returns one scrape of the network's metric registry, including
+// the flight recorder's trace accounting. The registry (and the health
+// watchdog that scrapes it) is built on first call and collects from the
+// live Measurements on every scrape.
 func (n *Network) Telemetry() *telemetry.Snapshot {
 	n.telOnce.Do(func() {
 		reg := telemetry.NewRegistry()
@@ -119,9 +119,29 @@ func (n *Network) Telemetry() *telemetry.Snapshot {
 		if n.cachePol != nil {
 			n.cachePol.RegisterMetrics(reg)
 		}
+		reg.RegisterFunc("difane_trace_enabled",
+			"1 while the flight recorder accepts events.", telemetry.TypeGauge,
+			func() float64 {
+				if n.rec.Enabled() {
+					return 1
+				}
+				return 0
+			})
+		reg.RegisterFunc("difane_trace_writes_total",
+			"Events ever published to the flight recorder.", telemetry.TypeCounter,
+			func() float64 { return float64(n.rec.Stats().Writes) })
+		reg.RegisterFunc("difane_trace_dropped_total",
+			"Flight-recorder events lost to ring wraparound.", telemetry.TypeCounter,
+			func() float64 { return float64(n.rec.Stats().Dropped) })
+		reg.RegisterFunc("difane_trace_sample",
+			"Per-packet trace sampling rate (1-in-N, 0 = off).", telemetry.TypeGauge,
+			func() float64 { return float64(n.sampler.Rate()) })
+		n.conv.RegisterMetrics(reg)
+		n.wd = telemetry.NewWatchdog(reg, telemetry.DefaultHealthRules(n.cfg.Health))
+		n.wd.RegisterMetrics(reg)
 		n.telReg = reg
 	})
-	return &telemetry.Snapshot{Metrics: n.telReg.Snapshot()}
+	return &telemetry.Snapshot{Metrics: n.telReg.Snapshot(), Trace: n.rec.Stats()}
 }
 
 // Registry exposes the network's metric registry (built on first use), so

@@ -1,0 +1,49 @@
+package perf
+
+import (
+	"fmt"
+
+	"difane/internal/telemetry"
+	"difane/internal/wire"
+)
+
+// JourneyArtifactReport is what the forensics smoke uploads when its gate
+// fails: the assembled journeys of one sampled cache-hit run, so the
+// regression can be debugged from the CI artifact alone.
+type JourneyArtifactReport struct {
+	Seed     int64                   `json:"seed"`
+	SampleN  int                     `json:"sample_n"`
+	Stats    telemetry.JourneyStats  `json:"stats"`
+	Journeys []telemetry.JourneyJSON `json:"journeys"`
+}
+
+// JourneyArtifact replays the cache-hit trace through a fresh wire
+// deployment with 1-in-n trace sampling and returns the journeys it
+// assembled. One deterministic run — no repetitions — because the
+// artifact documents behaviour, not performance.
+func JourneyArtifact(c Config, sampleN int) (*JourneyArtifactReport, error) {
+	c.Telemetry.Tracing = true
+	c.Telemetry.TraceSample = sampleN
+	if c.Telemetry.TraceBuffer == 0 {
+		c.Telemetry.TraceBuffer = 1 << 16
+	}
+	inst, err := c.build(BackendWire)
+	if err != nil {
+		return nil, fmt.Errorf("perf: journey artifact: %w", err)
+	}
+	defer inst.d.Close()
+	injectFlows(inst.d, c.flows(WorkloadCacheHit), c.Horizon)
+	inst.d.Run(c.Horizon)
+
+	d, ok := inst.d.(*wire.Deployment)
+	if !ok {
+		return nil, fmt.Errorf("perf: journey artifact: wire backend expected")
+	}
+	js, stats := d.C.Journeys(telemetry.JourneyFilter{})
+	rep := &JourneyArtifactReport{Seed: c.Seed, SampleN: sampleN, Stats: stats}
+	rep.Journeys = make([]telemetry.JourneyJSON, len(js))
+	for i := range js {
+		rep.Journeys[i] = js[i].JSON()
+	}
+	return rep, nil
+}

@@ -172,8 +172,11 @@ type PacketOut struct {
 }
 
 // CacheInstall carries cache rules from an authority to an ingress switch.
+// Trace, when nonzero, is the sampled trace ID of the packet whose miss
+// triggered the install, so the install lands in that packet's journey.
 type CacheInstall struct {
 	Ingress uint32
+	Trace   uint64
 	Rules   []FlowMod
 }
 
@@ -448,6 +451,7 @@ func (m *PacketOut) decodePayload(b []byte) error {
 
 func (m *CacheInstall) appendPayload(b []byte) []byte {
 	b = appendU32(b, m.Ingress)
+	b = appendU64(b, m.Trace)
 	b = appendU32(b, uint32(len(m.Rules)))
 	for i := range m.Rules {
 		b = appendFlowModBody(b, &m.Rules[i])
@@ -457,6 +461,7 @@ func (m *CacheInstall) appendPayload(b []byte) []byte {
 func (m *CacheInstall) decodePayload(b []byte) error {
 	r := &reader{b: b}
 	m.Ingress = r.u32()
+	m.Trace = r.u64()
 	n := int(r.u32())
 	if r.err != nil {
 		return r.err
@@ -592,8 +597,12 @@ func Encode(b []byte, m Message) []byte {
 }
 
 // WriteMessage writes one framed message to w.
+//
+// The encode buffer starts at a capacity covering every fixed-size
+// message and a typical CacheInstall, so the common write is one
+// allocation instead of append's doubling ladder from nil.
 func WriteMessage(w io.Writer, m Message) error {
-	buf := Encode(nil, m)
+	buf := Encode(make([]byte, 0, 192), m)
 	_, err := w.Write(buf)
 	return err
 }

@@ -189,8 +189,9 @@ func TestTruncatedPayloadRejected(t *testing.T) {
 	// A CacheInstall claiming more rules than the payload holds.
 	m := &CacheInstall{Ingress: 1, Rules: []FlowMod{{Table: TableCache, Op: OpAdd, Rule: sampleRule(1)}}}
 	buf := Encode(nil, m)
-	// Bump the rule count field (4 bytes length + 1 type + 4 ingress).
-	buf[9+3]++
+	// Bump the rule count field (4 bytes length + 1 type + 4 ingress +
+	// 8 trace).
+	buf[17+3]++
 	if _, err := ReadMessage(bytes.NewReader(buf)); err == nil {
 		t.Fatal("payload with overstated rule count must fail")
 	}

@@ -42,6 +42,18 @@ type SoakConfig struct {
 	// (0 = run the script to completion). The phases completed so far
 	// still gate; an exhausted budget is reported, not failed.
 	WallBudget time.Duration
+	// TraceSample, when >0, turns on the flight recorder with 1-in-N
+	// per-packet trace sampling for the run, and the report gains journey
+	// assembly stats (how many sampled packets told a complete end-to-end
+	// story).
+	TraceSample int
+	// JourneyGate, when >0, fails the report if journey completeness —
+	// complete journeys over journeys with a fair chance to complete —
+	// lands below it (e.g. 0.99). Only meaningful with TraceSample.
+	JourneyGate float64
+	// Log, when set, receives per-phase progress lines as the script runs
+	// (difane-soak points it at stdout).
+	Log func(format string, args ...any)
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -146,6 +158,9 @@ type PhaseSummary struct {
 	Moves    uint64  `json:"moves"`
 	Probes   uint64  `json:"probes"`
 	MissRate float64 `json:"miss_rate"`
+	// Health watchdog state when the phase closed.
+	HealthFiring   int `json:"health_firing"`
+	HealthCritical int `json:"health_critical"`
 }
 
 // Report is what a soak run produced.
@@ -168,13 +183,24 @@ type Report struct {
 	BudgetExhausted bool           `json:"budget_exhausted,omitempty"`
 	Phases          []PhaseSummary `json:"phases"`
 	Series          []SeriesPoint  `json:"series"`
+	// Forensics: journey assembly stats (present when TraceSample was set),
+	// per-epoch convergence timelines, and the watchdog's end-of-run
+	// verdicts.
+	Journeys            *telemetry.JourneyStats   `json:"journeys,omitempty"`
+	JourneyCompleteness float64                   `json:"journey_completeness,omitempty"`
+	JourneyGateError    string                    `json:"journey_gate_error,omitempty"`
+	Convergence         []telemetry.EpochTimeline `json:"convergence,omitempty"`
+	Health              *telemetry.HealthSummary  `json:"health,omitempty"`
 }
 
-// Failed reports whether the zero-divergence gate broke: any sampled
-// verdict diverged from the oracle, or the end-of-run accounting identity
-// (injected = delivered + drops) did not hold.
+// Failed reports whether a gate broke: a sampled verdict diverged from
+// the oracle, the end-of-run accounting identity (injected = delivered +
+// drops) did not hold, journey completeness fell below JourneyGate, or a
+// critical SLO rule was firing when the run ended.
 func (r *Report) Failed() bool {
-	return len(r.Divergences) > 0 || r.AccountingError != ""
+	return len(r.Divergences) > 0 || r.AccountingError != "" ||
+		r.JourneyGateError != "" ||
+		(r.Health != nil && r.Health.Critical > 0)
 }
 
 // Render prints the report as difane-style text tables.
@@ -186,6 +212,32 @@ func (r *Report) Render() string {
 		r.Sessions, r.PeakActive, r.Moves, r.Packets, r.PktsPerSec)
 	fmt.Fprintf(&b, "  %d verdict probes vs oracle: %d divergences, %d inconclusive, %d skipped\n",
 		r.Probes, len(r.Divergences), r.Inconclusive, r.ProbesSkipped)
+	if r.Journeys != nil {
+		j := r.Journeys
+		fmt.Fprintf(&b, "  %d traced journeys: %d complete, %d gapped, %d in flight, %d unexplained (%.1f%% completeness)\n",
+			j.Total, j.Complete, j.Gapped, j.InFlight, j.Unexplained, 100*r.JourneyCompleteness)
+	}
+	if r.JourneyGateError != "" {
+		fmt.Fprintf(&b, "  JOURNEY GATE: %s\n", r.JourneyGateError)
+	}
+	if r.Health != nil {
+		fmt.Fprintf(&b, "  health: %d evals, %d rules firing (%d critical)\n",
+			r.Health.Evals, r.Health.Firing, r.Health.Critical)
+		for _, rule := range r.Health.Rules {
+			if rule.Firing {
+				fmt.Fprintf(&b, "    FIRING [%s] %s: %s\n", rule.Severity, rule.Name, rule.Detail)
+			}
+		}
+	}
+	for _, tl := range r.Convergence {
+		state := "still converging"
+		if tl.Converged {
+			state = fmt.Sprintf("converged in %s", time.Duration(tl.DurationNS))
+		}
+		fmt.Fprintf(&b, "  epoch %d: %d installs, %d withdraws, %d rejects, %s (%d redirected, %d shed, %d dropped during)\n",
+			tl.Epoch, tl.Installs, tl.Withdraws, tl.Rejects, state,
+			tl.RedirectsDuring, tl.ShedDuring, tl.DroppedDuring)
+	}
 	if r.AccountingError != "" {
 		fmt.Fprintf(&b, "  ACCOUNTING: %s\n", r.AccountingError)
 	}
@@ -308,7 +360,37 @@ func RunSoak(d *wire.Deployment, spec *workload.Spec, cfg SoakConfig) (*Report, 
 		start:  time.Now(),
 	}
 	s.registerMetrics(d.C.Registry())
+	if cfg.TraceSample > 0 {
+		d.C.SetTraceSample(cfg.TraceSample)
+		d.C.SetTracing(true)
+	}
 	return s.run()
+}
+
+// logPhase emits one per-phase progress line through cfg.Log, folding in
+// the watchdog's live verdict and the most recent convergence timeline.
+func (s *soak) logPhase(ps PhaseSummary) {
+	if s.cfg.Log == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase %-12s %d packets, %d sessions, %d probes, miss %.2f%%",
+		ps.Phase, ps.Packets, ps.Sessions, ps.Probes, 100*ps.MissRate)
+	if ps.HealthFiring > 0 {
+		fmt.Fprintf(&b, ", health: %d firing (%d critical)", ps.HealthFiring, ps.HealthCritical)
+	} else {
+		b.WriteString(", health: ok")
+	}
+	if conv := s.d.C.Convergence(); conv != nil {
+		if tl, ok := conv.Last(); ok {
+			if tl.Converged {
+				fmt.Fprintf(&b, ", epoch %d converged in %s", tl.Epoch, time.Duration(tl.DurationNS))
+			} else {
+				fmt.Fprintf(&b, ", epoch %d converging", tl.Epoch)
+			}
+		}
+	}
+	s.cfg.Log("%s", b.String())
 }
 
 func (s *soak) run() (*Report, error) {
@@ -347,7 +429,12 @@ func (s *soak) run() (*Report, error) {
 		if inj := s.injected - phaseInj0; inj > 0 {
 			ps.MissRate = float64(m.Redirects-phaseRedir0) / float64(inj)
 		}
+		if wd := s.d.C.Watchdog(); wd != nil {
+			sum := wd.Summary()
+			ps.HealthFiring, ps.HealthCritical = sum.Firing, sum.Critical
+		}
 		rep.Phases = append(rep.Phases, ps)
+		s.logPhase(ps)
 	}
 	openPhase := func(idx int) {
 		curPhase = idx
@@ -449,6 +536,30 @@ func (s *soak) run() (*Report, error) {
 			"identity: injected %d but accounted %d (delivered=%d policy=%d hole=%d queue=%d shed=%d unreachable=%d)",
 			s.injected, final.sum(), final.delivered, final.policyDrops,
 			final.holes, final.queueDrops, final.shed, final.unreachable)
+	}
+
+	// Forensics: fold the run's journeys, convergence timelines, and
+	// watchdog verdicts into the report. The watchdog's own loop owns its
+	// clock base, so we only read its summary — never EvalOnce from here.
+	if s.d.C.TraceSampleRate() > 0 {
+		_, js := s.d.C.Journeys(telemetry.JourneyFilter{})
+		rep.Journeys = &js
+		rep.JourneyCompleteness = js.Completeness()
+		if cfg.JourneyGate > 0 && rep.JourneyCompleteness < cfg.JourneyGate {
+			rep.JourneyGateError = fmt.Sprintf(
+				"completeness %.2f%% below the %.2f%% gate (%d/%d complete, %d gapped, %d in flight)",
+				100*rep.JourneyCompleteness, 100*cfg.JourneyGate,
+				js.Complete, js.Total, js.Gapped, js.InFlight)
+		}
+	}
+	if conv := s.d.C.Convergence(); conv != nil {
+		if tl := conv.Timelines(); len(tl) > 0 {
+			rep.Convergence = tl
+		}
+	}
+	if wd := s.d.C.Watchdog(); wd != nil {
+		sum := wd.Summary()
+		rep.Health = &sum
 	}
 
 	rep.ModeledSeconds = s.e.Now()

@@ -52,30 +52,36 @@ const (
 	EvBFDUp         // a BFD session reached Up (Peer = remote discriminator)
 	EvBFDDown       // an established BFD session left Up
 	EvLeaderElected // a controller replica won an election (Peer = id, Value = epoch)
+
+	// Forensics spans (appended — kind codes are stable across versions).
+	EvIngress          // a sampled packet entered the data plane at Node
+	EvInstallTriggered // an authority decided cache rules for Peer (the ingress)
 )
 
 var kindNames = map[EventKind]string{
-	EvNone:           "none",
-	EvForward:        "forward",
-	EvRedirect:       "redirect",
-	EvAuthority:      "authority",
-	EvVerdict:        "verdict",
-	EvShed:           "shed",
-	EvInstall:        "install",
-	EvEvict:          "evict",
-	EvExpire:         "expire",
-	EvDeath:          "death",
-	EvRevive:         "revive",
-	EvFailoverLocal:  "failover-local",
-	EvPromote:        "promote",
-	EvEpochRaise:     "epoch-raise",
-	EvEpochReject:    "epoch-reject",
-	EvReconnect:      "reconnect",
-	EvControllerDown: "controller-down",
-	EvControllerUp:   "controller-up",
-	EvBFDUp:          "bfd-up",
-	EvBFDDown:        "bfd-down",
-	EvLeaderElected:  "leader-elected",
+	EvNone:             "none",
+	EvForward:          "forward",
+	EvRedirect:         "redirect",
+	EvAuthority:        "authority",
+	EvVerdict:          "verdict",
+	EvShed:             "shed",
+	EvInstall:          "install",
+	EvEvict:            "evict",
+	EvExpire:           "expire",
+	EvDeath:            "death",
+	EvRevive:           "revive",
+	EvFailoverLocal:    "failover-local",
+	EvPromote:          "promote",
+	EvEpochRaise:       "epoch-raise",
+	EvEpochReject:      "epoch-reject",
+	EvReconnect:        "reconnect",
+	EvControllerDown:   "controller-down",
+	EvControllerUp:     "controller-up",
+	EvBFDUp:            "bfd-up",
+	EvBFDDown:          "bfd-down",
+	EvLeaderElected:    "leader-elected",
+	EvIngress:          "ingress",
+	EvInstallTriggered: "install-triggered",
 }
 
 // String returns the kind's wire name (used in JSON and difanectl output).
@@ -222,7 +228,10 @@ type Event struct {
 	Verdict uint8
 	RuleID  uint64
 	Value   uint64
-	Flow    FlowTuple
+	// Trace is the sampled per-packet trace ID joining this event into a
+	// cross-node journey (0 = packet not sampled).
+	Trace uint64
+	Flow  FlowTuple
 }
 
 // EventJSON is the JSON shape served by /trace and decoded by difanectl.
@@ -236,6 +245,7 @@ type EventJSON struct {
 	Verdict string `json:"verdict,omitempty"`
 	RuleID  uint64 `json:"rule_id,omitempty"`
 	Value   uint64 `json:"value,omitempty"`
+	Trace   uint64 `json:"trace,omitempty"`
 	Flow    uint64 `json:"flow,omitempty"`
 	Src     string `json:"src,omitempty"`
 	Dst     string `json:"dst,omitempty"`
@@ -254,6 +264,7 @@ func (e Event) JSON() EventJSON {
 		Verdict: VerdictName(e.Verdict),
 		RuleID:  e.RuleID,
 		Value:   e.Value,
+		Trace:   e.Trace,
 		Flow:    e.Flow.Hash,
 		Proto:   e.Flow.Proto,
 	}

@@ -1,0 +1,226 @@
+package telemetry
+
+import "sort"
+
+// Journey is one sampled packet's end-to-end story, assembled by joining
+// per-node flight-recorder rings on trace ID and ordering the spans by
+// timestamp. A journey is Complete when both its ingress span and a
+// terminal span (verdict or shed) survived in the rings; an incomplete
+// journey is Gap-marked when a ring wrapped over the window where its
+// missing spans would have been, and InFlight when its newest span is
+// recent enough that the packet may simply still be traveling.
+type Journey struct {
+	Trace   uint64
+	Flow    FlowTuple
+	StartTS int64 // TS of the earliest retained span
+	EndTS   int64 // TS of the latest retained span
+	// LatencyNS is the delivery latency when the terminal span recorded
+	// one (EvVerdict deliveries carry it in Value), else EndTS−StartTS.
+	LatencyNS int64
+	Terminal  string // verdict name of the terminal span ("" if none)
+	Complete  bool
+	Gap       bool
+	InFlight  bool
+	Dropped   bool // terminal outcome was anything but delivery
+	Events    []Event
+}
+
+// JourneyFilter selects and orders assembled journeys.
+type JourneyFilter struct {
+	Trace       uint64 // exact trace ID, 0 = any
+	Flow        uint64 // flow hash, 0 = any
+	DroppedOnly bool   // keep only journeys whose terminal span is a drop/shed
+	Slowest     bool   // order by latency descending instead of StartTS
+	Limit       int    // keep at most Limit journeys after ordering, 0 = all
+	// NowNS/FreshNS classify incomplete journeys as in-flight: a journey
+	// whose newest span is younger than FreshNS (default 250ms) at NowNS
+	// may still be traveling rather than lost. NowNS 0 disables the check.
+	NowNS   int64
+	FreshNS int64
+}
+
+// JourneyStats summarizes an assembly pass — the soak gate's numerators.
+type JourneyStats struct {
+	Total       int `json:"total"`
+	Complete    int `json:"complete"`
+	Gapped      int `json:"gapped"`      // incomplete, explained by a ring wrap
+	InFlight    int `json:"in_flight"`   // incomplete, but too fresh to judge
+	Unexplained int `json:"unexplained"` // incomplete with no excuse
+}
+
+// AssembleJourneys snapshots every ring, joins trace-stamped events into
+// journeys, classifies each, and returns them with aggregate stats. Stats
+// cover every assembled journey regardless of filtering; the returned
+// slice honors the filter and ordering.
+func AssembleJourneys(rec *Recorder, f JourneyFilter) ([]Journey, JourneyStats) {
+	if f.FreshNS == 0 {
+		f.FreshNS = 250_000_000
+	}
+	byTrace := make(map[uint64][]Event)
+	// wrapTS collects, for each ring that wrapped, the oldest retained
+	// timestamp: spans older than it may have been overwritten.
+	var wrapTS []int64
+	for _, id := range rec.Nodes() {
+		ring := rec.Ring(id)
+		snap := ring.Snapshot()
+		if ring.Dropped() > 0 && len(snap) > 0 {
+			oldest := snap[0].TS
+			for _, ev := range snap {
+				if ev.TS < oldest {
+					oldest = ev.TS
+				}
+			}
+			wrapTS = append(wrapTS, oldest)
+		}
+		for _, ev := range snap {
+			if ev.Trace != 0 {
+				byTrace[ev.Trace] = append(byTrace[ev.Trace], ev)
+			}
+		}
+	}
+	var stats JourneyStats
+	out := make([]Journey, 0, len(byTrace))
+	for trace, evs := range byTrace {
+		sort.Slice(evs, func(i, j int) bool {
+			a, b := &evs[i], &evs[j]
+			if a.TS != b.TS {
+				return a.TS < b.TS
+			}
+			if a.Node != b.Node {
+				return a.Node < b.Node
+			}
+			return a.Seq < b.Seq
+		})
+		j := Journey{Trace: trace, Events: evs, StartTS: evs[0].TS, EndTS: evs[len(evs)-1].TS}
+		hasIngress := false
+		for i := range evs {
+			ev := &evs[i]
+			if ev.Flow.Hash != 0 {
+				j.Flow = ev.Flow
+			}
+			switch ev.Kind {
+			case EvIngress:
+				hasIngress = true
+			case EvVerdict, EvShed:
+				j.Terminal = VerdictName(ev.Verdict)
+				j.Dropped = ev.Verdict != VDelivered
+				if ev.Verdict == VDelivered && ev.Value > 0 {
+					j.LatencyNS = int64(ev.Value)
+				}
+			}
+		}
+		j.Complete = hasIngress && j.Terminal != ""
+		if j.LatencyNS == 0 {
+			j.LatencyNS = j.EndTS - j.StartTS
+		}
+		if !j.Complete {
+			// A wrapped ring whose retained window starts after this
+			// journey began could have overwritten the missing spans.
+			for _, ts := range wrapTS {
+				if ts >= j.StartTS {
+					j.Gap = true
+					break
+				}
+			}
+			if !j.Gap && f.NowNS > 0 && f.NowNS-j.EndTS < f.FreshNS {
+				j.InFlight = true
+			}
+		}
+		stats.Total++
+		switch {
+		case j.Complete:
+			stats.Complete++
+		case j.Gap:
+			stats.Gapped++
+		case j.InFlight:
+			stats.InFlight++
+		default:
+			stats.Unexplained++
+		}
+		if f.Trace != 0 && j.Trace != f.Trace {
+			continue
+		}
+		if f.Flow != 0 && j.Flow.Hash != f.Flow {
+			continue
+		}
+		if f.DroppedOnly && !(j.Dropped && j.Terminal != "") {
+			continue
+		}
+		out = append(out, j)
+	}
+	if f.Slowest {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].LatencyNS != out[j].LatencyNS {
+				return out[i].LatencyNS > out[j].LatencyNS
+			}
+			return out[i].Trace < out[j].Trace
+		})
+	} else {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].StartTS != out[j].StartTS {
+				return out[i].StartTS < out[j].StartTS
+			}
+			return out[i].Trace < out[j].Trace
+		})
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out, stats
+}
+
+// Completeness is the soak acceptance ratio: complete journeys over all
+// journeys that had a fair chance to complete (gap-explained and
+// in-flight journeys are excluded from the denominator). Returns 1 when
+// nothing qualifies.
+func (s JourneyStats) Completeness() float64 {
+	denom := s.Total - s.Gapped - s.InFlight
+	if denom <= 0 {
+		return 1
+	}
+	return float64(s.Complete) / float64(denom)
+}
+
+// JourneyJSON is the /journeys wire shape for one journey.
+type JourneyJSON struct {
+	Trace     uint64      `json:"trace"`
+	Flow      uint64      `json:"flow,omitempty"`
+	Src       string      `json:"src,omitempty"`
+	Dst       string      `json:"dst,omitempty"`
+	StartTS   int64       `json:"start_ts_ns"`
+	EndTS     int64       `json:"end_ts_ns"`
+	LatencyNS int64       `json:"latency_ns"`
+	Terminal  string      `json:"terminal,omitempty"`
+	Complete  bool        `json:"complete"`
+	Gap       bool        `json:"gap,omitempty"`
+	InFlight  bool        `json:"in_flight,omitempty"`
+	Dropped   bool        `json:"dropped,omitempty"`
+	Events    []EventJSON `json:"events"`
+}
+
+// JSON converts a Journey to its wire shape.
+func (j Journey) JSON() JourneyJSON {
+	out := JourneyJSON{
+		Trace:     j.Trace,
+		Flow:      j.Flow.Hash,
+		StartTS:   j.StartTS,
+		EndTS:     j.EndTS,
+		LatencyNS: j.LatencyNS,
+		Terminal:  j.Terminal,
+		Complete:  j.Complete,
+		Gap:       j.Gap,
+		InFlight:  j.InFlight,
+		Dropped:   j.Dropped,
+		Events:    make([]EventJSON, 0, len(j.Events)),
+	}
+	if j.Flow.IPSrc != 0 || j.Flow.TPSrc != 0 {
+		out.Src = ipPort(j.Flow.IPSrc, j.Flow.TPSrc)
+	}
+	if j.Flow.IPDst != 0 || j.Flow.TPDst != 0 {
+		out.Dst = ipPort(j.Flow.IPDst, j.Flow.TPDst)
+	}
+	for _, ev := range j.Events {
+		out.Events = append(out.Events, ev.JSON())
+	}
+	return out
+}

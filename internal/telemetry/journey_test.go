@@ -1,0 +1,169 @@
+package telemetry
+
+import "testing"
+
+// journeyRecorder builds an enabled recorder whose rings are big enough
+// that nothing wraps unless a test floods one deliberately.
+func journeyRecorder(nodes ...uint32) *Recorder {
+	return NewRecorder(nodes, 64, true)
+}
+
+func TestAssembleJourneysCompleteStory(t *testing.T) {
+	rec := journeyRecorder(0, 2, 4)
+	flow := Tuple(1, 2, 0, 80, 6)
+	const trace = 0xabc
+	rec.Publish(Event{TS: 10, Kind: EvIngress, Node: 0, Trace: trace, Flow: flow})
+	rec.Publish(Event{TS: 20, Kind: EvRedirect, Node: 0, Peer: 2, Trace: trace, Flow: flow})
+	rec.Publish(Event{TS: 30, Kind: EvAuthority, Node: 2, Peer: 0, RuleID: 1, Trace: trace, Flow: flow})
+	rec.Publish(Event{TS: 40, Kind: EvVerdict, Node: 4, Verdict: VDelivered, Value: 35, Trace: trace, Flow: flow})
+
+	js, stats := AssembleJourneys(rec, JourneyFilter{})
+	if stats.Total != 1 || stats.Complete != 1 {
+		t.Fatalf("stats = %+v, want 1 complete", stats)
+	}
+	if len(js) != 1 {
+		t.Fatalf("got %d journeys", len(js))
+	}
+	j := js[0]
+	if !j.Complete || j.Gap || j.InFlight || j.Dropped {
+		t.Fatalf("classification wrong: %+v", j)
+	}
+	if j.Trace != trace || j.Flow.Hash != flow.Hash {
+		t.Fatalf("identity wrong: %+v", j)
+	}
+	if j.Terminal != "delivered" {
+		t.Fatalf("terminal = %q", j.Terminal)
+	}
+	// Delivery verdicts carry the latency in Value; it wins over EndTS−StartTS.
+	if j.LatencyNS != 35 {
+		t.Fatalf("latency = %d, want 35 (from verdict Value)", j.LatencyNS)
+	}
+	if j.StartTS != 10 || j.EndTS != 40 {
+		t.Fatalf("span window = [%d, %d]", j.StartTS, j.EndTS)
+	}
+	for i := 1; i < len(j.Events); i++ {
+		if j.Events[i-1].TS > j.Events[i].TS {
+			t.Fatalf("events out of timestamp order: %+v", j.Events)
+		}
+	}
+	if stats.Completeness() != 1 {
+		t.Fatalf("completeness = %v", stats.Completeness())
+	}
+}
+
+func TestAssembleJourneysDroppedOnlyFilter(t *testing.T) {
+	rec := journeyRecorder(0)
+	good := Tuple(1, 2, 0, 80, 6)
+	bad := Tuple(3, 2, 0, 22, 6)
+	rec.Publish(Event{TS: 10, Kind: EvIngress, Node: 0, Trace: 1, Flow: good})
+	rec.Publish(Event{TS: 20, Kind: EvVerdict, Node: 0, Verdict: VDelivered, Value: 9, Trace: 1, Flow: good})
+	rec.Publish(Event{TS: 30, Kind: EvIngress, Node: 0, Trace: 2, Flow: bad})
+	rec.Publish(Event{TS: 40, Kind: EvVerdict, Node: 0, Verdict: VDropPolicy, Trace: 2, Flow: bad})
+
+	js, stats := AssembleJourneys(rec, JourneyFilter{DroppedOnly: true})
+	if stats.Total != 2 || stats.Complete != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(js) != 1 || js[0].Trace != 2 || !js[0].Dropped || js[0].Terminal != "drop-policy" {
+		t.Fatalf("dropped-only filter returned %+v", js)
+	}
+}
+
+// A journey missing its ingress is Gap-classified when some ring wrapped
+// over the window where the missing spans would have been recorded.
+func TestAssembleJourneysGapOnRingWrap(t *testing.T) {
+	rec := NewRecorder([]uint32{0, 1}, 8, true)
+	// Node 1 retains only the tail of a journey that began at TS 100.
+	rec.Publish(Event{TS: 100, Kind: EvAuthority, Node: 1, Trace: 5, Flow: Tuple(1, 2, 0, 80, 6)})
+	// Flood node 0's ring with unsampled events so it wraps; its oldest
+	// retained TS (≥ 500) is after the incomplete journey's start, so the
+	// missing ingress may have been overwritten.
+	for i := 0; i < 12; i++ {
+		rec.Publish(Event{TS: int64(500 + i), Kind: EvForward, Node: 0})
+	}
+	if rec.Ring(0).Dropped() == 0 {
+		t.Fatal("test setup: node 0's ring must have wrapped")
+	}
+
+	_, stats := AssembleJourneys(rec, JourneyFilter{})
+	if stats.Total != 1 || stats.Gapped != 1 {
+		t.Fatalf("stats = %+v, want the TS-100 journey gap-classified", stats)
+	}
+	// Gapped journeys leave the completeness denominator: the recorder, not
+	// the data plane, lost the evidence.
+	if got := stats.Completeness(); got != 1 {
+		t.Fatalf("completeness = %v, want 1 (gap excuses the journey)", got)
+	}
+}
+
+func TestAssembleJourneysInFlightVsUnexplained(t *testing.T) {
+	rec := journeyRecorder(0)
+	flow := Tuple(1, 2, 0, 80, 6)
+	// Incomplete journey whose newest span is 1ms old at assembly time.
+	rec.Publish(Event{TS: 1_000_000, Kind: EvIngress, Node: 0, Trace: 3, Flow: flow})
+
+	_, fresh := AssembleJourneys(rec, JourneyFilter{NowNS: 2_000_000, FreshNS: 250_000_000})
+	if fresh.InFlight != 1 || fresh.Unexplained != 0 {
+		t.Fatalf("fresh stats = %+v, want in-flight", fresh)
+	}
+	// The same journey judged long after: no excuse left.
+	_, stale := AssembleJourneys(rec, JourneyFilter{NowNS: 2_000_000_000, FreshNS: 250_000_000})
+	if stale.Unexplained != 1 || stale.InFlight != 0 {
+		t.Fatalf("stale stats = %+v, want unexplained", stale)
+	}
+	// In-flight journeys don't count against completeness; unexplained do.
+	if fresh.Completeness() != 1 {
+		t.Fatalf("fresh completeness = %v", fresh.Completeness())
+	}
+	if stale.Completeness() != 0 {
+		t.Fatalf("stale completeness = %v", stale.Completeness())
+	}
+}
+
+func TestAssembleJourneysOrderingAndLimit(t *testing.T) {
+	rec := journeyRecorder(0)
+	mk := func(trace uint64, start, latency int64) {
+		flow := Tuple(uint32(trace), 2, 0, 80, 6)
+		rec.Publish(Event{TS: start, Kind: EvIngress, Node: 0, Trace: trace, Flow: flow})
+		rec.Publish(Event{TS: start + latency, Kind: EvVerdict, Node: 0,
+			Verdict: VDelivered, Value: uint64(latency), Trace: trace, Flow: flow})
+	}
+	mk(1, 100, 50)
+	mk(2, 200, 300)
+	mk(3, 300, 10)
+
+	byStart, _ := AssembleJourneys(rec, JourneyFilter{})
+	if len(byStart) != 3 || byStart[0].Trace != 1 || byStart[2].Trace != 3 {
+		t.Fatalf("default order wrong: %+v", byStart)
+	}
+	slowest, _ := AssembleJourneys(rec, JourneyFilter{Slowest: true, Limit: 1})
+	if len(slowest) != 1 || slowest[0].Trace != 2 {
+		t.Fatalf("slowest-first limit 1 returned %+v", slowest)
+	}
+	one, stats := AssembleJourneys(rec, JourneyFilter{Trace: 3})
+	if len(one) != 1 || one[0].Trace != 3 {
+		t.Fatalf("trace filter returned %+v", one)
+	}
+	// Stats always cover every assembled journey, not just the filtered view.
+	if stats.Total != 3 {
+		t.Fatalf("stats.Total = %d, want 3", stats.Total)
+	}
+}
+
+func TestJourneyJSONShape(t *testing.T) {
+	rec := journeyRecorder(0)
+	flow := Tuple(0x0a000001, 0x0a000002, 1234, 80, 6)
+	rec.Publish(Event{TS: 10, Kind: EvIngress, Node: 0, Trace: 7, Flow: flow})
+	rec.Publish(Event{TS: 25, Kind: EvVerdict, Node: 0, Verdict: VDelivered, Value: 15, Trace: 7, Flow: flow})
+	js, _ := AssembleJourneys(rec, JourneyFilter{})
+	if len(js) != 1 {
+		t.Fatalf("got %d journeys", len(js))
+	}
+	j := js[0].JSON()
+	if j.Src != "10.0.0.1:1234" || j.Dst != "10.0.0.2:80" {
+		t.Fatalf("endpoints = %q -> %q", j.Src, j.Dst)
+	}
+	if !j.Complete || j.Terminal != "delivered" || j.LatencyNS != 15 || len(j.Events) != 2 {
+		t.Fatalf("JSON shape wrong: %+v", j)
+	}
+}

@@ -155,8 +155,9 @@ type Filter struct {
 	IPSrc   uint32
 	IPDst   uint32
 	TPDst   uint16
-	SinceTS int64 // only events with TS > SinceTS
-	Limit   int   // keep only the most recent Limit events, 0 = all
+	Trace   uint64 // trace ID, 0 = any
+	SinceTS int64  // only events with TS > SinceTS
+	Limit   int    // keep only the most recent Limit events, 0 = all
 }
 
 // Node is a convenience for building a Filter.Node value.
@@ -188,6 +189,9 @@ func (f *Filter) match(ev *Event) bool {
 		return false
 	}
 	if f.TPDst != 0 && ev.Flow.TPDst != f.TPDst {
+		return false
+	}
+	if f.Trace != 0 && ev.Trace != f.Trace {
 		return false
 	}
 	if ev.TS <= f.SinceTS {

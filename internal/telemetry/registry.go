@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -135,62 +136,97 @@ func (g *Registry) Snapshot() []MetricSnapshot {
 	return out
 }
 
+// scrapeBuf pools the scratch buffers WritePrometheus renders into, so a
+// scrape reuses one buffer across every collector instead of allocating
+// per line. Concurrent scrapes each check out their own buffer.
+var scrapeBuf = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1<<14)
+	return &b
+}}
+
 // WritePrometheus renders a scrape in the Prometheus text exposition
-// format (version 0.0.4).
+// format (version 0.0.4). The whole scrape is appended into one pooled
+// scratch buffer and written with a single Write.
 func (g *Registry) WritePrometheus(w io.Writer) error {
-	for _, m := range g.Snapshot() {
-		if m.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help); err != nil {
-				return err
-			}
+	g.mu.Lock()
+	ms := append([]metric(nil), g.metrics...)
+	g.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	bp := scrapeBuf.Get().(*[]byte)
+	b := (*bp)[:0]
+	for _, m := range ms {
+		if m.help != "" {
+			b = append(b, "# HELP "...)
+			b = append(b, m.name...)
+			b = append(b, ' ')
+			b = append(b, m.help...)
+			b = append(b, '\n')
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
-			return err
-		}
-		if m.Summary != nil {
-			for _, qv := range m.Summary.Quantiles {
-				if _, err := fmt.Fprintf(w, "%s{quantile=%q} %s\n",
-					m.Name, trimFloat(qv[0]), promFloat(qv[1])); err != nil {
-					return err
-				}
+		b = append(b, "# TYPE "...)
+		b = append(b, m.name...)
+		b = append(b, ' ')
+		b = append(b, m.typ.String()...)
+		b = append(b, '\n')
+		if m.typ == TypeSummary {
+			v := m.summary()
+			for _, qv := range v.Quantiles {
+				b = append(b, m.name...)
+				b = append(b, `{quantile="`...)
+				b = appendTrimFloat(b, qv[0])
+				b = append(b, `"} `...)
+				b = appendPromFloat(b, qv[1])
+				b = append(b, '\n')
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-				m.Name, promFloat(m.Summary.Sum), m.Name, m.Summary.Count); err != nil {
-				return err
-			}
+			b = append(b, m.name...)
+			b = append(b, "_sum "...)
+			b = appendPromFloat(b, v.Sum)
+			b = append(b, '\n')
+			b = append(b, m.name...)
+			b = append(b, "_count "...)
+			b = strconv.AppendUint(b, v.Count, 10)
+			b = append(b, '\n')
 			continue
 		}
-		for _, p := range m.Points {
-			if _, err := fmt.Fprintf(w, "%s%s %s\n",
-				m.Name, promLabels(p.Labels), promFloat(p.Value)); err != nil {
-				return err
-			}
+		for _, p := range m.collect() {
+			b = append(b, m.name...)
+			b = appendPromLabels(b, p.Labels)
+			b = append(b, ' ')
+			b = appendPromFloat(b, p.Value)
+			b = append(b, '\n')
 		}
 	}
-	return nil
+	_, err := w.Write(b)
+	*bp = b[:0]
+	scrapeBuf.Put(bp)
+	return err
 }
 
-func promLabels(labels []Label) string {
+func appendPromLabels(b []byte, labels []Label) []byte {
 	if len(labels) == 0 {
-		return ""
+		return b
 	}
-	var b strings.Builder
-	b.WriteByte('{')
+	b = append(b, '{')
 	for i, l := range labels {
 		if i > 0 {
-			b.WriteByte(',')
+			b = append(b, ',')
 		}
-		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+		b = append(b, l.Key...)
+		b = append(b, '=')
+		b = strconv.AppendQuote(b, l.Value)
 	}
-	b.WriteByte('}')
-	return b.String()
+	return append(b, '}')
 }
 
-func promFloat(v float64) string {
+func appendPromFloat(b []byte, v float64) []byte {
 	if v == float64(int64(v)) {
-		return fmt.Sprintf("%d", int64(v))
+		return strconv.AppendInt(b, int64(v), 10)
 	}
-	return fmt.Sprintf("%g", v)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendTrimFloat(b []byte, v float64) []byte {
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
 }
 
 func trimFloat(v float64) string { return fmt.Sprintf("%g", v) }

@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"encoding/json"
+	"io"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -140,5 +142,67 @@ func TestServerEndpoints(t *testing.T) {
 	}
 	if w := get("/debug/pprof/"); w.Code != 200 {
 		t.Fatalf("pprof: %d", w.Code)
+	}
+}
+
+// buildScrapeRegistry approximates a live wire cluster's schema: a few
+// dozen per-switch labeled series plus the latency summaries — the shape
+// the pooled scrape buffer is sized for.
+func buildScrapeRegistry(switches int) *Registry {
+	reg := NewRegistry()
+	reg.RegisterFunc("difane_delivered_total", "Packets delivered.", TypeCounter,
+		func() float64 { return 1234567 })
+	reg.RegisterFunc("difane_dropped_total", "Packets dropped.", TypeCounter,
+		func() float64 { return 89 })
+	perSwitch := func(name string) {
+		reg.Register(name, "Per-switch series.", TypeCounter, func() []Point {
+			pts := make([]Point, switches)
+			for i := range pts {
+				pts[i] = Point{
+					Labels: []Label{{Key: "switch", Value: strconv.Itoa(i)}},
+					Value:  float64(1000 + i),
+				}
+			}
+			return pts
+		})
+	}
+	for _, name := range []string{
+		"difane_switch_cache_hits_total",
+		"difane_switch_authority_hits_total",
+		"difane_switch_partition_hits_total",
+		"difane_switch_cache_evictions_total",
+		"difane_switch_cache_occupancy",
+		"difane_switch_tcam_occupancy",
+		"difane_switch_redirects_total",
+		"difane_switch_installs_total",
+	} {
+		perSwitch(name)
+	}
+	var d metrics.Dist
+	for i := 1; i <= 1000; i++ {
+		d.Add(float64(i) / 10000)
+	}
+	reg.RegisterSummary("difane_first_packet_delay_seconds", "First-packet delay.",
+		func() SummaryView { return DistSummary(&d) })
+	reg.RegisterSummary("difane_later_packet_delay_seconds", "Later-packet delay.",
+		func() SummaryView { return DistSummary(&d) })
+	return reg
+}
+
+// BenchmarkScrape prices one /metrics render. The pooled scratch buffer
+// keeps the text-exposition path at a handful of allocations (the
+// collectors' point slices), independent of output size.
+func BenchmarkScrape(b *testing.B) {
+	reg := buildScrapeRegistry(64)
+	// Prime the pool so the steady state is measured, not the first grow.
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,70 @@
+package telemetry
+
+import "sync/atomic"
+
+// Sampler decides, per packet, whether a trace ID is minted. The rate is
+// 1-in-N: N == 0 disables sampling entirely (the hot path pays one atomic
+// load), N == 1 traces every packet. The decision is a pure hash of the
+// flow hash and the packet's sequence within the flow, so every node that
+// sees the same packet — and the sim/baseline/wire backends replaying the
+// same workload — agrees on whether it is sampled and on its trace ID
+// without any coordination.
+type Sampler struct {
+	n atomic.Uint64
+	// limit is the sampling threshold: a packet is sampled when its hash
+	// is <= limit, with limit = 2^64/n. Keeping the decision a compare
+	// instead of h%n spares the hot path a 64-bit hardware division.
+	// 0 means sampling is off.
+	limit atomic.Uint64
+}
+
+// NewSampler returns a sampler tracing 1 in n packets (0 = off).
+func NewSampler(n int) *Sampler {
+	s := &Sampler{}
+	s.SetRate(n)
+	return s
+}
+
+// SetRate changes the sampling rate at runtime (1-in-n, 0 = off).
+func (s *Sampler) SetRate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.n.Store(uint64(n))
+	if n == 0 {
+		s.limit.Store(0)
+	} else {
+		s.limit.Store(^uint64(0) / uint64(n))
+	}
+}
+
+// Rate returns the current 1-in-N rate (0 = off).
+func (s *Sampler) Rate() int { return int(s.n.Load()) }
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// TraceID returns the packet's trace ID, or 0 when the packet is not
+// sampled. flowHash is the FlowTuple hash; seq is the packet's sequence
+// within its flow. Cost when sampling is off: one atomic load.
+func (s *Sampler) TraceID(flowHash, seq uint64) uint64 {
+	limit := s.limit.Load()
+	if limit == 0 {
+		return 0
+	}
+	h := mix64(flowHash ^ mix64(seq+0x9e3779b97f4a7c15))
+	if h > limit {
+		return 0
+	}
+	if h == 0 {
+		h = 1 // reserve 0 for "unsampled"
+	}
+	return h
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import "testing"
+
+func TestSamplerOffMintsNothing(t *testing.T) {
+	s := NewSampler(0)
+	for seq := uint64(0); seq < 1000; seq++ {
+		if id := s.TraceID(12345, seq); id != 0 {
+			t.Fatalf("sampler off minted trace %x for seq %d", id, seq)
+		}
+	}
+	if NewSampler(-3).Rate() != 0 {
+		t.Fatal("negative rate must clamp to off")
+	}
+}
+
+func TestSamplerRateOneTracesEverything(t *testing.T) {
+	s := NewSampler(1)
+	for seq := uint64(0); seq < 1000; seq++ {
+		if s.TraceID(12345, seq) == 0 {
+			t.Fatalf("1-in-1 sampling skipped seq %d", seq)
+		}
+	}
+}
+
+// The decision must be a pure function of (flowHash, seq): two independent
+// samplers at the same rate — the three backends replaying one workload —
+// agree on which packets are sampled and on their trace IDs.
+func TestSamplerDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewSampler(16), NewSampler(16)
+	sampled := 0
+	for flow := uint64(1); flow <= 64; flow++ {
+		for seq := uint64(0); seq < 64; seq++ {
+			ia, ib := a.TraceID(flow, seq), b.TraceID(flow, seq)
+			if ia != ib {
+				t.Fatalf("flow %d seq %d: %x vs %x", flow, seq, ia, ib)
+			}
+			if ia != 0 {
+				sampled++
+			}
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("1-in-16 sampling over 4096 packets selected nothing")
+	}
+}
+
+// 1-in-N should select roughly 1/N of packets — the hash is not a counter,
+// so allow a wide band, but a broken mixer (everything or nothing) fails.
+func TestSamplerFractionNearRate(t *testing.T) {
+	const n, packets = 64, 100_000
+	s := NewSampler(n)
+	sampled := 0
+	for i := uint64(0); i < packets; i++ {
+		if s.TraceID(i*2654435761, i) != 0 {
+			sampled++
+		}
+	}
+	want := float64(packets) / n
+	if f := float64(sampled); f < want/2 || f > want*2 {
+		t.Fatalf("1-in-%d sampled %d of %d packets (want ~%.0f)", n, sampled, packets, want)
+	}
+}
+
+func TestSamplerSetRateAtRuntime(t *testing.T) {
+	s := NewSampler(0)
+	if s.Rate() != 0 {
+		t.Fatalf("rate = %d, want 0", s.Rate())
+	}
+	s.SetRate(1)
+	if s.TraceID(7, 0) == 0 {
+		t.Fatal("rate 1 after SetRate must trace")
+	}
+	s.SetRate(0)
+	if s.TraceID(7, 0) != 0 {
+		t.Fatal("SetRate(0) must stop tracing")
+	}
+}
+
+// Trace IDs must never collide with the reserved "unsampled" zero and
+// should be distinct across packets (they key journey assembly).
+func TestSamplerIDsNonZeroAndDistinct(t *testing.T) {
+	s := NewSampler(1)
+	seen := make(map[uint64]bool)
+	for seq := uint64(0); seq < 10_000; seq++ {
+		id := s.TraceID(99, seq)
+		if id == 0 {
+			t.Fatalf("seq %d: zero trace ID", seq)
+		}
+		if seen[id] {
+			t.Fatalf("seq %d: duplicate trace ID %x", seq, id)
+		}
+		seen[id] = true
+	}
+}

@@ -61,6 +61,9 @@ func Handler(reg *Registry, rec *Recorder, extra map[string]http.Handler) http.H
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		serveTrace(w, r, rec)
 	})
+	mux.HandleFunc("/journeys", func(w http.ResponseWriter, r *http.Request) {
+		serveJourneys(w, r, rec)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -133,6 +136,9 @@ func serveTrace(w http.ResponseWriter, r *http.Request, rec *Recorder) {
 		n, err = strconv.ParseUint(v, 10, 16)
 		f.TPDst = uint16(n)
 	}
+	if v := q.Get("trace"); v != "" && err == nil {
+		f.Trace, err = strconv.ParseUint(v, 10, 64)
+	}
 	if v := q.Get("since"); v != "" && err == nil {
 		f.SinceTS, err = strconv.ParseInt(v, 10, 64)
 	}
@@ -152,6 +158,66 @@ func serveTrace(w http.ResponseWriter, r *http.Request, rec *Recorder) {
 	}
 	for _, ev := range events {
 		resp.Events = append(resp.Events, ev.JSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// JourneysResponse is the /journeys JSON shape.
+type JourneysResponse struct {
+	NowNS    int64         `json:"now_ns"`
+	Enabled  bool          `json:"enabled"`
+	Sampled  bool          `json:"sampled"` // false when no trace-stamped events exist
+	Stats    JourneyStats  `json:"stats"`
+	Journeys []JourneyJSON `json:"journeys"`
+}
+
+// serveJourneys assembles and dumps end-to-end journeys. Query params:
+// flow (hash), trace (ID), dropped (=1 keeps only dropped/shed journeys),
+// slowest (=1 orders by latency descending), limit (default 64, 0 = all),
+// fresh (ns window for the in-flight classification).
+func serveJourneys(w http.ResponseWriter, r *http.Request, rec *Recorder) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if rec == nil {
+		http.Error(w, `{"error":"no flight recorder on this deployment"}`, http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	f := JourneyFilter{Limit: 64, NowNS: rec.Now()}
+	var err error
+	if v := q.Get("flow"); v != "" {
+		f.Flow, err = strconv.ParseUint(v, 10, 64)
+	}
+	if v := q.Get("trace"); v != "" && err == nil {
+		f.Trace, err = strconv.ParseUint(v, 10, 64)
+	}
+	if v := q.Get("dropped"); v != "" && err == nil {
+		f.DroppedOnly = v == "1" || v == "true"
+	}
+	if v := q.Get("slowest"); v != "" && err == nil {
+		f.Slowest = v == "1" || v == "true"
+	}
+	if v := q.Get("limit"); v != "" && err == nil {
+		f.Limit, err = strconv.Atoi(v)
+	}
+	if v := q.Get("fresh"); v != "" && err == nil {
+		f.FreshNS, err = strconv.ParseInt(v, 10, 64)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":%q}`, err), http.StatusBadRequest)
+		return
+	}
+	journeys, stats := AssembleJourneys(rec, f)
+	resp := JourneysResponse{
+		NowNS:    rec.Now(),
+		Enabled:  rec.Enabled(),
+		Sampled:  stats.Total > 0,
+		Stats:    stats,
+		Journeys: make([]JourneyJSON, 0, len(journeys)),
+	}
+	for _, j := range journeys {
+		resp.Journeys = append(resp.Journeys, j.JSON())
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

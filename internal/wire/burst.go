@@ -149,19 +149,20 @@ func (c *Cluster) applyVerdict(n *node, s *burstScratch, f *dataFrame, i int, re
 	pkt := &f.pkt
 	if !res.OK {
 		c.drop(n.stats, dropHole)
-		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
+		c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0, f.trace)
 		return
 	}
 	switch res.Rule.Action.Kind {
 	case flowspace.ActDrop:
 		// Policy drop at the ingress (cached decision): intentional.
 		c.policyDrop(n.stats, false)
-		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0)
+		c.traceVerdict(n.id, telemetry.VDropPolicy, res.Rule.ID, &pkt.Header, 0, f.trace)
 	case flowspace.ActForward:
-		if c.rec.Enabled() {
+		if c.tracePkt(f.trace) {
 			c.rec.Publish(telemetry.Event{
 				Kind: telemetry.EvForward, Node: n.id, Peer: res.Rule.Action.Arg,
 				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
+				Trace: f.trace,
 			})
 		}
 		c.stageTunnel(n, s, res.Rule.Action.Arg, f, i)
@@ -171,10 +172,11 @@ func (c *Cluster) applyVerdict(n *node, s *burstScratch, f *dataFrame, i int, re
 		// the authority switch's queue.
 		if !n.redirectTB.Allow() {
 			c.shedRedirect(n.stats)
-			if c.rec.Enabled() {
+			if c.tracePkt(f.trace) {
 				c.rec.Publish(telemetry.Event{
 					Kind: telemetry.EvShed, Node: n.id,
 					Verdict: telemetry.VShedRedirect, Flow: flowOf(&pkt.Header),
+					Trace: f.trace,
 				})
 			}
 			return
@@ -187,15 +189,16 @@ func (c *Cluster) applyVerdict(n *node, s *burstScratch, f *dataFrame, i int, re
 			next, ok := c.failoverLocal(n, res.Rule, target)
 			if !ok {
 				c.drop(n.stats, dropUnreachable)
-				c.traceVerdict(n.id, telemetry.VUnreachable, res.Rule.ID, &pkt.Header, 0)
+				c.traceVerdict(n.id, telemetry.VUnreachable, res.Rule.ID, &pkt.Header, 0, f.trace)
 				return
 			}
 			target = next
 		}
-		if c.rec.Enabled() {
+		if c.tracePkt(f.trace) {
 			c.rec.Publish(telemetry.Event{
 				Kind: telemetry.EvRedirect, Node: n.id, Peer: target,
 				Table: uint8(res.Table), RuleID: res.Rule.ID, Flow: flowOf(&pkt.Header),
+				Trace: f.trace,
 			})
 		}
 		f.detour = true
@@ -206,7 +209,7 @@ func (c *Cluster) applyVerdict(n *node, s *burstScratch, f *dataFrame, i int, re
 		c.stageForward(n, s, target, f)
 	default:
 		c.drop(n.stats, dropHole)
-		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0)
+		c.traceVerdict(n.id, telemetry.VDropHole, res.Rule.ID, &pkt.Header, 0, f.trace)
 	}
 }
 
@@ -243,29 +246,29 @@ func (c *Cluster) authorityBurst(n *node, s *burstScratch, frames []dataFrame) {
 		r := &res[j]
 		if !r.OK {
 			c.drop(n.stats, dropHole)
-			c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0)
+			c.traceVerdict(n.id, telemetry.VDropHole, 0, &pkt.Header, 0, f.trace)
 			continue
 		}
-		if c.rec.Enabled() {
+		if c.tracePkt(f.trace) {
 			c.rec.Publish(telemetry.Event{
 				Kind: telemetry.EvAuthority, Node: n.id, Peer: e.Ingress,
 				Table: uint8(proto.TableAuthority), RuleID: r.Rule.ID,
-				Flow: flowOf(&pkt.Header),
+				Flow: flowOf(&pkt.Header), Trace: f.trace,
 			})
 		}
 		if len(r.CacheMods) > 0 {
-			c.queueInstall(n, e.Ingress, r.CacheMods, pkt)
+			c.queueInstall(n, e.Ingress, r.CacheMods, pkt, f.trace)
 		}
 		switch r.Rule.Action.Kind {
 		case flowspace.ActDrop:
 			// Policy drop at the authority: a completed (negative) flow setup.
 			c.policyDrop(n.stats, true)
-			c.traceVerdict(n.id, telemetry.VDropPolicy, r.Rule.ID, &pkt.Header, 0)
+			c.traceVerdict(n.id, telemetry.VDropPolicy, r.Rule.ID, &pkt.Header, 0, f.trace)
 		case flowspace.ActForward:
 			c.stageTunnel(n, s, r.Rule.Action.Arg, f, i)
 		default:
 			c.drop(n.stats, dropHole)
-			c.traceVerdict(n.id, telemetry.VDropHole, r.Rule.ID, &pkt.Header, 0)
+			c.traceVerdict(n.id, telemetry.VDropHole, r.Rule.ID, &pkt.Header, 0, f.trace)
 		}
 	}
 }
@@ -274,18 +277,30 @@ func (c *Cluster) authorityBurst(n *node, s *burstScratch, frames []dataFrame) {
 // (and counting) when the authority is over its install budget or the
 // writer's queue is full. The packet itself still forwards, so shedding
 // costs future redirects, not reachability.
-func (c *Cluster) queueInstall(n *node, ingress uint32, mods []proto.FlowMod, pkt *packet.Packet) {
+func (c *Cluster) queueInstall(n *node, ingress uint32, mods []proto.FlowMod, pkt *packet.Packet, trace uint64) {
 	if !n.installTB.Allow() {
 		n.stats.cacheInstallsShed.Add(1)
-		if c.rec.Enabled() {
+		if c.tracePkt(trace) {
 			c.rec.Publish(telemetry.Event{
 				Kind: telemetry.EvShed, Node: n.id,
 				Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
+				Trace: trace,
 			})
 		}
 		return
 	}
-	install := &proto.CacheInstall{Ingress: ingress, Rules: mods}
+	if trace != 0 && c.rec.Enabled() {
+		var ruleID uint64
+		if len(mods) > 0 {
+			ruleID = mods[0].Rule.ID
+		}
+		c.rec.Publish(telemetry.Event{
+			Kind: telemetry.EvInstallTriggered, Node: n.id, Peer: ingress,
+			Table: uint8(proto.TableCache), RuleID: ruleID,
+			Flow: flowOf(&pkt.Header), Trace: trace,
+		})
+	}
+	install := &proto.CacheInstall{Ingress: ingress, Trace: trace, Rules: mods}
 	// The authority switch writes on its switch end; the controller relay
 	// reads the other end and forwards to the ingress switch. Hand the
 	// write to the node's dedicated install writer instead of spawning a
@@ -295,10 +310,11 @@ func (c *Cluster) queueInstall(n *node, ingress uint32, mods []proto.FlowMod, pk
 	case n.installQ <- install:
 	default:
 		n.stats.cacheInstallsShed.Add(1)
-		if c.rec.Enabled() {
+		if c.tracePkt(trace) {
 			c.rec.Publish(telemetry.Event{
 				Kind: telemetry.EvShed, Node: n.id,
 				Verdict: telemetry.VShedInstall, Flow: flowOf(&pkt.Header),
+				Trace: trace,
 			})
 		}
 	}
@@ -349,7 +365,7 @@ func (c *Cluster) flushDeliveries(n *node, s *burstScratch, frames []dataFrame) 
 		} else {
 			s.later = append(s.later, lat.Seconds())
 		}
-		c.traceVerdict(n.id, telemetry.VDelivered, 0, &f.pkt.Header, int64(lat))
+		c.traceVerdict(n.id, telemetry.VDelivered, 0, &f.pkt.Header, int64(lat), f.trace)
 		// The length pre-check keeps egress loops from serializing on the
 		// shared channel's lock when nobody is draining notifications; the
 		// select still sheds racy fill-ups. Either way the notification is
@@ -395,7 +411,7 @@ func (c *Cluster) flushForwards(src *node, s *burstScratch) {
 			// like the simulator's dead-egress path.
 			for i := range frames {
 				c.drop(src.stats, dropUnreachable)
-				c.traceVerdict(src.id, telemetry.VUnreachable, 0, &frames[i].pkt.Header, 0)
+				c.traceVerdict(src.id, telemetry.VUnreachable, 0, &frames[i].pkt.Header, 0, frames[i].trace)
 			}
 			continue
 		}
@@ -411,7 +427,7 @@ func (c *Cluster) flushForwards(src *node, s *burstScratch) {
 		}
 		for i := pushed; i < len(frames); i++ {
 			c.drop(src.stats, dropQueue)
-			c.traceVerdict(src.id, telemetry.VDropQueue, 0, &frames[i].pkt.Header, 0)
+			c.traceVerdict(src.id, telemetry.VDropQueue, 0, &frames[i].pkt.Header, 0, frames[i].trace)
 		}
 	}
 }

@@ -41,28 +41,32 @@ const injectDeadline = time.Second
 // packets toward killed switches or past the deadline are recorded lost.
 func (d *Deployment) InjectPacket(at float64, ingress uint32, k flowspace.Key, size int, seq uint64) {
 	h := packet.HeaderFromKey(k)
+	trace := d.C.traceID(&h, seq)
 	// Fast path first: the deadline clock read is paid only under
 	// backpressure.
-	if d.C.tryInject(ingress, h, size) {
+	if d.C.tryInject(ingress, h, size, trace) {
 		d.injected.Add(1)
 		return
 	}
-	d.injectRetry(ingress, h, size)
+	d.injectRetry(ingress, h, size, trace)
 }
 
 // injectRetry is InjectPacket's slow path: retry against transient
 // backpressure until the deadline, then record the packet lost.
-func (d *Deployment) injectRetry(ingress uint32, h packet.Header, size int) {
+func (d *Deployment) injectRetry(ingress uint32, h packet.Header, size int, trace uint64) {
 	deadline := time.Now().Add(injectDeadline)
 	for {
-		if d.C.tryInject(ingress, h, size) {
+		if d.C.tryInject(ingress, h, size, trace) {
 			d.injected.Add(1)
 			return
 		}
 		n, ok := d.C.switches[ingress]
 		if !ok || n.killed.Load() || d.C.closed.Load() || time.Now().After(deadline) {
 			d.C.drop(d.C.ext, dropUnreachable)
-			d.C.traceVerdict(ingress, telemetry.VUnreachable, 0, &h, 0)
+			// Open and close the journey at the rejecting ingress, so a
+			// sampled packet lost to injection failure still assembles.
+			d.C.traceIngress(ingress, &h, trace)
+			d.C.traceVerdict(ingress, telemetry.VUnreachable, 0, &h, 0, trace)
 			d.injected.Add(1)
 			return
 		}
@@ -80,25 +84,31 @@ func (d *Deployment) InjectBatch(batch []core.PacketIn) {
 	c := d.C
 	slab := c.slabs.Get().(*[]dataFrame)
 	frames := (*slab)[:0]
+	sampling := c.sampler.Rate() != 0
 	for i := 0; i < len(batch); {
 		ingress := batch[i].Ingress
 		stamp := nowNS()
 		frames = frames[:0]
 		j := i
 		for j < len(batch) && batch[j].Ingress == ingress && len(frames) < cap(frames) {
-			frames = append(frames, dataFrame{
+			f := dataFrame{
 				pkt: packet.Packet{
 					Header: packet.HeaderFromKey(batch[j].Key),
 					Size:   batch[j].Size,
 				},
 				injected: stamp,
-			})
+			}
+			if sampling {
+				f.trace = c.traceID(&f.pkt.Header, batch[j].Seq)
+			}
+			frames = append(frames, f)
 			j++
 		}
 		pushed := c.injectBurst(ingress, frames)
 		d.injected.Add(uint64(pushed))
 		for k := i + pushed; k < j; k++ {
-			d.injectRetry(ingress, packet.HeaderFromKey(batch[k].Key), batch[k].Size)
+			d.injectRetry(ingress, packet.HeaderFromKey(batch[k].Key), batch[k].Size,
+				frames[k-i].trace)
 		}
 		i = j
 	}
@@ -112,6 +122,9 @@ func (d *Deployment) Run(horizon float64) {
 	deadline := time.Now().Add(time.Duration(horizon * float64(time.Second)))
 	for time.Now().Before(deadline) {
 		if d.C.completed.Load() >= d.injected.Load() && d.C.drained() {
+			// The accounting identity holds and the fabric is empty: this is
+			// the quiesce point any open policy-update timeline closes at.
+			d.C.conv.NoteQuiesce(nowNS(), d.C.counterTotals())
 			return
 		}
 		time.Sleep(time.Millisecond)

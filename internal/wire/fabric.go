@@ -26,8 +26,8 @@ import (
 )
 
 // fabricRecHdr is the per-record header: payload length (4B), injection
-// wall-clock nanos (8B), packet size (4B), detour flag (1B).
-const fabricRecHdr = 17
+// wall-clock nanos (8B), packet size (4B), detour flag (1B), trace ID (8B).
+const fabricRecHdr = 25
 
 // tcpFabric is the cluster-wide data fabric: one loopback listener, lazily
 // dialed per-pair connections, and an in-flight frame count that keeps the
@@ -167,6 +167,7 @@ func (fc *fabricConn) enqueueBurst(frames []dataFrame) bool {
 		if frame.detour {
 			h[16] = 1
 		}
+		binary.BigEndian.PutUint64(h[17:25], frame.trace)
 		fc.buf = append(fc.buf, h[:]...)
 		var e *packet.Encap
 		if frame.hasEncap {
@@ -294,6 +295,7 @@ func (f *tcpFabric) serve(conn net.Conn) {
 		frame := dataFrame{
 			injected: int64(binary.BigEndian.Uint64(rec[4:12])),
 			detour:   rec[16] == 1,
+			trace:    binary.BigEndian.Uint64(rec[17:25]),
 		}
 		_, hasEncap, decErr := frame.pkt.DecodeWireEncap(payload, &frame.encap)
 		frame.hasEncap = hasEncap

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"time"
 
 	"difane/internal/metrics"
 	"difane/internal/packet"
@@ -36,11 +37,33 @@ type TelemetryConfig struct {
 	// power of two (default 4096). Old events are overwritten when a ring
 	// wraps; the overwrite count is exported as difane_trace_dropped_total.
 	TraceBuffer int
+	// TraceSample turns on per-packet journey sampling: 1 in N injected
+	// packets (chosen by a deterministic hash of flow and sequence) is
+	// stamped with a trace ID that follows it across every hop, so its
+	// span events assemble into an end-to-end journey at /journeys. 0
+	// disables sampling — the injection path then pays one atomic load.
+	// Requires Tracing (or a later SetTracing(true)) for spans to record.
+	// Adjustable at runtime with Cluster.SetTraceSample.
+	TraceSample int
+	// Health tunes the SLO watchdog's rule thresholds (zero values take
+	// the documented defaults).
+	Health telemetry.HealthConfig
+	// HealthInterval paces the watchdog's registry scrapes (default 1s).
+	HealthInterval time.Duration
+	// DisableHealth turns the watchdog ticker off. The watchdog itself
+	// still exists: EvalOnce-driven tests and /health keep working.
+	DisableHealth bool
 }
 
 func (t *TelemetryConfig) applyDefaults() {
 	if t.TraceBuffer <= 0 {
 		t.TraceBuffer = 4096
+	}
+	if t.TraceSample < 0 {
+		t.TraceSample = 0
+	}
+	if t.HealthInterval <= 0 {
+		t.HealthInterval = time.Second
 	}
 }
 
@@ -60,39 +83,81 @@ func (c *Cluster) initTelemetry() {
 	}
 	ids = append(ids, telemetry.ClusterNode)
 	c.rec = telemetry.NewRecorder(ids, c.cfg.Telemetry.TraceBuffer, c.cfg.Telemetry.Tracing)
+	c.sampler = telemetry.NewSampler(c.cfg.Telemetry.TraceSample)
+	c.conv = telemetry.NewConvergence(0)
 	for _, n := range c.switches {
 		c.attachTableHooks(n)
 	}
 	c.reg = telemetry.NewRegistry()
 	c.buildRegistry()
+	c.conv.RegisterMetrics(c.reg)
+	// The watchdog scrapes the registry it is registered into; its EvalOnce
+	// snapshots before locking, so its own gauges stay deadlock-free.
+	c.wd = telemetry.NewWatchdog(c.reg, telemetry.DefaultHealthRules(c.cfg.Telemetry.Health))
+	c.wd.RegisterMetrics(c.reg)
 	if c.cachePol != nil {
 		c.cachePol.RegisterMetrics(c.reg)
 	}
 }
 
+// counterTotals snapshots the disturbed-traffic counters the convergence
+// tracker diffs across a policy-update window.
+func (c *Cluster) counterTotals() telemetry.CounterTotals {
+	t := telemetry.CounterTotals{Dropped: c.dropped.Load()}
+	add := func(s *nodeStats) {
+		t.Redirects += s.redirects.Load()
+		t.Shed += s.dropRedirectShed.Load() + s.cacheInstallsShed.Load()
+	}
+	add(c.ext)
+	for _, n := range c.switches {
+		add(n.stats)
+	}
+	return t
+}
+
+// healthLoop drives the SLO watchdog on its ticker until the cluster stops.
+func (c *Cluster) healthLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Telemetry.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			c.wd.EvalOnce(nowNS())
+		}
+	}
+}
+
 // attachTableHooks publishes install/evict/expire trace events for one
-// switch's three rule tables.
+// switch's three rule tables. The hooks fire per rule-table mutation —
+// a firehose under cache churn — so they record only in full-tracing
+// mode: once journey sampling is on, the recording budget belongs to
+// sampled packets (whose installs land in their journeys via the traced
+// EvInstall in the CacheInstall path).
 func (c *Cluster) attachTableHooks(n *node) {
 	id := n.id
+	record := func() bool { return c.rec.Enabled() && c.sampler.Rate() == 0 }
 	for _, t := range []proto.Table{proto.TableCache, proto.TableAuthority, proto.TablePartition} {
 		table := n.sw.Table(t)
 		code := uint8(t) // proto table numbering matches the telemetry codes
 		table.OnInstall = func(e tcam.Entry) {
-			if c.rec.Enabled() {
+			if record() {
 				c.rec.Publish(telemetry.Event{
 					Kind: telemetry.EvInstall, Node: id, Table: code, RuleID: e.Rule.ID,
 				})
 			}
 		}
 		table.OnEvict = func(e tcam.Entry) {
-			if c.rec.Enabled() {
+			if record() {
 				c.rec.Publish(telemetry.Event{
 					Kind: telemetry.EvEvict, Node: id, Table: code, RuleID: e.Rule.ID,
 				})
 			}
 		}
 		table.OnExpire = func(e tcam.Entry) {
-			if c.rec.Enabled() {
+			if record() {
 				c.rec.Publish(telemetry.Event{
 					Kind: telemetry.EvExpire, Node: id, Table: code, RuleID: e.Rule.ID,
 				})
@@ -107,7 +172,12 @@ func (c *Cluster) startTelemetryServer() error {
 		return nil
 	}
 	srv, err := telemetry.Serve(c.cfg.Telemetry.Addr, c.reg, c.rec,
-		map[string]http.Handler{"/status": c.StatusHandler(), "/ha": c.HAHandler()})
+		map[string]http.Handler{
+			"/status":      c.StatusHandler(),
+			"/ha":          c.HAHandler(),
+			"/convergence": c.ConvergenceHandler(),
+			"/health":      c.HealthHandler(),
+		})
 	if err != nil {
 		return err
 	}
@@ -115,11 +185,56 @@ func (c *Cluster) startTelemetryServer() error {
 	return nil
 }
 
+// tracePkt reports whether a per-packet span should record: every packet
+// in full-tracing mode, but only trace-stamped packets once journey
+// sampling is on — 1-in-N sampling must cost 1-in-N of the recording,
+// not all of it. Non-packet events (installs, deaths, elections) keep
+// gating on rec.Enabled alone.
+func (c *Cluster) tracePkt(trace uint64) bool {
+	if trace != 0 {
+		return c.rec.Enabled()
+	}
+	// Unsampled packet: records only in full-tracing mode. Checking the
+	// rate first keeps the common sampled-mode case to one atomic load.
+	return c.sampler.Rate() == 0 && c.rec.Enabled()
+}
+
 // SetTracing toggles the flight recorder at runtime.
 func (c *Cluster) SetTracing(on bool) { c.rec.SetEnabled(on) }
 
 // TracingEnabled reports the flight recorder's state.
 func (c *Cluster) TracingEnabled() bool { return c.rec.Enabled() }
+
+// SetTraceSample changes the journey sampling rate at runtime (1-in-n,
+// 0 disables).
+func (c *Cluster) SetTraceSample(n int) { c.sampler.SetRate(n) }
+
+// TraceSampleRate returns the current 1-in-N journey sampling rate.
+func (c *Cluster) TraceSampleRate() int { return c.sampler.Rate() }
+
+// Convergence exposes the per-epoch policy-update tracker.
+func (c *Cluster) Convergence() *telemetry.Convergence { return c.conv }
+
+// Watchdog exposes the SLO health watchdog.
+func (c *Cluster) Watchdog() *telemetry.Watchdog { return c.wd }
+
+// ConvergenceHandler serves the epoch convergence timelines as JSON.
+func (c *Cluster) ConvergenceHandler() http.Handler {
+	return jsonHandler(func() any { return c.conv.View(nowNS()) })
+}
+
+// HealthHandler serves the watchdog's latest rule statuses as JSON.
+func (c *Cluster) HealthHandler() http.Handler {
+	return jsonHandler(func() any { return c.wd.View(nowNS()) })
+}
+
+// Journeys assembles end-to-end journeys from the flight recorder.
+func (c *Cluster) Journeys(f telemetry.JourneyFilter) ([]telemetry.Journey, telemetry.JourneyStats) {
+	if f.NowNS == 0 {
+		f.NowNS = c.rec.Now()
+	}
+	return telemetry.AssembleJourneys(c.rec, f)
+}
 
 // Recorder exposes the flight recorder (tests, embedding servers).
 func (c *Cluster) Recorder() *telemetry.Recorder { return c.rec }
@@ -157,13 +272,20 @@ func (c *Cluster) sumStats(f func(*nodeStats) uint64) float64 {
 }
 
 // mergedDelay merges one latency distribution across every shard into an
-// independent Dist (Dist is internally synchronized, so this is safe
-// against live writers).
+// independent Dist. Each shard is cloned under its latMu: a Dist is
+// internally synchronized once initialized, but its lazy first-Add
+// allocation is only ordered against readers by that lock (see nodeStats).
 func (c *Cluster) mergedDelay(sel func(*nodeStats) *metrics.Dist) telemetry.SummaryView {
 	var d metrics.Dist
-	d.Merge(sel(c.ext))
+	merge := func(s *nodeStats) {
+		s.latMu.Lock()
+		one := sel(s).Clone()
+		s.latMu.Unlock()
+		d.Merge(&one)
+	}
+	merge(c.ext)
 	for _, n := range c.switches {
-		d.Merge(sel(n.stats))
+		merge(n.stats)
 	}
 	return telemetry.DistSummary(&d)
 }
@@ -336,6 +458,19 @@ func (c *Cluster) buildRegistry() {
 		func() float64 { return float64(c.rec.Stats().Writes) })
 	counter("difane_trace_dropped_total", "Trace events overwritten by ring wraparound.",
 		func() float64 { return float64(c.rec.Stats().Dropped) })
+	gauge("difane_trace_sample", "1-in-N journey sampling rate (0 = off).",
+		func() float64 { return float64(c.sampler.Rate()) })
+
+	// BFD session churn, summed across every controller-side session — the
+	// bfd-flap health rule's input.
+	counter("difane_bfd_transitions_total", "BFD session state transitions across all sessions.",
+		func() float64 {
+			var total uint64
+			for _, info := range c.BFDSessions() {
+				total += info.Transitions
+			}
+			return float64(total)
+		})
 }
 
 func switchLabel(id uint32) string { return strconv.FormatUint(uint64(id), 10) }

@@ -115,6 +115,12 @@ type Cluster struct {
 	rec  *telemetry.Recorder
 	reg  *telemetry.Registry
 	tsrv *telemetry.Server
+	// sampler mints per-packet trace IDs (forensics journeys); conv tracks
+	// per-epoch policy-update convergence timelines; wd is the SLO health
+	// watchdog, driven by healthLoop unless cfg.Telemetry.DisableHealth.
+	sampler *telemetry.Sampler
+	conv    *telemetry.Convergence
+	wd      *telemetry.Watchdog
 
 	// cachePol is the cost-aware caching policy (nil unless
 	// cfg.CacheEviction == core.EvictCostAware); aggSeq mints aggregation
@@ -254,6 +260,10 @@ type dataFrame struct {
 	// at delivery.
 	injected int64
 	detour   bool
+	// trace is the packet's sampled trace ID (0 = unsampled): stamped once
+	// at injection, carried across every hop (including the TCP fabric), and
+	// attached to every span event the packet generates.
+	trace uint64
 }
 
 // NewCluster builds and starts a cluster.
@@ -437,6 +447,10 @@ func NewClusterContext(ctx context.Context, cfg ClusterConfig) (*Cluster, error)
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()
+	if !cfg.Telemetry.DisableHealth {
+		c.wg.Add(1)
+		go c.healthLoop()
+	}
 	if !cfg.BFD.Disable {
 		c.wg.Add(1)
 		go c.bfdLoop()
@@ -499,16 +513,39 @@ func (c *Cluster) Assignment() core.Assignment { return c.assign }
 // returns false if the ring is full (backpressure), the switch is unknown
 // or killed, or the cluster is closing.
 func (c *Cluster) Inject(ingress uint32, h packet.Header, size int) bool {
-	if !c.tryInject(ingress, h, size) {
+	if !c.tryInject(ingress, h, size, c.traceID(&h, 0)) {
 		c.dropped.Add(1)
 		return false
 	}
 	return true
 }
 
+// traceID mints a packet's trace ID (0 = unsampled). seq is the packet's
+// sequence within the workload; the flow hash is only computed when
+// sampling is on, so the disabled cost is one atomic load.
+func (c *Cluster) traceID(h *packet.Header, seq uint64) uint64 {
+	if c.sampler.Rate() == 0 {
+		return 0
+	}
+	return c.sampler.TraceID(
+		telemetry.HashFlow(h.IPSrc, h.IPDst, h.TPSrc, h.TPDst, h.IPProto), seq)
+}
+
+// traceIngress publishes the ingress span that opens a sampled packet's
+// journey.
+func (c *Cluster) traceIngress(ingress uint32, h *packet.Header, trace uint64) {
+	if trace == 0 || !c.rec.Enabled() {
+		return
+	}
+	c.rec.Publish(telemetry.Event{
+		Kind: telemetry.EvIngress, Node: ingress, Trace: trace, Flow: flowOf(h),
+	})
+}
+
 // tryInject is Inject without the drop accounting, for callers that retry
-// on backpressure and record the loss themselves.
-func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
+// on backpressure and record the loss themselves. trace is the packet's
+// sampled trace ID (0 = unsampled), minted by the caller via traceID.
+func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int, trace uint64) bool {
 	if c.closed.Load() {
 		return false
 	}
@@ -519,6 +556,7 @@ func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
 	frame := dataFrame{
 		pkt:      packet.Packet{Header: h, Size: size},
 		injected: nowNS(),
+		trace:    trace,
 	}
 	ring := n.ring(c.injSlot)
 	n.injectMu.Lock()
@@ -528,6 +566,7 @@ func (c *Cluster) tryInject(ingress uint32, h packet.Header, size int) bool {
 		return false
 	}
 	c.injected.Add(1)
+	c.traceIngress(ingress, &h, trace)
 	n.noteQueueDepth(int64(ring.len()))
 	n.wake()
 	return true
@@ -551,6 +590,11 @@ func (c *Cluster) injectBurst(ingress uint32, frames []dataFrame) int {
 	n.injectMu.Unlock()
 	if pushed > 0 {
 		c.injected.Add(uint64(pushed))
+		if c.sampler.Rate() != 0 {
+			for i := 0; i < pushed; i++ {
+				c.traceIngress(ingress, &frames[i].pkt.Header, frames[i].trace)
+			}
+		}
 		n.noteQueueDepth(int64(ring.len()))
 		n.wake()
 	}
@@ -699,14 +743,15 @@ func (c *Cluster) dataLoop(n *node) {
 }
 
 // traceVerdict publishes a terminal packet event when tracing is on. lat
-// is the delivery latency in nanoseconds (0 for drops).
-func (c *Cluster) traceVerdict(node uint32, verdict uint8, ruleID uint64, h *packet.Header, lat int64) {
-	if !c.rec.Enabled() {
+// is the delivery latency in nanoseconds (0 for drops); trace the packet's
+// sampled trace ID (0 = unsampled).
+func (c *Cluster) traceVerdict(node uint32, verdict uint8, ruleID uint64, h *packet.Header, lat int64, trace uint64) {
+	if !c.tracePkt(trace) {
 		return
 	}
 	c.rec.Publish(telemetry.Event{
 		Kind: telemetry.EvVerdict, Node: node, Verdict: verdict,
-		RuleID: ruleID, Value: uint64(lat), Flow: flowOf(h),
+		RuleID: ruleID, Value: uint64(lat), Flow: flowOf(h), Trace: trace,
 	})
 }
 
@@ -893,6 +938,7 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 				before := n.epoch.Load()
 				if !n.raiseEpoch(m.Epoch) {
 					c.cold.staleInstallsRejected.Add(1)
+					c.conv.NoteReject(m.Epoch, nowNS())
 					if c.rec.Enabled() {
 						c.rec.Publish(telemetry.Event{
 							Kind: telemetry.EvEpochReject, Node: n.id, Value: m.Epoch,
@@ -907,6 +953,9 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 						Kind: telemetry.EvEpochRaise, Node: n.id, Value: m.Epoch,
 					})
 				}
+				// Convergence bookkeeping: the first fenced mod of an epoch
+				// opens its timeline; the deployment's quiesce point closes it.
+				c.conv.NoteMod(m.Epoch, m.Op == proto.OpDelete, nowNS(), c.counterTotals())
 			}
 			// No node lock: the tables serialize writers internally and
 			// publish snapshots, so installs never stall the data plane.
@@ -915,6 +964,19 @@ func (c *Cluster) switchCtrlRead(n *node, conn net.Conn) {
 			// Relayed from an authority switch via the controller.
 			for i := range m.Rules {
 				_ = n.sw.ApplyFlowMod(nowSec(), &m.Rules[i])
+			}
+			// When the triggering packet was sampled, land the install in
+			// its journey (the untraced per-rule EvInstall hook events fire
+			// regardless).
+			if m.Trace != 0 && c.rec.Enabled() {
+				var ruleID uint64
+				if len(m.Rules) > 0 {
+					ruleID = m.Rules[0].Rule.ID
+				}
+				c.rec.Publish(telemetry.Event{
+					Kind: telemetry.EvInstall, Node: n.id,
+					Table: uint8(proto.TableCache), RuleID: ruleID, Trace: m.Trace,
+				})
 			}
 		case *proto.BarrierReq:
 			// Replies are written asynchronously: net.Pipe writes block
